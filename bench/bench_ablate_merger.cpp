@@ -1,0 +1,164 @@
+// A2 — ablation of the Event Merger's delivery strategy (paper §5,
+// Figure 4): "If there are no ingress packets for the metadata to
+// piggyback onto, the Event Merger generates an empty packet, attaches the
+// event metadata and injects it into the P4 pipeline."
+//
+// Two pipeline-clock regimes expose both delivery modes:
+//   fast clock  (200 MHz, ~80x packet rate): a free slot is always a few
+//               ns away, so events ride carrier frames almost immediately;
+//   tight clock (1.05x the packet rate): slots are scarce and almost every
+//               slot carries a packet, so events PIGGYBACK — the case the
+//               merger's metadata bus exists for.
+//
+// Swept against ingress utilization and event rate; reported: how events
+// traveled, their merger queueing delay, and drops (none at these rates).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/event_switch.hpp"
+#include "net/packet_builder.hpp"
+
+namespace {
+
+using namespace edp;
+
+constexpr double kRate = 10e9;
+constexpr std::size_t kPktSize = 500;
+
+struct Result {
+  double piggyback_frac = 0;
+  std::uint64_t carriers = 0;
+  sim::Time wait_mean = sim::Time::zero();
+  sim::Time wait_max = sim::Time::zero();
+  std::uint64_t dropped = 0;
+  std::uint64_t delivered = 0;
+};
+
+class CountingProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv& phv, core::EventContext&) override {
+    phv.std_meta.egress_port = 1;
+  }
+  void on_timer(const core::TimerEventData&, core::EventContext&) override {
+    ++timers;
+  }
+  std::uint64_t timers = 0;
+};
+
+Result run(double utilization, sim::Time timer_period, bool tight_clock) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 2;
+  cfg.port_rate_bps = kRate;
+  cfg.merger.event_fifo_depth = 64;
+  if (tight_clock) {
+    // 1.05x the 500B line-rate packet rate: slots are scarce.
+    const sim::Time pkt_time = sim::serialization_time(kPktSize, kRate);
+    cfg.merger.cycle_time = sim::Time(
+        static_cast<std::int64_t>(static_cast<double>(pkt_time.ps()) / 1.05));
+  }  // else: default 5 ns (200 MHz)
+  core::EventSwitch sw(sched, cfg);
+  CountingProgram prog;
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  const sim::Time duration = sim::Time::millis(10);
+  if (utilization > 0) {
+    const sim::Time interval = sim::Time::from_seconds(
+        static_cast<double>(kPktSize) * 8.0 / (kRate * utilization));
+    const auto count =
+        static_cast<std::int64_t>(duration.ps() / interval.ps());
+    for (std::int64_t i = 0; i < count; ++i) {
+      sched.at(sim::Time(i * interval.ps()), [&sw] {
+        sw.receive(0,
+                   net::make_udp_packet(net::Ipv4Address(10, 0, 0, 1),
+                                        net::Ipv4Address(10, 1, 0, 1), 1, 2,
+                                        kPktSize));
+      });
+    }
+  }
+  sw.set_periodic_timer(timer_period, 0);
+
+  sched.run_until(duration + sim::Time::micros(100));
+
+  Result r;
+  const auto& ts = sw.merger().kind_stats(core::EventKind::kTimer);
+  const auto& enq = sw.merger().kind_stats(core::EventKind::kEnqueue);
+  const auto& deq = sw.merger().kind_stats(core::EventKind::kDequeue);
+  r.delivered = ts.delivered + enq.delivered + deq.delivered;
+  r.dropped = ts.dropped + enq.dropped + deq.dropped;
+  const std::uint64_t total =
+      sw.merger().events_piggybacked() + sw.merger().events_on_carrier();
+  r.piggyback_frac =
+      total == 0 ? 0
+                 : static_cast<double>(sw.merger().events_piggybacked()) /
+                       static_cast<double>(total);
+  r.carriers = sw.merger().slots_carrier();
+  const std::int64_t wait_sum =
+      ts.wait_sum.ps() + enq.wait_sum.ps() + deq.wait_sum.ps();
+  r.wait_mean = r.delivered == 0
+                    ? sim::Time::zero()
+                    : sim::Time(wait_sum /
+                                static_cast<std::int64_t>(r.delivered));
+  r.wait_max = std::max({ts.wait_max, enq.wait_max, deq.wait_max});
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace edp;
+  bench::section(
+      "A2: Event Merger delivery — piggyback vs carrier frames (paper "
+      "Figure 4)");
+  std::printf(
+      "10G port, 500B packets at the given utilization; one periodic timer "
+      "supplies extra events.\n10 ms per cell.\n");
+
+  bench::TextTable table({"pipeline clock", "ingress util", "timer period",
+                          "events delivered", "piggybacked",
+                          "carrier slots", "wait mean", "wait max",
+                          "dropped"});
+  bool shape_ok = true;
+  for (const bool tight : {false, true}) {
+    for (const double util : {0.0, 0.25, 0.75, 0.95}) {
+      for (const auto period_us : {100, 10}) {
+        const Result r = run(util, sim::Time::micros(period_us), tight);
+        table.add_row(
+            {tight ? "tight (1.05x pkt rate)" : "fast (200 MHz)",
+             bench::fmt("%.0f%%", util * 100),
+             bench::fmt("%d us", period_us),
+             bench::fmt("%llu", static_cast<unsigned long long>(r.delivered)),
+             bench::fmt("%.0f%%", r.piggyback_frac * 100),
+             bench::fmt("%llu", static_cast<unsigned long long>(r.carriers)),
+             r.wait_mean.to_string(), r.wait_max.to_string(),
+             bench::fmt("%llu", static_cast<unsigned long long>(r.dropped))});
+        shape_ok = shape_ok && r.dropped == 0;
+        if (util == 0.0) {
+          // No traffic: everything must ride carrier frames.
+          shape_ok = shape_ok && r.piggyback_frac == 0 && r.carriers > 0;
+        }
+        if (tight && util >= 0.95) {
+          // Scarce slots + busy link: piggybacking must dominate.
+          shape_ok = shape_ok && r.piggyback_frac > 0.5;
+        }
+        if (!tight && util > 0) {
+          // Abundant slots: events get a carrier within a cycle or two,
+          // so waits stay within a handful of cycle times.
+          shape_ok = shape_ok && r.wait_max <= sim::Time::nanos(25);
+        }
+      }
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nWith an abundant clock (200 MHz vs ~2.6 Mpps) a spare slot is\n"
+      "always ~5 ns away, so the merger injects carrier frames and events\n"
+      "never wait. With a tight clock, slots almost always hold packets\n"
+      "and events piggyback on their metadata — exactly the two delivery\n"
+      "modes of Figure 4. Either way, nothing is dropped at these rates\n"
+      "and delivery waits stay in nanoseconds.\n");
+  std::printf("\nShape check: %s\n", shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 1;
+}

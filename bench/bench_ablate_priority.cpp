@@ -1,0 +1,189 @@
+// A3 — the paper's §4 future work, implemented and measured: "we also need
+// to consider how memory accesses are scheduled, depending on which events
+// are the most important and urgent, and whether priorities are assigned
+// by the programmer, the compiler, or the hardware."
+//
+// Two knobs, programmer-assigned in this architecture:
+//
+//  (1) Event Merger metadata priorities: under a constrained per-slot
+//      event budget, which pending event kind gets the metadata space.
+//      Scenario: a line-rate stream floods enqueue/dequeue events while a
+//      rare-but-urgent LinkStatusChange event arrives; compare its
+//      delivery latency with equal priorities vs link-status prioritized.
+//
+//  (2) AggregatedRegister drain policy: which aggregation array the idle
+//      cycles apply first. A program that must never *under*-react to
+//      congestion drains enqueues first (occupancy rises promptly, falls
+//      lazily); dequeue-first gives the opposite bias. Measured as the
+//      signed error of the main register vs ground truth during a burst.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/aggregated_register.hpp"
+#include "core/event_switch.hpp"
+#include "net/packet_builder.hpp"
+#include "sim/random.hpp"
+
+namespace {
+
+using namespace edp;
+
+// ---- part 1: merger metadata priorities -------------------------------------------
+
+sim::Time run_merger(bool prioritize_link) {
+  constexpr double kRate = 10e9;
+  const sim::Time pkt_time = sim::serialization_time(500, kRate);
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 2;
+  cfg.port_rate_bps = kRate;
+  // Tight clock and a 1-event-per-slot budget: priorities matter.
+  cfg.merger.cycle_time = sim::Time(static_cast<std::int64_t>(
+      static_cast<double>(pkt_time.ps()) / 1.05));
+  cfg.merger.events_per_slot = 1;
+  if (prioritize_link) {
+    cfg.merger.priority[static_cast<std::size_t>(
+        core::EventKind::kLinkStatus)] = 10;
+  }
+  core::EventSwitch sw(sched, cfg);
+
+  class Fwd : public core::EventProgram {
+   public:
+    void on_ingress(pisa::Phv& phv, core::EventContext&) override {
+      phv.std_meta.egress_port = 1;
+    }
+    void on_link_status(const core::LinkStatusEventData&,
+                        core::EventContext& ctx) override {
+      handled_at = ctx.now();
+    }
+    sim::Time handled_at = sim::Time::zero();
+  } prog;
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  // Line-rate 500B traffic: every slot has a packet and a backlog of
+  // enqueue/dequeue events competing for the single metadata slot.
+  const sim::Time duration = sim::Time::millis(1);
+  const auto count = static_cast<std::int64_t>(duration.ps() / pkt_time.ps());
+  for (std::int64_t i = 0; i < count; ++i) {
+    sched.at(sim::Time(i * pkt_time.ps()), [&sw] {
+      sw.receive(0, net::make_udp_packet(net::Ipv4Address(10, 0, 0, 1),
+                                         net::Ipv4Address(10, 1, 0, 1), 1, 2,
+                                         500));
+    });
+  }
+  const sim::Time link_at = sim::Time::micros(500);
+  sched.at(link_at, [&sw] { sw.set_link_status(0, false); });
+  sched.run_until(duration + sim::Time::micros(200));
+  return prog.handled_at - link_at;
+}
+
+// ---- part 2: drain policy bias -------------------------------------------------------
+
+struct BiasResult {
+  double mean_signed_error = 0;  ///< main - truth during the run
+  double mean_abs_error = 0;
+};
+
+BiasResult run_drain(core::DrainPolicy policy) {
+  core::AggregatedRegister reg("occ", 64, policy);
+  sim::Random rng(11);
+  std::int64_t truth[64] = {};
+  std::uint64_t cycle = 0;
+  double signed_sum = 0, abs_sum = 0;
+  std::size_t samples = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    ++cycle;
+    const std::size_t f = rng.uniform(64);
+    // Enqueue 1000B and (slightly later in expectation) dequeue 1000B.
+    reg.enqueue_add(f, 1000, cycle);
+    truth[f] += 1000;
+    const std::size_t g = rng.uniform(64);
+    reg.dequeue_add(g, -1000, cycle);
+    truth[g] -= 1000;
+    // One drain per event pair: drain bandwidth is the scarce resource the
+    // policy arbitrates.
+    ++cycle;
+    reg.drain(cycle, 1);
+    if (i % 16 == 0) {
+      const std::size_t probe = rng.uniform(64);
+      const auto err = static_cast<double>(reg.main_value(probe) -
+                                           truth[probe]);
+      signed_sum += err;
+      abs_sum += std::abs(err);
+      ++samples;
+    }
+  }
+  return BiasResult{signed_sum / static_cast<double>(samples),
+                    abs_sum / static_cast<double>(samples)};
+}
+
+const char* policy_name(core::DrainPolicy p) {
+  switch (p) {
+    case core::DrainPolicy::kRoundRobin:
+      return "round-robin";
+    case core::DrainPolicy::kEnqueueFirst:
+      return "enqueue-first";
+    case core::DrainPolicy::kDequeueFirst:
+      return "dequeue-first";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace edp;
+  bench::section(
+      "A3: programmer-assigned event/memory scheduling (paper §4 future "
+      "work)");
+
+  std::printf("Part 1 — merger metadata priority under a 1-event/slot "
+              "budget at line rate:\n\n");
+  bench::TextTable merger({"policy", "LinkStatusChange delivery latency"});
+  const sim::Time fifo_lat = run_merger(false);
+  const sim::Time prio_lat = run_merger(true);
+  merger.add_row({"equal priorities (per-kind RR)", fifo_lat.to_string()});
+  merger.add_row({"link-status prioritized", prio_lat.to_string()});
+  merger.print();
+  std::printf(
+      "The urgent-but-rare event jumps the enqueue/dequeue flood when the\n"
+      "programmer marks it urgent.\n\n");
+
+  std::printf("Part 2 — aggregation drain policy bias (signed error of the "
+              "visible state):\n\n");
+  bench::TextTable drain({"drain policy", "mean signed error (B)",
+                          "mean |error| (B)", "bias"});
+  bool shape_ok = prio_lat <= fifo_lat;
+  double enq_first_err = 0, deq_first_err = 0;
+  for (const auto policy :
+       {core::DrainPolicy::kRoundRobin, core::DrainPolicy::kEnqueueFirst,
+        core::DrainPolicy::kDequeueFirst}) {
+    const BiasResult r = run_drain(policy);
+    drain.add_row(
+        {policy_name(policy), bench::fmt("%.0f", r.mean_signed_error),
+         bench::fmt("%.0f", r.mean_abs_error),
+         r.mean_signed_error > 50
+             ? "over-estimates occupancy"
+             : (r.mean_signed_error < -50 ? "under-estimates occupancy"
+                                          : "~unbiased")});
+    if (policy == core::DrainPolicy::kEnqueueFirst) {
+      enq_first_err = r.mean_signed_error;
+    }
+    if (policy == core::DrainPolicy::kDequeueFirst) {
+      deq_first_err = r.mean_signed_error;
+    }
+  }
+  drain.print();
+  // Enqueue-first applies +deltas promptly and lets -deltas lag: the
+  // visible occupancy over-estimates (conservative for congestion
+  // control); dequeue-first is the mirror image.
+  shape_ok = shape_ok && enq_first_err > deq_first_err;
+  std::printf(
+      "\nEnqueue-first keeps the visible occupancy >= truth on average\n"
+      "(safe for drop decisions); dequeue-first the opposite. The paper's\n"
+      "open question — who assigns priority — is answered here with\n"
+      "per-program knobs, and the bias is measurable and predictable.\n");
+  std::printf("\nShape check: %s\n", shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,153 @@
+// C2 — reproduces the paper's §1 claim about periodic sketch maintenance:
+// "the control plane must be responsible for performing the reset
+// operation. This can lead to significant overhead for the control plane,
+// especially if the data structure must be frequently reset."
+//
+// Sweep the CMS reset period. Event-driven: a data-plane timer resets the
+// sketch (zero CP messages, reset jitter bounded by the 1us timer
+// resolution). Baseline: a ControlPlaneAgent schedules resets over a
+// jittery 500us channel — one CP message per reset and control-channel
+// jitter on the maintenance operation itself.
+#include <cstdio>
+
+#include "apps/cms_monitor.hpp"
+#include "common.hpp"
+#include "core/baseline_switch.hpp"
+#include "net/packet_builder.hpp"
+#include "sim/random.hpp"
+#include "topo/control_plane.hpp"
+
+namespace {
+
+using namespace edp;
+
+constexpr double kRunSeconds = 2.0;
+
+struct Result {
+  double cp_msgs_per_sec = 0;
+  double jitter_mean_us = 0;
+  double jitter_max_us = 0;
+  std::uint64_t resets = 0;
+};
+
+/// Shared packet feed: Zipf-ish flows at a modest rate (the workload is
+/// incidental; the subject is the maintenance path).
+template <typename Rx>
+void feed(sim::Scheduler& sched, Rx&& rx) {
+  sim::Random rng(99);
+  const auto packets =
+      static_cast<int>(kRunSeconds * 50'000);  // 50k pps
+  for (int i = 0; i < packets; ++i) {
+    const net::Ipv4Address src(0x0a000000U +
+                               static_cast<std::uint32_t>(rng.uniform(512)));
+    sched.at(sim::Time::micros(20 * i), [rx, src] {
+      rx(net::make_udp_packet(src, net::Ipv4Address(10, 0, 1, 1), 1, 2, 128));
+    });
+  }
+}
+
+Result run_event(sim::Time period) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 2;
+  core::EventSwitch sw(sched, cfg);
+  apps::CmsMonitorConfig cc;
+  cc.reset_period = period;
+  apps::CmsMonitorProgram prog(cc);
+  prog.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+  feed(sched, [&sw](net::Packet p) { sw.receive(0, std::move(p)); });
+  sched.run_until(sim::Time::from_seconds(kRunSeconds));
+  Result r;
+  r.cp_msgs_per_sec = 0;  // no control plane involved at all
+  r.jitter_mean_us = prog.reset_jitter_us().mean();
+  r.jitter_max_us = prog.reset_jitter_us().max();
+  r.resets = prog.resets();
+  return r;
+}
+
+Result run_baseline(sim::Time period) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 2;
+  core::BaselineSwitch bsw(sched, cfg);
+  apps::CmsMonitorConfig cc;
+  cc.reset_period = period;
+  apps::CmsMonitorProgram prog(cc);  // timer request will be refused
+  prog.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  bsw.set_program(&prog);
+  bsw.connect_tx(1, [](net::Packet) {});
+  feed(sched, [&bsw](net::Packet p) { bsw.receive(0, std::move(p)); });
+
+  // The CP drives resets: each reset is one message over a 500us channel
+  // with +-40% software jitter (driver + process scheduling).
+  topo::ControlPlaneAgent cp(sched, {sim::Time::micros(500),
+                                     sim::Time::micros(50)});
+  sim::Random cp_rng(7);
+  std::uint64_t cp_msgs = 0;
+  sim::PeriodicTask reset_task(sched, period, [&] {
+    ++cp_msgs;
+    const double jitter = 0.6 + 0.8 * cp_rng.uniform01();  // 0.6x..1.4x
+    const sim::Time delay = sim::Time::from_seconds(
+        (cp.config().channel_latency + cp.config().processing_time)
+            .as_seconds() *
+        jitter);
+    sched.after(delay, [&prog, &sched] { prog.control_reset(sched.now()); });
+  });
+  reset_task.start();
+  sched.run_until(sim::Time::from_seconds(kRunSeconds));
+  Result r;
+  r.cp_msgs_per_sec = static_cast<double>(cp_msgs) / kRunSeconds;
+  r.jitter_mean_us = prog.reset_jitter_us().mean();
+  r.jitter_max_us = prog.reset_jitter_us().max();
+  r.resets = prog.resets();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace edp;
+  bench::section(
+      "C2: CMS periodic reset — data-plane timer events vs control-plane "
+      "maintenance (paper §1)");
+  std::printf("Workload: 50k pps over 512 flows for %.0f s per cell.\n",
+              kRunSeconds);
+
+  bench::TextTable table({"reset period", "arch", "CP msgs/s",
+                          "reset jitter mean (us)", "reset jitter max (us)",
+                          "resets done"});
+  bool shape_ok = true;
+  for (const auto period_ms : {100, 10, 1}) {
+    const sim::Time period = sim::Time::millis(period_ms);
+    const Result ev = run_event(period);
+    const Result cp = run_baseline(period);
+    table.add_row({bench::fmt("%d ms", period_ms), "event-driven (timer)",
+                   bench::fmt("%.0f", ev.cp_msgs_per_sec),
+                   bench::fmt("%.2f", ev.jitter_mean_us),
+                   bench::fmt("%.2f", ev.jitter_max_us),
+                   bench::fmt("%llu",
+                              static_cast<unsigned long long>(ev.resets))});
+    table.add_row({bench::fmt("%d ms", period_ms), "baseline (CP resets)",
+                   bench::fmt("%.0f", cp.cp_msgs_per_sec),
+                   bench::fmt("%.2f", cp.jitter_mean_us),
+                   bench::fmt("%.2f", cp.jitter_max_us),
+                   bench::fmt("%llu",
+                              static_cast<unsigned long long>(cp.resets))});
+    shape_ok = shape_ok && ev.cp_msgs_per_sec == 0 &&
+               cp.cp_msgs_per_sec > 0 &&
+               ev.jitter_max_us < cp.jitter_max_us;
+  }
+  table.print();
+
+  std::printf(
+      "\nReading the table:\n"
+      " * Event-driven resets cost the control plane NOTHING at any rate;\n"
+      "   baseline CP load grows proportionally to 1/period (the paper's\n"
+      "   'significant overhead ... especially if frequently reset').\n"
+      " * Reset timing: data-plane jitter is bounded by the 1us timer\n"
+      "   resolution; the CP path wobbles by hundreds of us.\n");
+  std::printf("\nShape check: %s\n", shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,221 @@
+// C3 — reproduces the paper's §3/§5 network-management claims:
+//
+//  * "By introducing link status change events, the data plane can
+//    immediately respond to link failures [and] autonomously re-route
+//    affected flows" (Fast Re-Route student project);
+//  * control-plane recovery, by contrast, loses traffic for the whole
+//    CP notification + processing round trip;
+//  * "timer events allow data-planes to reliably and quickly probe and
+//    detect failed neighbors" (Liveness Monitoring student project).
+//
+// Part 1: diamond topology, primary link fails mid-run; sweep the CP
+// channel latency and compare packets lost + recovery time for data-plane
+// FRR vs CP-driven reroute.
+// Part 2: neighbor liveness detection latency vs probe period.
+#include <cstdio>
+
+#include "apps/fast_reroute.hpp"
+#include "apps/liveness.hpp"
+#include "common.hpp"
+#include "core/baseline_switch.hpp"
+#include "net/packet_builder.hpp"
+#include "topo/control_plane.hpp"
+#include "topo/network.hpp"
+#include "topo/traffic_gen.hpp"
+
+namespace {
+
+using namespace edp;
+
+constexpr double kFlowRate = 100e6;  // 100 Mb/s, 500B packets -> 25k pps
+const sim::Time kFailAt = sim::Time::millis(10);
+const sim::Time kRunFor = sim::Time::millis(40);
+
+struct FrrResult {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t lost = 0;
+  double recovery_ms = 0;  // failure -> first packet over the backup path
+};
+
+/// Build the diamond h0-s0=(s1|s2)=s3-h1 and run with a scheduled failure.
+/// `use_events` selects the architecture of s0 (where FRR runs).
+FrrResult run_frr(bool use_events, sim::Time cp_latency) {
+  sim::Scheduler sched;
+  topo::Network net(sched);
+  core::EventSwitchConfig c3;
+  c3.num_ports = 3;
+  core::EventSwitchConfig c2;
+  c2.num_ports = 2;
+  core::EventSwitchConfig s0_cfg = c3;
+  s0_cfg.event_architecture = use_events;
+  const auto s0 = net.add_switch(s0_cfg);
+  const auto s1 = net.add_switch(c2);
+  const auto s2 = net.add_switch(c2);
+  const auto s3 = net.add_switch(c3);
+  topo::Host::Config h0c;
+  h0c.name = "h0";
+  h0c.ip = net::Ipv4Address(10, 0, 0, 1);
+  topo::Host::Config h1c;
+  h1c.name = "h1";
+  h1c.ip = net::Ipv4Address(10, 0, 1, 1);
+  const auto h0 = net.add_host(h0c);
+  const auto h1 = net.add_host(h1c);
+  net.connect_host(h0, s0, 0);
+  net.connect_host(h1, s3, 0);
+  const auto primary = net.connect_switches(s0, 1, s1, 0);
+  net.connect_switches(s1, 1, s3, 1);
+  net.connect_switches(s0, 2, s2, 0);
+  net.connect_switches(s2, 1, s3, 2);
+
+  apps::FrrProgram p0(3);
+  p0.add_route(apps::FrrRoute{net::Ipv4Address(10, 0, 1, 0), 1, 2});
+  topo::L3Program p1, p2, p3;
+  p1.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  p2.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  p3.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 0);
+  net.sw(s0).set_program(&p0);
+  net.sw(s1).set_program(&p1);
+  net.sw(s2).set_program(&p2);
+  net.sw(s3).set_program(&p3);
+
+  if (!use_events) {
+    // Baseline recovery: the MAC interrupt reaches the CP after the channel
+    // latency + processing; only then does the CP rewrite the routes.
+    const sim::Time cp_reacts_at =
+        kFailAt + cp_latency + sim::Time::micros(50);
+    sched.at(cp_reacts_at, [&p0] { p0.control_set_port_down(1, true); });
+  }
+
+  topo::CbrGenerator::Config gc;
+  gc.flow.src = net.host(h0).ip();
+  gc.flow.dst = net.host(h1).ip();
+  gc.flow.packet_size = 500;
+  gc.rate_bps = kFlowRate;
+  gc.stop = kRunFor;
+  topo::CbrGenerator gen(sched, net.host(h0), gc);
+  gen.start();
+
+  net.link(primary).fail_at(kFailAt);
+
+  // Recovery time: first transmit on s2 (the backup path) after failure.
+  sim::Time first_backup = sim::Time::zero();
+  net.sw(s2).connect_tx(1, [&](net::Packet p) {
+    if (first_backup == sim::Time::zero() && sched.now() >= kFailAt) {
+      first_backup = sched.now();
+    }
+    // Forward onward to s3 (re-wire: connect_tx replaced the Network link
+    // hookup, so deliver manually).
+    net.sw(s3).receive(2, std::move(p));
+  });
+
+  net.run_until(kRunFor + sim::Time::millis(20));
+  FrrResult r;
+  r.sent = gen.sent();
+  r.received = net.host(h1).rx_packets();
+  r.lost = r.sent - r.received;
+  r.recovery_ms = first_backup == sim::Time::zero()
+                      ? -1.0
+                      : (first_backup - kFailAt).as_millis();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace edp;
+  bench::section(
+      "C3 (part 1): Fast Re-Route — link-status events vs control-plane "
+      "recovery");
+  std::printf(
+      "Diamond topology, 100 Mb/s flow (25k pps), primary link fails at "
+      "t=10ms.\n");
+
+  bench::TextTable table({"architecture", "CP latency", "packets lost",
+                          "loss (ms of traffic)", "recovery (ms)"});
+  const FrrResult ev = run_frr(/*use_events=*/true, sim::Time::zero());
+  table.add_row({"event-driven FRR", "n/a",
+                 bench::fmt("%llu", static_cast<unsigned long long>(ev.lost)),
+                 bench::fmt("%.3f", static_cast<double>(ev.lost) / 25.0),
+                 bench::fmt("%.3f", ev.recovery_ms)});
+  bool shape_ok = true;
+  std::uint64_t prev_lost = ev.lost;
+  for (const auto lat_us : {100, 500, 1000, 5000, 10000}) {
+    const FrrResult cp =
+        run_frr(/*use_events=*/false, sim::Time::micros(lat_us));
+    table.add_row(
+        {"baseline + CP reroute", bench::fmt("%d us", lat_us),
+         bench::fmt("%llu", static_cast<unsigned long long>(cp.lost)),
+         bench::fmt("%.3f", static_cast<double>(cp.lost) / 25.0),
+         bench::fmt("%.3f", cp.recovery_ms)});
+    shape_ok = shape_ok && cp.lost >= prev_lost && cp.lost > ev.lost;
+    prev_lost = cp.lost;
+  }
+  table.print();
+  std::printf(
+      "\nData-plane FRR loses only the packets already committed to the\n"
+      "dead link; CP-driven recovery loses ~latency x rate, growing "
+      "linearly.\n");
+
+  // ---- part 2: liveness detection -------------------------------------------
+  bench::section(
+      "C3 (part 2): data-plane liveness monitoring — detection latency vs "
+      "probe period");
+  bench::TextTable live({"probe period", "dead_after", "detect latency (ms)",
+                         "notices", "CP involved"});
+  for (const auto period_us : {200, 500, 1000, 5000}) {
+    sim::Scheduler sched;
+    core::EventSwitchConfig cfg;
+    cfg.num_ports = 3;
+    core::EventSwitch a(sched, cfg);
+    core::EventSwitch b(sched, cfg);
+    bool wire_up = true;
+    a.connect_tx(1, [&](net::Packet p) {
+      if (wire_up) {
+        b.receive(1, std::move(p));
+      }
+    });
+    b.connect_tx(1, [&](net::Packet p) {
+      if (wire_up) {
+        a.receive(1, std::move(p));
+      }
+    });
+    apps::LivenessConfig lc;
+    lc.self_id = 1;
+    lc.monitored_ports = {1};
+    lc.probe_period = sim::Time::micros(period_us);
+    lc.check_period = sim::Time::micros(period_us);
+    lc.dead_after = sim::Time::micros(3 * period_us + period_us / 2);
+    lc.monitor_port = 2;
+    apps::LivenessProgram pa(lc);
+    apps::LivenessConfig lcb = lc;
+    lcb.self_id = 2;
+    apps::LivenessProgram pb(lcb);
+    a.set_program(&pa);
+    b.set_program(&pb);
+    int notices = 0;
+    a.connect_tx(2, [&](net::Packet) { ++notices; });
+    b.connect_tx(2, [](net::Packet) {});
+
+    const sim::Time fail = sim::Time::millis(20);
+    sched.at(fail, [&wire_up] { wire_up = false; });
+    sched.run_until(fail + sim::Time::millis(50));
+    const double latency_ms =
+        pa.failure_detected_at(0) > sim::Time::zero()
+            ? (pa.failure_detected_at(0) - fail).as_millis()
+            : -1.0;
+    live.add_row({bench::fmt("%d us", period_us),
+                  lc.dead_after.to_string(), bench::fmt("%.3f", latency_ms),
+                  bench::fmt("%d", notices), "no (pure data plane)"});
+    shape_ok = shape_ok && latency_ms > 0 &&
+               latency_ms <= (lc.dead_after + lc.check_period).as_millis() +
+                                 0.5;
+  }
+  live.print();
+  std::printf(
+      "\nDetection latency tracks dead_after (~3.5 probe periods) with no\n"
+      "control-plane involvement; notifications go straight to the "
+      "monitor.\n");
+  std::printf("\nShape check: %s\n", shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+// C5 — reproduces the paper's abstract/§2 claim: "this more general notion
+// of event processing can be supported without sacrificing line rate
+// packet processing."
+//
+// A single switch forwards a 10G line-rate stream port0 -> port1. We
+// compare a baseline PISA architecture against the event architecture
+// running the full §2 state-maintenance program (enqueue + dequeue events
+// updating aggregated per-flow state), across packet sizes and pipeline
+// speedups (pipeline clock relative to the 64B line-rate packet rate).
+//
+// The architectural guarantee under test: the Event Merger gives ingress
+// packets strict priority for pipeline slots — events only piggyback or
+// ride idle slots — so packet throughput must be IDENTICAL with events on.
+// When there is no spare bandwidth (64B @ speedup 1.0), the cost appears
+// as event FIFO drops, never as packet loss.
+#include <cstdio>
+
+#include "apps/microburst.hpp"
+#include "common.hpp"
+#include "core/event_switch.hpp"
+#include "net/packet_builder.hpp"
+
+namespace {
+
+using namespace edp;
+
+struct Result {
+  double tx_gbps = 0;
+  std::uint64_t pkt_drops = 0;    // merger backlog + TM drops
+  std::uint64_t event_drops = 0;  // event FIFO overflow
+  std::uint64_t carrier_slots = 0;
+  double piggyback_frac = 0;
+};
+
+Result run(bool events_on, std::size_t pkt_size, double speedup) {
+  constexpr double kRate = 10e9;
+  const sim::Time min_pkt = sim::serialization_time(64, kRate);
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 2;
+  cfg.port_rate_bps = kRate;
+  cfg.event_architecture = events_on;
+  cfg.merger.cycle_time = sim::Time(static_cast<std::int64_t>(
+      static_cast<double>(min_pkt.ps()) / speedup));
+  cfg.queue_limits.max_bytes = 1 << 20;
+  cfg.queue_limits.max_packets = 1 << 14;
+  core::EventSwitch sw(sched, cfg);
+
+  apps::MicroburstConfig mc;
+  mc.flow_thresh = 1LL << 40;
+  mc.state = apps::StateModel::kAggregated;
+  apps::MicroburstProgram prog(mc);
+  prog.add_route(net::Ipv4Address(10, 1, 0, 0), 16, 1);
+  if (prog.aggregated() != nullptr) {
+    sw.register_aggregated(*prog.aggregated());
+  }
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  const sim::Time interval = sim::serialization_time(pkt_size, kRate);
+  const sim::Time duration = sim::Time::millis(2);
+  const auto count = static_cast<std::int64_t>(duration.ps() / interval.ps());
+  for (std::int64_t i = 0; i < count; ++i) {
+    sched.at(sim::Time(i * interval.ps()), [&sw, i, pkt_size] {
+      const net::Ipv4Address src(
+          0x0a000000U + static_cast<std::uint32_t>(i % 64));
+      sw.receive(0, net::make_udp_packet(src, net::Ipv4Address(10, 1, 0, 1),
+                                         7, 8, pkt_size));
+    });
+  }
+  sched.run_until(duration + sim::Time::micros(100));
+
+  Result r;
+  r.tx_gbps = static_cast<double>(sw.counters().tx_bytes) * 8.0 /
+              duration.as_seconds() / 1e9;
+  r.pkt_drops = sw.merger().packet_backlog_drops() +
+                sw.traffic_manager().drops_total();
+  for (std::size_t k = 0; k < core::kNumEventKinds; ++k) {
+    r.event_drops +=
+        sw.merger().kind_stats(static_cast<core::EventKind>(k)).dropped;
+  }
+  r.carrier_slots = sw.merger().slots_carrier();
+  const std::uint64_t total_ev =
+      sw.merger().events_piggybacked() + sw.merger().events_on_carrier();
+  r.piggyback_frac =
+      total_ev == 0 ? 0
+                    : static_cast<double>(sw.merger().events_piggybacked()) /
+                          static_cast<double>(total_ev);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace edp;
+  bench::section(
+      "C5: line-rate processing with events enabled (paper abstract claim)");
+  std::printf(
+      "10G line-rate stream, 2 ms per cell; event program maintains\n"
+      "per-flow queue state from enqueue/dequeue events (paper §2).\n");
+
+  bench::TextTable table({"pkt B", "speedup", "arch", "tx Gb/s",
+                          "pkt drops", "event drops", "carrier slots",
+                          "piggyback"});
+  bool shape_ok = true;
+  for (const std::size_t size : {64u, 256u, 1500u}) {
+    for (const double speedup : {1.0, 1.2, 2.0}) {
+      const Result base = run(false, size, speedup);
+      const Result ev = run(true, size, speedup);
+      table.add_row({bench::fmt("%zu", size), bench::fmt("%.1f", speedup),
+                     "baseline", bench::fmt("%.3f", base.tx_gbps),
+                     bench::fmt("%llu",
+                                static_cast<unsigned long long>(
+                                    base.pkt_drops)),
+                     "-", "-", "-"});
+      table.add_row(
+          {bench::fmt("%zu", size), bench::fmt("%.1f", speedup),
+           "event-driven", bench::fmt("%.3f", ev.tx_gbps),
+           bench::fmt("%llu",
+                      static_cast<unsigned long long>(ev.pkt_drops)),
+           bench::fmt("%llu",
+                      static_cast<unsigned long long>(ev.event_drops)),
+           bench::fmt("%llu",
+                      static_cast<unsigned long long>(ev.carrier_slots)),
+           bench::fmt("%.0f%%", 100 * ev.piggyback_frac)});
+      // The claim: identical packet throughput, no packet loss from events.
+      shape_ok = shape_ok && ev.tx_gbps >= base.tx_gbps * 0.999 &&
+                 ev.pkt_drops == base.pkt_drops;
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nEvent processing never costs packet throughput: packets own the\n"
+      "pipeline slots and events ride along. Even 64B at speedup 1.0 sheds\n"
+      "nothing — the per-kind metadata fields carry exactly one enqueue +\n"
+      "one dequeue event per packet slot. The zero-headroom cost surfaces\n"
+      "elsewhere: the aggregation drain starves (see bench_fig3) — the\n"
+      "accuracy side of §4's bandwidth-vs-accuracy trade-off.\n");
+  std::printf("\nShape check (tx identical, zero extra packet loss): %s\n",
+              shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 1;
+}

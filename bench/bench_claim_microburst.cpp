@@ -1,0 +1,186 @@
+// C1 — reproduces the paper's §2 microburst claims:
+//
+//  * "we can reduce the stateful requirements at least four-fold" vs the
+//    Snappy-style baseline of Chen et al. [3];
+//  * "and can perform the detection in the ingress pipeline before packets
+//    are enqueued in the switch buffer" (the baseline detects at egress,
+//    after the packet already sat in the queue).
+//
+// Identical workload on three detectors: the event-driven program with
+// shared (multi-ported) and aggregated (single-ported, §4) state, and the
+// Snappy egress-approximation baseline on a baseline PISA switch.
+// Reported: programmer-visible state bytes, per-burst detection latency,
+// culprit recall, and false positives on the innocent background flow.
+#include <cstdio>
+#include <memory>
+
+#include "apps/microburst.hpp"
+#include "apps/snappy_baseline.hpp"
+#include "common.hpp"
+#include "core/baseline_switch.hpp"
+#include "net/flow.hpp"
+#include "net/packet_builder.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace edp;
+
+constexpr double kEgressRate = 1e9;     // 1G bottleneck
+constexpr int kBursts = 20;
+constexpr int kBurstPackets = 40;       // 40 x 1500B = 60 KB burst
+constexpr std::int64_t kThresh = 20'000;  // 20 KB per-flow occupancy
+
+const net::Ipv4Address kBurstSrc(10, 0, 0, 2);
+const net::Ipv4Address kBgSrc(10, 0, 0, 1);
+const net::Ipv4Address kDst(10, 0, 1, 1);
+
+struct RunResult {
+  std::size_t state_bytes = 0;
+  int bursts_detected = 0;
+  stats::Summary latency_us;  // burst start -> first detection
+  int false_positives = 0;
+  bool at_ingress = true;
+};
+
+/// Drive the identical workload into `receive` and evaluate `detections`.
+template <typename ReceiveFn>
+void drive_workload(sim::Scheduler& sched, ReceiveFn&& receive) {
+  // Background CBR: 500B every 40us = 100 Mb/s for the whole run.
+  for (int i = 0; i < 500; ++i) {
+    sched.at(sim::Time::micros(40 * i), [receive] {
+      receive(net::make_udp_packet(kBgSrc, kDst, 1, 2, 500));
+    });
+  }
+  // Bursts: every 1 ms, kBurstPackets x 1500B at 10G pace (1.2us spacing).
+  for (int b = 0; b < kBursts; ++b) {
+    const sim::Time start = sim::Time::millis(b);
+    for (int i = 0; i < kBurstPackets; ++i) {
+      sched.at(start + sim::Time::nanos(1200 * i), [receive] {
+        receive(net::make_udp_packet(kBurstSrc, kDst, 3, 4, 1500));
+      });
+    }
+  }
+}
+
+RunResult evaluate(const std::vector<apps::CulpritDetection>& detections,
+                   std::size_t state_bytes) {
+  RunResult r;
+  r.state_bytes = state_bytes;
+  const std::uint32_t culprit = net::flow_id_src_dst(kBurstSrc, kDst);
+  const std::uint32_t innocent = net::flow_id_src_dst(kBgSrc, kDst);
+  for (int b = 0; b < kBursts; ++b) {
+    const sim::Time start = sim::Time::millis(b);
+    const sim::Time end = sim::Time::millis(b + 1);
+    for (const auto& d : detections) {
+      if (d.flow_id == culprit && d.when >= start && d.when < end) {
+        ++r.bursts_detected;
+        r.latency_us.add((d.when - start).as_micros());
+        break;
+      }
+    }
+  }
+  for (const auto& d : detections) {
+    r.false_positives += d.flow_id == innocent;
+    r.at_ingress = r.at_ingress && d.at_ingress;
+  }
+  return r;
+}
+
+core::EventSwitchConfig cfg() {
+  core::EventSwitchConfig c;
+  c.num_ports = 2;
+  c.port_rate_bps = kEgressRate;
+  c.queue_limits.max_bytes = 1 << 20;
+  c.queue_limits.max_packets = 1 << 13;
+  return c;
+}
+
+RunResult run_event(apps::StateModel state) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, cfg());
+  apps::MicroburstConfig mc;
+  mc.flow_thresh = kThresh;
+  mc.state = state;
+  mc.dedup_window = sim::Time::micros(500);
+  apps::MicroburstProgram prog(mc);
+  prog.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  if (prog.aggregated() != nullptr) {
+    sw.register_aggregated(*prog.aggregated());
+  }
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+  drive_workload(sched, [&sw](net::Packet p) { sw.receive(0, std::move(p)); });
+  sched.run_until(sim::Time::millis(kBursts + 5));
+  return evaluate(prog.detections(), prog.state_bytes());
+}
+
+RunResult run_snappy() {
+  sim::Scheduler sched;
+  core::BaselineSwitch bsw(sched, cfg());
+  apps::SnappyConfig sc;
+  sc.flow_thresh = kThresh;
+  sc.num_snapshots = 8;
+  sc.rotation = sim::Time::micros(50);
+  sc.dedup_window = sim::Time::micros(500);
+  apps::SnappyProgram prog(sc);
+  prog.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  bsw.set_program(&prog);
+  bsw.connect_tx(1, [](net::Packet) {});
+  drive_workload(sched,
+                 [&bsw](net::Packet p) { bsw.receive(0, std::move(p)); });
+  sched.run_until(sim::Time::millis(kBursts + 5));
+  return evaluate(prog.detections(), prog.state_bytes());
+}
+
+}  // namespace
+
+int main() {
+  using namespace edp;
+  bench::section(
+      "C1: microburst culprit detection — event-driven (paper §2) vs "
+      "Snappy-style baseline [3]");
+  std::printf(
+      "Workload: %d bursts of %d x 1500B at 10G into a 1G port, plus an\n"
+      "innocent 100 Mb/s background flow; culprit threshold %lld B.\n",
+      kBursts, kBurstPackets, static_cast<long long>(kThresh));
+
+  const RunResult ev_shared = run_event(apps::StateModel::kShared);
+  const RunResult ev_agg = run_event(apps::StateModel::kAggregated);
+  const RunResult snappy = run_snappy();
+
+  bench::TextTable table({"detector", "state bytes", "bursts found",
+                          "detect latency mean (us)", "latency p99 (us)",
+                          "false pos", "detection point"});
+  const auto row = [&](const char* name, const RunResult& r) {
+    table.add_row({name, bench::fmt("%zu", r.state_bytes),
+                   bench::fmt("%d/%d", r.bursts_detected, kBursts),
+                   bench::fmt("%.1f", r.latency_us.mean()),
+                   bench::fmt("%.1f", r.latency_us.percentile(99)),
+                   bench::fmt("%d", r.false_positives),
+                   r.at_ingress ? "ingress (pre-enqueue)"
+                                : "egress (post-queue)"});
+  };
+  row("event-driven, shared_register", ev_shared);
+  row("event-driven, aggregated (Fig.3)", ev_agg);
+  row("baseline, Snappy-style egress", snappy);
+  table.print();
+
+  const double state_ratio = static_cast<double>(snappy.state_bytes) /
+                             static_cast<double>(ev_shared.state_bytes);
+  std::printf(
+      "\nState ratio (Snappy / event-driven shared): %.1fx  (paper: 'at "
+      "least four-fold')\n",
+      state_ratio);
+  std::printf(
+      "Detection point: event-driven flags the culprit at INGRESS, before\n"
+      "the packet is buffered; the baseline only at egress, %.0f us later "
+      "on average.\n",
+      snappy.latency_us.mean() - ev_shared.latency_us.mean());
+
+  const bool ok = state_ratio >= 4.0 && ev_shared.at_ingress &&
+                  !snappy.at_ingress &&
+                  ev_shared.bursts_detected == kBursts;
+  std::printf("\nShape check: %s\n", ok ? "HOLDS" : "VIOLATED");
+  return ok ? 0 : 1;
+}

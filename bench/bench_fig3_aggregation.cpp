@@ -1,0 +1,158 @@
+// F3 — reproduces the paper's Figure 3 mechanism (§4): maintaining
+// algorithmic state (per-flow queue size) with single-ported register
+// arrays. Enqueue/dequeue updates aggregate in side arrays and are applied
+// to the main register during idle cycles.
+//
+// The paper's claims to reproduce:
+//  * "staleness is bounded if the pipeline runs slightly faster than the
+//    line rate (as is typical)";
+//  * "idle clock cycles occur when the workload contains larger than
+//    minimum size packets or when the PISA pipeline is configured to run
+//    faster than line rate";
+//  * the trade-off "packet processing bandwidth versus accuracy".
+//
+// Sweep: pipeline speedup x packet size, at full 10G line rate. The
+// pipeline clock is S x the 64B line-rate packet rate, so larger packets
+// create idle cycles even at S = 1.0. Reported: event delivery/drops,
+// aggregation backlog, staleness (cycles and time), throughput.
+#include <cstdio>
+
+#include "apps/microburst.hpp"
+#include "common.hpp"
+#include "core/event_switch.hpp"
+#include "net/packet_builder.hpp"
+
+namespace {
+
+using namespace edp;
+
+struct CellResult {
+  double speedup;
+  std::size_t pkt_size;
+  std::uint64_t packets_tx = 0;
+  double tx_gbps = 0;
+  std::uint64_t enq_delivered = 0;
+  std::uint64_t enq_dropped = 0;
+  std::uint64_t backlog_max = 0;
+  std::uint64_t backlog_end = 0;       ///< still undrained when traffic stops
+  std::uint64_t oldest_pending_cyc = 0;
+  double staleness_mean_cycles = 0;
+  std::uint64_t staleness_max_cycles = 0;
+  double staleness_max_ns = 0;
+  std::uint64_t carrier_slots = 0;
+};
+
+CellResult run_cell(double speedup, std::size_t pkt_size) {
+  constexpr double kLineRate = 10e9;
+  const sim::Time min_pkt_time = sim::serialization_time(64, kLineRate);
+  const auto cycle_ps = static_cast<std::int64_t>(
+      static_cast<double>(min_pkt_time.ps()) / speedup);
+
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 2;
+  cfg.port_rate_bps = kLineRate;
+  cfg.merger.cycle_time = sim::Time(cycle_ps);
+  cfg.merger.event_fifo_depth = 64;
+  cfg.queue_limits.max_bytes = 1 << 20;
+  cfg.queue_limits.max_packets = 1 << 14;
+  core::EventSwitch sw(sched, cfg);
+
+  // The §2 per-flow queue-size program with the aggregated (§4) state
+  // realization; detection disabled (huge threshold).
+  apps::MicroburstConfig mc;
+  mc.num_regs = 1024;
+  mc.flow_thresh = 1LL << 40;
+  mc.state = apps::StateModel::kAggregated;
+  apps::MicroburstProgram prog(mc);
+  prog.add_route(net::Ipv4Address(10, 1, 0, 0), 16, 1);
+  sw.register_aggregated(*prog.aggregated());
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  // Line-rate arrivals, many flows so aggregation indices spread out.
+  const sim::Time interval = sim::serialization_time(pkt_size, kLineRate);
+  const sim::Time duration = sim::Time::millis(2);
+  const auto count = static_cast<std::int64_t>(duration.ps() / interval.ps());
+  for (std::int64_t i = 0; i < count; ++i) {
+    sched.at(sim::Time(i * interval.ps()), [&sw, i, pkt_size] {
+      const net::Ipv4Address src(
+          0x0a000000U + static_cast<std::uint32_t>(i % 256));
+      sw.receive(0, net::make_udp_packet(src, net::Ipv4Address(10, 1, 0, 1),
+                                         1000, 2000, pkt_size));
+    });
+  }
+  sched.run_until(duration + sim::Time::micros(50));
+
+  CellResult r;
+  r.speedup = speedup;
+  r.pkt_size = pkt_size;
+  r.packets_tx = sw.counters().tx_packets;
+  r.tx_gbps = static_cast<double>(sw.counters().tx_bytes) * 8.0 /
+              duration.as_seconds() / 1e9;
+  const auto& enq = sw.merger().kind_stats(core::EventKind::kEnqueue);
+  const auto& deq = sw.merger().kind_stats(core::EventKind::kDequeue);
+  r.enq_delivered = enq.delivered + deq.delivered;
+  r.enq_dropped = enq.dropped + deq.dropped;
+  const auto& agg = *prog.aggregated();
+  r.backlog_max = agg.backlog_max();
+  r.backlog_end = agg.backlog();
+  r.oldest_pending_cyc = agg.oldest_age(sw.merger().current_cycle());
+  r.staleness_mean_cycles = agg.staleness_mean();
+  r.staleness_max_cycles = agg.staleness_max();
+  r.staleness_max_ns = static_cast<double>(agg.staleness_max()) *
+                       static_cast<double>(cycle_ps) / 1e3;
+  r.carrier_slots = sw.merger().slots_carrier();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace edp;
+  bench::section(
+      "F3: Figure 3 — aggregated single-ported state, idle-cycle drains");
+  std::printf(
+      "Per-flow queue size maintained by enq/deq aggregation registers\n"
+      "(microburst.p4 state), 10G line-rate input, 2 ms per cell.\n"
+      "Pipeline clock = speedup x 64B line-rate packet rate.\n");
+
+  bench::TextTable table({"speedup", "pkt B", "tx Gb/s", "events ok",
+                          "events dropped", "backlog max", "stuck at end",
+                          "staleness mean (cyc)", "staleness max (cyc)",
+                          "staleness max (ns)"});
+  for (const double speedup : {1.0, 1.1, 1.25, 1.5, 2.0}) {
+    for (const std::size_t size : {64u, 256u, 1500u}) {
+      const CellResult r = run_cell(speedup, size);
+      table.add_row(
+          {bench::fmt("%.2f", r.speedup), bench::fmt("%zu", r.pkt_size),
+           bench::fmt("%.2f", r.tx_gbps),
+           bench::fmt("%llu",
+                      static_cast<unsigned long long>(r.enq_delivered)),
+           bench::fmt("%llu",
+                      static_cast<unsigned long long>(r.enq_dropped)),
+           bench::fmt("%llu", static_cast<unsigned long long>(r.backlog_max)),
+           bench::fmt("%llu", static_cast<unsigned long long>(r.backlog_end)),
+           bench::fmt("%.1f", r.staleness_mean_cycles),
+           bench::fmt("%llu",
+                      static_cast<unsigned long long>(r.staleness_max_cycles)),
+           bench::fmt("%.0f", r.staleness_max_ns)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nReading the table (paper's §4 claims):\n"
+      " * 64B @ speedup 1.0: zero idle cycles. Updates still coalesce into\n"
+      "   the aggregation arrays (nothing is lost) but the main register is\n"
+      "   NEVER updated — the backlog plateaus and the algorithmic state\n"
+      "   stays stale indefinitely ('stuck at end' > 0). This is the case\n"
+      "   the paper says needs headroom.\n"
+      " * Larger packets OR any speedup > 1 create idle cycles: backlog\n"
+      "   drains continuously and staleness is BOUNDED — hundreds of ns at\n"
+      "   256B, ~one packet time at 1500B, matching the paper's 'a heavy\n"
+      "   hitter might be detected a few nanoseconds late'.\n"
+      " * At 64B, staleness falls steeply with speedup (1/(S-1) scaling):\n"
+      "   the §4 packet-bandwidth-versus-accuracy trade-off, quantified.\n");
+  return 0;
+}

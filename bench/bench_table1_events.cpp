@@ -1,0 +1,197 @@
+// T1 — reproduces paper Table 1: the set of useful data-plane events.
+//
+// For each of the thirteen event kinds, this harness triggers the event on
+// a running SUME Event Switch model, verifies the corresponding handler
+// fired, and reports the measured delivery latency (event observed at its
+// architectural source -> handler executed in a pipeline slot). The paper's
+// table is qualitative; our reproduction adds the delivery-cost column the
+// simulation makes measurable.
+#include <array>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/event_switch.hpp"
+#include "net/flow.hpp"
+#include "net/packet_builder.hpp"
+
+namespace {
+
+using namespace edp;
+
+/// Program that records handler invocations per event kind.
+class ProbeProgram : public core::EventProgram {
+ public:
+  std::array<std::uint64_t, core::kNumEventKinds> fired{};
+
+  void mark(core::EventKind k) { ++fired[static_cast<std::size_t>(k)]; }
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override {
+    mark(core::EventKind::kIngressPacket);
+    phv.std_meta.egress_port = 1;
+    // Trigger a recirculation exactly once to exercise that event.
+    if (!recirculated_once_ && phv.udp && phv.udp->dst_port == 7777) {
+      phv.std_meta.recirculate = true;
+      recirculated_once_ = true;
+    }
+    // Raise a user event from the first packet.
+    if (!user_raised_) {
+      user_raised_ = true;
+      ctx.raise_user_event(core::UserEventData{42, {1, 2, 3, 4}});
+    }
+  }
+  void on_egress(pisa::Phv&, core::EventContext&) override {
+    mark(core::EventKind::kEgressPacket);
+  }
+  void on_recirculate(pisa::Phv& phv, core::EventContext&) override {
+    mark(core::EventKind::kRecirculatedPacket);
+    phv.std_meta.egress_port = 1;
+  }
+  void on_generated(pisa::Phv& phv, core::EventContext&) override {
+    mark(core::EventKind::kGeneratedPacket);
+    phv.std_meta.egress_port = 1;
+  }
+  void on_transmit(const core::TransmitRecord&, core::EventContext&) override {
+    mark(core::EventKind::kPacketTransmitted);
+  }
+  void on_enqueue(const tm_::EnqueueRecord&, core::EventContext&) override {
+    mark(core::EventKind::kEnqueue);
+  }
+  void on_dequeue(const tm_::DequeueRecord&, core::EventContext&) override {
+    mark(core::EventKind::kDequeue);
+  }
+  void on_overflow(const tm_::DropRecord&, core::EventContext&) override {
+    mark(core::EventKind::kBufferOverflow);
+  }
+  void on_underflow(const tm_::UnderflowRecord&,
+                    core::EventContext&) override {
+    mark(core::EventKind::kBufferUnderflow);
+  }
+  void on_timer(const core::TimerEventData&, core::EventContext&) override {
+    mark(core::EventKind::kTimer);
+  }
+  void on_control(const core::ControlEventData&,
+                  core::EventContext&) override {
+    mark(core::EventKind::kControlPlane);
+  }
+  void on_link_status(const core::LinkStatusEventData&,
+                      core::EventContext&) override {
+    mark(core::EventKind::kLinkStatus);
+  }
+  void on_user(const core::UserEventData&, core::EventContext&) override {
+    mark(core::EventKind::kUser);
+  }
+
+ private:
+  bool recirculated_once_ = false;
+  bool user_raised_ = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::section(
+      "T1: Table 1 — data-plane events supported by the event-driven "
+      "architecture");
+
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 2;
+  cfg.port_rate_bps = 10e9;
+  cfg.egress_pipeline = true;  // exercise egress packet events as well
+  // Tiny queue so an overflow is easy to trigger.
+  cfg.queue_limits.max_packets = 4;
+  core::EventSwitch sw(sched, cfg);
+  ProbeProgram prog;
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+  // Opt in to the two off-by-default kinds.
+  sw.enable_event(core::EventKind::kPacketTransmitted, true);
+  sw.enable_event(core::EventKind::kBufferUnderflow, true);
+
+  // -- trigger every event source --------------------------------------------
+  // Packets (ingress, enqueue, dequeue, egress, transmit) + recirculation.
+  for (int i = 0; i < 20; ++i) {
+    sched.at(sim::Time::micros(1 + i), [&sw, i] {
+      sw.receive(0, net::make_udp_packet(net::Ipv4Address(10, 0, 0, 1),
+                                         net::Ipv4Address(10, 0, 1, 1), 100,
+                                         i == 0 ? 7777 : 2000, 300));
+    });
+  }
+  // Overflow: a burst that exceeds the 4-packet queue while the port is
+  // still serializing.
+  sched.at(sim::Time::micros(30), [&sw] {
+    for (int i = 0; i < 12; ++i) {
+      sw.receive(0, net::make_udp_packet(net::Ipv4Address(10, 0, 0, 2),
+                                         net::Ipv4Address(10, 0, 1, 1), 5, 6,
+                                         1500));
+    }
+  });
+  // Underflow: poll an empty port directly (the transmit loop normally
+  // guards against this; the TM fires the event when polled dry).
+  sched.at(sim::Time::micros(50), [&sw, &sched] {
+    (void)sw.traffic_manager().dequeue(0, sched.now());
+  });
+  // Timer.
+  sw.set_periodic_timer(sim::Time::micros(20), 0xbeef);
+  // Generated packets.
+  core::PacketGenerator::Config g;
+  g.packet_template =
+      net::make_udp_packet(net::Ipv4Address(1, 1, 1, 1),
+                           net::Ipv4Address(2, 2, 2, 2), 9, 9, 64);
+  g.period = sim::Time::micros(25);
+  sw.add_generator(g);
+  // Link status change on the *unused* receive port.
+  sched.at(sim::Time::micros(60), [&sw] { sw.set_link_status(0, false); });
+  sched.at(sim::Time::micros(70), [&sw] { sw.set_link_status(0, true); });
+  // Control-plane triggered.
+  sched.at(sim::Time::micros(80), [&sw] {
+    core::ControlEventData d;
+    d.opcode = 7;
+    sw.control_event(d);
+  });
+
+  sched.run_until(sim::Time::millis(1));
+
+  // -- report -------------------------------------------------------------------
+  bench::TextTable table({"Data-Plane Event", "supported", "handler runs",
+                          "mean delivery wait", "max delivery wait",
+                          "dropped"});
+  for (std::size_t k = 0; k < core::kNumEventKinds; ++k) {
+    const auto kind = static_cast<core::EventKind>(k);
+    const auto& ms = sw.merger().kind_stats(kind);
+    const bool packet_kind = ms.submitted == 0;  // packet events skip FIFOs
+    table.add_row(
+        {std::string(core::to_string(kind)),
+         prog.fired[k] > 0 ? "yes" : "NO",
+         bench::fmt("%llu", static_cast<unsigned long long>(prog.fired[k])),
+         packet_kind ? "(pipeline slot)" : ms.wait_mean().to_string(),
+         packet_kind ? "-" : ms.wait_max.to_string(),
+         bench::fmt("%llu", static_cast<unsigned long long>(ms.dropped))});
+  }
+  table.print();
+
+  std::printf(
+      "\nAll %zu event kinds of paper Table 1 fire and reach program "
+      "handlers.\n",
+      core::kNumEventKinds);
+  std::printf(
+      "Merger slots: %llu total, %llu with packets, %llu carrier-only; "
+      "%llu events piggybacked, %llu on carriers.\n",
+      static_cast<unsigned long long>(sw.merger().slots_total()),
+      static_cast<unsigned long long>(sw.merger().slots_with_packet()),
+      static_cast<unsigned long long>(sw.merger().slots_carrier()),
+      static_cast<unsigned long long>(sw.merger().events_piggybacked()),
+      static_cast<unsigned long long>(sw.merger().events_on_carrier()));
+
+  // Exit nonzero if any kind failed to fire, so CI catches regressions.
+  for (std::size_t k = 0; k < core::kNumEventKinds; ++k) {
+    if (prog.fired[k] == 0) {
+      std::printf(
+          "ERROR: event kind %s never fired\n",
+          std::string(core::to_string(static_cast<core::EventKind>(k)))
+              .c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Fast Re-Route on link-status events (paper §3/§5), side by side with
+// control-plane recovery.
+//
+// Diamond topology: h0 - s0 = (primary via s1 | backup via s2) = s3 - h1.
+// The primary link fails mid-flow. With the event architecture, s0's
+// program flips to the backup the instant the LinkStatusChange event
+// arrives; with the baseline, the flow bleeds packets until the control
+// plane (500 us away) rewrites the route.
+//
+//   $ ./example_fast_reroute_demo
+#include <cstdio>
+
+#include "edp.hpp"
+
+using namespace edp;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+};
+
+Outcome run(bool event_driven) {
+  sim::Scheduler sched;
+  topo::Network net(sched);
+  core::EventSwitchConfig c3;
+  c3.num_ports = 3;
+  core::EventSwitchConfig c2;
+  c2.num_ports = 2;
+  core::EventSwitchConfig s0_cfg = c3;
+  s0_cfg.event_architecture = event_driven;
+  const auto s0 = net.add_switch(s0_cfg);
+  const auto s1 = net.add_switch(c2);
+  const auto s2 = net.add_switch(c2);
+  const auto s3 = net.add_switch(c3);
+  topo::Host::Config hc;
+  hc.name = "h0";
+  hc.ip = net::Ipv4Address(10, 0, 0, 1);
+  const auto h0 = net.add_host(hc);
+  hc.name = "h1";
+  hc.ip = net::Ipv4Address(10, 0, 1, 1);
+  const auto h1 = net.add_host(hc);
+  net.connect_host(h0, s0, 0);
+  net.connect_host(h1, s3, 0);
+  const auto primary = net.connect_switches(s0, 1, s1, 0);
+  net.connect_switches(s1, 1, s3, 1);
+  net.connect_switches(s0, 2, s2, 0);
+  net.connect_switches(s2, 1, s3, 2);
+
+  apps::FrrProgram frr(3);
+  frr.add_route(apps::FrrRoute{net::Ipv4Address(10, 0, 1, 0), /*primary=*/1,
+                               /*backup=*/2});
+  topo::L3Program p1, p2, p3;
+  p1.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  p2.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  p3.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 0);
+  net.sw(s0).set_program(&frr);
+  net.sw(s1).set_program(&p1);
+  net.sw(s2).set_program(&p2);
+  net.sw(s3).set_program(&p3);
+
+  const sim::Time fail_at = sim::Time::millis(10);
+  net.link(primary).fail_at(fail_at);
+  if (!event_driven) {
+    // Baseline: the control plane hears about the failure 550 us later
+    // and only then rewrites the route.
+    sched.at(fail_at + sim::Time::micros(550),
+             [&frr] { frr.control_set_port_down(1, true); });
+  }
+
+  topo::CbrGenerator::Config gc;
+  gc.flow.src = net.host(h0).ip();
+  gc.flow.dst = net.host(h1).ip();
+  gc.flow.packet_size = 500;
+  gc.rate_bps = 100e6;  // 25k pps
+  gc.stop = sim::Time::millis(20);
+  topo::CbrGenerator gen(sched, net.host(h0), gc);
+  gen.start();
+
+  net.run_until(sim::Time::millis(40));
+  return Outcome{gen.sent(), net.host(h1).rx_packets()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("fast re-route demo: 100 Mb/s flow, primary link dies at "
+              "t=10ms\n\n");
+  const Outcome ev = run(/*event_driven=*/true);
+  const Outcome bl = run(/*event_driven=*/false);
+  std::printf("event-driven FRR : sent %llu, delivered %llu, lost %llu\n",
+              static_cast<unsigned long long>(ev.sent),
+              static_cast<unsigned long long>(ev.delivered),
+              static_cast<unsigned long long>(ev.sent - ev.delivered));
+  std::printf("baseline + CP    : sent %llu, delivered %llu, lost %llu\n",
+              static_cast<unsigned long long>(bl.sent),
+              static_cast<unsigned long long>(bl.delivered),
+              static_cast<unsigned long long>(bl.sent - bl.delivered));
+  std::printf(
+      "\nThe event-driven switch reacts within one pipeline slot of the\n"
+      "LinkStatusChange event; the baseline bleeds ~latency x rate "
+      "packets.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The paper's §2 worked example, end to end: microburst culprit detection
+// with per-flow buffer occupancy maintained by enqueue/dequeue events.
+//
+// Topology: two senders and a sink behind a 1 Gb/s port. One sender emits
+// smooth background traffic, the other violent on/off bursts. The
+// event-driven detector flags the burster at ingress — before its packets
+// are even buffered — while the background flow stays clean.
+//
+//   $ ./example_microburst_detection
+#include <cstdio>
+
+#include "edp.hpp"
+
+using namespace edp;
+
+int main() {
+  std::printf("microburst culprit detection (paper §2, microburst.p4)\n\n");
+
+  sim::Scheduler sched;
+  topo::Network net(sched);
+
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 3;
+  cfg.port_rate_bps = 1e9;  // the bottleneck
+  const auto s0 = net.add_switch(cfg);
+
+  topo::Host::Config hc;
+  hc.name = "background";
+  hc.ip = net::Ipv4Address(10, 0, 0, 1);
+  const auto bg_host = net.add_host(hc);
+  hc.name = "burster";
+  hc.ip = net::Ipv4Address(10, 0, 0, 2);
+  const auto burst_host = net.add_host(hc);
+  hc.name = "sink";
+  hc.ip = net::Ipv4Address(10, 0, 1, 1);
+  const auto sink = net.add_host(hc);
+  net.connect_host(bg_host, s0, 0);
+  net.connect_host(burst_host, s0, 1);
+  net.connect_host(sink, s0, 2);
+
+  // The detector program: flowBufSize_reg with 1024 entries, 16 KB
+  // threshold, aggregated (single-ported, §4) state realization.
+  apps::MicroburstConfig mc;
+  mc.num_regs = 1024;
+  mc.flow_thresh = 16 * 1024;
+  mc.state = apps::StateModel::kAggregated;
+  apps::MicroburstProgram detector(mc);
+  detector.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 2);
+  net.sw(s0).register_aggregated(*detector.aggregated());
+  net.sw(s0).set_program(&detector);
+
+  // Background: steady 100 Mb/s.
+  topo::CbrGenerator::Config cbr;
+  cbr.flow.src = net.host(bg_host).ip();
+  cbr.flow.dst = net.host(sink).ip();
+  cbr.rate_bps = 100e6;
+  cbr.stop = sim::Time::millis(50);
+  topo::CbrGenerator background(sched, net.host(bg_host), cbr);
+  background.start();
+
+  // Bursts: 50 x 1500 B at 10G every 10 ms.
+  topo::BurstGenerator::Config bc;
+  bc.flow.src = net.host(burst_host).ip();
+  bc.flow.dst = net.host(sink).ip();
+  bc.flow.packet_size = 1500;
+  bc.burst_rate_bps = 10e9;
+  bc.burst_packets = 50;
+  bc.gap = sim::Time::millis(10);
+  bc.stop = sim::Time::millis(50);
+  topo::BurstGenerator burster(sched, net.host(burst_host), bc);
+  burster.start();
+
+  net.run_until(sim::Time::millis(60));
+
+  const std::uint32_t burst_flow = net::flow_id_src_dst(
+      net.host(burst_host).ip(), net.host(sink).ip());
+  std::printf("traffic: background sent %llu pkts, burster sent %llu pkts "
+              "in %llu bursts\n",
+              static_cast<unsigned long long>(background.sent()),
+              static_cast<unsigned long long>(burster.sent()),
+              static_cast<unsigned long long>(burster.bursts()));
+  std::printf("detections (threshold %lld B):\n",
+              static_cast<long long>(mc.flow_thresh));
+  for (const auto& d : detector.detections()) {
+    std::printf("  t=%-10s flow %08x occupancy %6lld B  %s  %s\n",
+                d.when.to_string().c_str(), d.flow_id,
+                static_cast<long long>(d.occupancy),
+                d.at_ingress ? "[at ingress, pre-enqueue]" : "[at egress]",
+                d.flow_id == burst_flow ? "<-- the burster" : "");
+  }
+  std::printf("\nstate used: %zu bytes (main + enq/deq aggregation arrays); "
+              "staleness max %llu cycles\n",
+              detector.state_bytes(),
+              static_cast<unsigned long long>(
+                  detector.aggregated()->staleness_max()));
+  return detector.detections().empty() ? 1 : 0;
+}

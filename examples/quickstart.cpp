@@ -1,0 +1,106 @@
+// Quickstart: your first event-driven data-plane program.
+//
+// Builds a 2-port SUME Event Switch, writes a small EventProgram that
+//  (1) routes packets,
+//  (2) tracks the output queue depth from enqueue/dequeue events, and
+//  (3) prints a heartbeat from a periodic timer —
+// then pushes some traffic through and dumps the statistics.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+
+#include "edp.hpp"
+
+using namespace edp;
+
+namespace {
+
+/// A minimal event-driven program. Handlers are the logical pipelines of
+/// the paper's Figure 2; this one uses three of them.
+class QuickstartProgram : public core::EventProgram {
+ public:
+  // Runs once when attached: configure a heartbeat timer (an event-driven
+  // architecture grants this; a baseline PISA switch would refuse).
+  void on_attach(core::EventContext& ctx) override {
+    ctx.set_periodic_timer(sim::Time::millis(1), /*cookie=*/1);
+  }
+
+  // Packet events: forward everything to port 1.
+  void on_ingress(pisa::Phv& phv, core::EventContext&) override {
+    phv.std_meta.egress_port = 1;
+  }
+
+  // Buffer events: maintain the queue depth as algorithmic state.
+  void on_enqueue(const tm_::EnqueueRecord& e, core::EventContext&) override {
+    queue_bytes_ += e.pkt_len;
+    peak_bytes_ = std::max(peak_bytes_, queue_bytes_);
+  }
+  void on_dequeue(const tm_::DequeueRecord& e, core::EventContext&) override {
+    queue_bytes_ -= e.pkt_len;
+  }
+
+  // Timer events: periodic work with no control-plane involvement.
+  void on_timer(const core::TimerEventData&, core::EventContext& ctx) override {
+    std::printf("  [t=%s] heartbeat: queue=%lld B (peak %lld B)\n",
+                ctx.now().to_string().c_str(),
+                static_cast<long long>(queue_bytes_),
+                static_cast<long long>(peak_bytes_));
+  }
+
+  std::int64_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  std::int64_t queue_bytes_ = 0;
+  std::int64_t peak_bytes_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("edp quickstart: event-driven packet processing\n\n");
+
+  // 1. A simulation clock and a switch.
+  sim::Scheduler sched;
+  core::EventSwitchConfig config;
+  config.num_ports = 2;
+  config.port_rate_bps = 1e9;  // 1 Gb/s ports so a queue actually forms
+  core::EventSwitch sw(sched, config);
+
+  // 2. Attach the program and wire port 1's transmit side.
+  QuickstartProgram program;
+  sw.set_program(&program);
+  std::uint64_t delivered = 0;
+  sw.connect_tx(1, [&delivered](net::Packet) { ++delivered; });
+
+  // 3. Offer a burst of traffic: 2 Gb/s into the 1 Gb/s port for 4 ms.
+  const auto src = net::Ipv4Address(10, 0, 0, 1);
+  const auto dst = net::Ipv4Address(10, 0, 1, 1);
+  for (int i = 0; i < 1000; ++i) {
+    sched.at(sim::Time::micros(4 * i), [&sw, src, dst] {
+      sw.receive(0, net::make_udp_packet(src, dst, 1234, 80, 1000));
+    });
+  }
+
+  // 4. Run.
+  sched.run_until(sim::Time::millis(10));
+
+  // 5. Report.
+  const auto& c = sw.counters();
+  std::printf("\nresults:\n");
+  std::printf("  packets in/out     : %llu / %llu (delivered %llu)\n",
+              static_cast<unsigned long long>(c.rx_packets),
+              static_cast<unsigned long long>(c.tx_packets),
+              static_cast<unsigned long long>(delivered));
+  std::printf("  peak queue depth   : %lld bytes (tracked by enq/deq events)\n",
+              static_cast<long long>(program.peak_bytes()));
+  std::printf("  enqueue events     : %llu observed\n",
+              static_cast<unsigned long long>(
+                  c.observed[static_cast<std::size_t>(
+                      core::EventKind::kEnqueue)]));
+  std::printf("  pipeline slots     : %llu (%llu carried packets, %llu "
+              "carrier frames)\n",
+              static_cast<unsigned long long>(sw.merger().slots_total()),
+              static_cast<unsigned long long>(sw.merger().slots_with_packet()),
+              static_cast<unsigned long long>(sw.merger().slots_carrier()));
+  return 0;
+}

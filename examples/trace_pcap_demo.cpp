@@ -1,0 +1,98 @@
+// Workload tooling demo: replay a CSV packet trace through an event
+// switch and capture what the switch transmits into a pcap file that
+// tcpdump/Wireshark can open — with the per-flow queue state maintained by
+// enqueue/dequeue events printed at the end.
+//
+//   $ ./example_trace_pcap_demo [trace.csv] [out.pcap]
+//
+// Without arguments a built-in sample trace is replayed and the capture is
+// written to /tmp/edp_demo.pcap.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "edp.hpp"
+
+using namespace edp;
+
+namespace {
+
+constexpr const char* kSampleTrace =
+    "# time_us,src,dst,sport,dport,size\n"
+    "0,10.0.0.1,10.0.1.1,1000,2000,500\n"
+    "10,10.0.0.2,10.0.1.1,1001,2000,1500\n"
+    "20,10.0.0.1,10.0.1.1,1000,2000,500\n"
+    "25,10.0.0.3,10.0.1.1,1002,2000,64\n"
+    "40,10.0.0.2,10.0.1.1,1001,2000,1500\n"
+    "55,10.0.0.1,10.0.1.1,1000,2000,500\n"
+    "60,10.0.0.3,10.0.1.1,1002,2000,64\n"
+    "80,10.0.0.2,10.0.1.1,1001,2000,1500\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_text = kSampleTrace;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    trace_text = ss.str();
+  }
+  const std::string pcap_path = argc > 2 ? argv[2] : "/tmp/edp_demo.pcap";
+
+  std::size_t parse_errors = 0;
+  const auto trace =
+      topo::TraceReplayGenerator::parse_csv(trace_text, &parse_errors);
+  std::printf("trace: %zu packets (%zu malformed lines skipped)\n",
+              trace.size(), parse_errors);
+
+  sim::Scheduler sched;
+  topo::Network net(sched);
+  core::EventSwitchConfig cfg;
+  cfg.num_ports = 2;
+  cfg.port_rate_bps = 1e9;
+  const auto s0 = net.add_switch(cfg);
+  topo::Host::Config hc;
+  hc.name = "replayer";
+  hc.ip = net::Ipv4Address(10, 0, 0, 1);
+  const auto src = net.add_host(hc);
+  hc.name = "sink";
+  hc.ip = net::Ipv4Address(10, 0, 1, 1);
+  const auto sink = net.add_host(hc);
+  net.connect_host(src, s0, 0);
+  net.connect_host(sink, s0, 1);
+
+  apps::MicroburstConfig mc;
+  mc.flow_thresh = 1LL << 40;  // occupancy tracking only
+  apps::MicroburstProgram prog(mc);
+  prog.add_route(net::Ipv4Address(10, 0, 1, 0), 24, 1);
+  net.sw(s0).register_aggregated(*prog.aggregated());
+  net.sw(s0).set_program(&prog);
+
+  net::PcapWriter pcap(pcap_path);
+  if (!pcap.ok()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", pcap_path.c_str());
+    return 1;
+  }
+  net.host(sink).on_receive = [&](const net::Packet& p) {
+    pcap.write(p, sched.now());
+  };
+
+  topo::TraceReplayGenerator replay(sched, net.host(src), trace);
+  replay.start();
+  net.run_until(sim::Time::millis(10));
+  pcap.flush();
+
+  std::printf("replayed %llu packets; sink received %llu; %llu captured "
+              "to %s\n",
+              static_cast<unsigned long long>(replay.sent()),
+              static_cast<unsigned long long>(net.host(sink).rx_packets()),
+              static_cast<unsigned long long>(pcap.packets_written()),
+              pcap_path.c_str());
+  std::printf("\nswitch statistics:\n%s", net.sw(s0).describe().c_str());
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run every test and every experiment
+# harness. Exits nonzero if anything fails (bench binaries return nonzero
+# when their reproduced shape checks are violated).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  if [[ -x "$b" && ! -d "$b" ]]; then
+    echo "=== $(basename "$b") ==="
+    "$b"
+  fi
+done
+
+for e in build/examples/example_*; do
+  echo "=== $(basename "$e") ==="
+  "$e"
+done
+echo "ALL CHECKS PASSED"

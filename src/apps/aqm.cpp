@@ -1,0 +1,175 @@
+#include "apps/aqm.hpp"
+
+#include <algorithm>
+
+#include "net/flow.hpp"
+#include "net/packet_builder.hpp"
+
+namespace edp::apps {
+
+// ---- RED ----------------------------------------------------------------------
+
+void RedAqm::install(tm_::TrafficManager& tm) {
+  tm.admit = [this](const tm_::EnqueueRecord& rec, const tm_::QueuedPacket&) {
+    return admit(rec);
+  };
+}
+
+bool RedAqm::admit(const tm_::EnqueueRecord& rec) {
+  // Average over the pre-enqueue depth (depth_bytes includes this packet).
+  avg_.observe(static_cast<double>(rec.depth_bytes - rec.pkt_len));
+  const double avg = avg_.value();
+  if (avg < config_.min_thresh_bytes) {
+    return true;
+  }
+  if (avg >= config_.max_thresh_bytes) {
+    ++early_drops_;
+    return false;
+  }
+  const double p = config_.max_p * (avg - config_.min_thresh_bytes) /
+                   (config_.max_thresh_bytes - config_.min_thresh_bytes);
+  if (rng_.chance(p)) {
+    ++early_drops_;
+    return false;
+  }
+  return true;
+}
+
+// ---- FRED-like fair AQM ----------------------------------------------------------
+
+FairAqmProgram::FairAqmProgram(FairAqmConfig config)
+    : config_(std::move(config)),
+      flow_bytes_(config_.flow_slots, 0),
+      flows_(config_.flow_slots) {}
+
+void FairAqmProgram::on_attach(core::EventContext& ctx) {
+  if (config_.send_reports) {
+    ctx.set_periodic_timer(config_.sample_period, /*cookie=*/0xfa1);
+  }
+}
+
+void FairAqmProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  set_enq_meta(phv, 0, flow_id);
+  set_enq_meta(phv, 1, phv.std_meta.packet_length);
+  set_deq_meta(phv, 0, flow_id);
+  set_deq_meta(phv, 1, phv.std_meta.packet_length);
+
+  // Flow-fair early drop: congestion signals maintained by the enqueue /
+  // dequeue handlers below, read here *before* the packet is buffered.
+  const std::uint32_t active = flows_.active_flows();
+  if (total_buffered_ >
+          static_cast<std::int64_t>(config_.engage_bytes) &&
+      active > 0) {
+    const double fair_share =
+        static_cast<double>(total_buffered_) / active;
+    if (static_cast<double>(flow_bytes_[slot(flow_id)]) >
+        config_.share_factor * fair_share) {
+      phv.std_meta.drop = true;
+      ++fairness_drops_;
+    }
+  }
+}
+
+void FairAqmProgram::on_enqueue(const tm_::EnqueueRecord& e,
+                                core::EventContext&) {
+  const auto flow_id = static_cast<std::uint32_t>(e.enq_meta[0]);
+  const auto len = static_cast<std::int64_t>(e.enq_meta[1]);
+  flow_bytes_[slot(flow_id)] += len;
+  total_buffered_ += len;
+  flows_.on_enqueue(flow_id);
+}
+
+void FairAqmProgram::on_dequeue(const tm_::DequeueRecord& e,
+                                core::EventContext&) {
+  const auto flow_id = static_cast<std::uint32_t>(e.deq_meta[0]);
+  const auto len = static_cast<std::int64_t>(e.deq_meta[1]);
+  auto& fb = flow_bytes_[slot(flow_id)];
+  fb = std::max<std::int64_t>(0, fb - len);
+  total_buffered_ = std::max<std::int64_t>(0, total_buffered_ - len);
+  flows_.on_dequeue(flow_id);
+}
+
+void FairAqmProgram::on_overflow(const tm_::DropRecord& e,
+                                 core::EventContext&) {
+  loss_volume_ += e.pkt_len;
+}
+
+void FairAqmProgram::on_timer(const core::TimerEventData&,
+                              core::EventContext& ctx) {
+  if (!config_.send_reports) {
+    return;
+  }
+  // Timer-driven sampling: emit an INT report with the current congestion
+  // signals toward the monitor (student project of §5).
+  net::IntReportHeader rep;
+  rep.switch_id = ctx.switch_id();
+  rep.queue_id = 0;
+  rep.queue_depth_bytes = static_cast<std::uint32_t>(
+      std::max<std::int64_t>(0, total_buffered_));
+  rep.active_flows = flows_.active_flows();
+  rep.drops = static_cast<std::uint32_t>(loss_volume_ / 1000);
+  rep.ts_ps = static_cast<std::uint64_t>(ctx.now().ps());
+  net::Packet p = net::PacketBuilder()
+                      .ethernet(net::MacAddress::from_u64(0x02000000aa00),
+                                net::MacAddress::from_u64(0x02000000bb00))
+                      .ipv4(config_.self_ip, config_.monitor_ip,
+                            net::kIpProtoUdp)
+                      .udp(30000, net::kPortIntReport)
+                      .int_report(rep)
+                      .pad_to(64)
+                      .build();
+  if (ctx.send_packet(std::move(p), config_.report_port)) {
+    ++reports_sent_;
+  }
+}
+
+std::int64_t FairAqmProgram::flow_buffered(std::uint32_t flow_id) const {
+  return flow_bytes_[flow_id % config_.flow_slots];
+}
+
+// ---- PIE ------------------------------------------------------------------------
+
+PieAqmProgram::PieAqmProgram(PieConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void PieAqmProgram::on_attach(core::EventContext& ctx) {
+  ctx.set_periodic_timer(config_.update_period, /*cookie=*/0x91e);
+}
+
+void PieAqmProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+  if (phv.std_meta.drop) {
+    return;
+  }
+  if (drop_prob_ > 0 && rng_.chance(drop_prob_)) {
+    phv.std_meta.drop = true;
+    ++early_drops_;
+  }
+}
+
+void PieAqmProgram::on_dequeue(const tm_::DequeueRecord& e,
+                               core::EventContext&) {
+  latest_delay_us_ = e.sojourn.as_micros();
+}
+
+void PieAqmProgram::on_timer(const core::TimerEventData& e,
+                             core::EventContext&) {
+  if (e.cookie != 0x91e) {
+    return;
+  }
+  // PIE controller update (drop probability in [0, 1)).
+  const double target_us = config_.target_delay.as_micros();
+  double p = drop_prob_ +
+             config_.alpha * (latest_delay_us_ - target_us) / 1e3 +
+             config_.beta * (latest_delay_us_ - prev_delay_us_) / 1e3;
+  prev_delay_us_ = latest_delay_us_;
+  drop_prob_ = std::clamp(p, 0.0, 0.95);
+}
+
+}  // namespace edp::apps

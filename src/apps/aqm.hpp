@@ -1,0 +1,153 @@
+// edp::apps — active queue management (paper §3 "Traffic Management").
+//
+// "AQM algorithms ... need access to several congestion signals in the
+// ingress pipeline ... current queue occupancy, queue service rate,
+// queueing delay, packet loss volume, rate of change of the queue size,
+// per-active-flow queue occupancy, and number of active flows.
+// Event-driven programming gives the user access to all of these signals."
+//
+// Three AQMs, by architecture capability:
+//   * RedAqm       — classic RED as a *fixed-function TM hook*: what a
+//                    baseline device ships, not programmable from P4.
+//   * FairAqmProgram — FRED-like flow-fair dropping written as an event
+//                    program (the §5 student project): enqueue/dequeue
+//                    events maintain total occupancy, per-active-flow
+//                    occupancy and active flow count; ingress drops flows
+//                    exceeding their fair share *before* they enter the
+//                    buffer; a timer samples occupancy into INT reports.
+//   * PieAqmProgram — PIE (reference [23]): needs queueing delay (dequeue
+//                    events) and a periodic probability update (timer
+//                    events) — expressible only on the event architecture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event_program.hpp"
+#include "stats/active_flows.hpp"
+#include "stats/ewma.hpp"
+#include "stats/histogram.hpp"
+#include "sim/random.hpp"
+#include "tm/traffic_manager.hpp"
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+/// Classic RED (Floyd & Jacobson), realized as a TrafficManager admission
+/// hook — the fixed-function facility of a baseline device. Install with
+/// `red.install(tm)`.
+class RedAqm {
+ public:
+  struct Config {
+    double min_thresh_bytes = 32 * 1024;
+    double max_thresh_bytes = 128 * 1024;
+    double max_p = 0.1;
+    double weight = 0.002;  ///< EWMA weight for the average queue size
+    std::uint64_t seed = 7;
+  };
+
+  explicit RedAqm(Config config) : config_(config), rng_(config.seed) {}
+
+  /// Set as `tm.admit` for the ports/queues it should govern.
+  void install(tm_::TrafficManager& tm);
+
+  std::uint64_t early_drops() const { return early_drops_; }
+  double avg_queue() const { return avg_.value(); }
+
+ private:
+  bool admit(const tm_::EnqueueRecord& rec);
+
+  Config config_;
+  sim::Random rng_;
+  stats::Ewma avg_{0.002};
+  std::uint64_t early_drops_ = 0;
+};
+
+/// FRED-like flow-fair AQM as an event-driven program (student project of
+/// paper §5, "Computing Congestion Signals").
+struct FairAqmConfig {
+  std::size_t flow_slots = 1024;
+  /// Drop an arriving packet when its flow's buffered bytes exceed
+  /// `share_factor * total_buffered / active_flows`.
+  double share_factor = 2.0;
+  /// Fairness only engages above this total occupancy (no starvation when
+  /// the buffer is empty).
+  std::size_t engage_bytes = 16 * 1024;
+  /// Timer-driven occupancy sampling -> INT report to the monitor.
+  sim::Time sample_period = sim::Time::millis(1);
+  bool send_reports = false;
+  std::uint16_t report_port = 0;        ///< switch port toward the monitor
+  net::Ipv4Address monitor_ip;
+  net::Ipv4Address self_ip;
+};
+
+class FairAqmProgram : public topo::L3Program {
+ public:
+  explicit FairAqmProgram(FairAqmConfig config);
+
+  void on_attach(core::EventContext& ctx) override;
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_enqueue(const tm_::EnqueueRecord& e,
+                  core::EventContext& ctx) override;
+  void on_dequeue(const tm_::DequeueRecord& e,
+                  core::EventContext& ctx) override;
+  void on_overflow(const tm_::DropRecord& e, core::EventContext& ctx) override;
+  void on_timer(const core::TimerEventData& e,
+                core::EventContext& ctx) override;
+
+  std::uint64_t fairness_drops() const { return fairness_drops_; }
+  std::int64_t total_buffered() const { return total_buffered_; }
+  std::uint32_t active_flows() const { return flows_.active_flows(); }
+  std::int64_t flow_buffered(std::uint32_t flow_id) const;
+  std::uint64_t reports_sent() const { return reports_sent_; }
+  std::uint64_t loss_volume() const { return loss_volume_; }
+
+ private:
+  std::uint32_t slot(std::uint32_t flow_id) const {
+    return flow_id % static_cast<std::uint32_t>(config_.flow_slots);
+  }
+
+  FairAqmConfig config_;
+  std::vector<std::int64_t> flow_bytes_;
+  stats::ActiveFlowTracker flows_;
+  std::int64_t total_buffered_ = 0;
+  std::uint64_t fairness_drops_ = 0;
+  std::uint64_t loss_volume_ = 0;  ///< bytes lost to buffer overflow
+  std::uint64_t reports_sent_ = 0;
+  std::uint16_t report_seq_ = 0;
+};
+
+/// PIE (Proportional Integral controller Enhanced), reference [23].
+struct PieConfig {
+  sim::Time target_delay = sim::Time::micros(100);
+  sim::Time update_period = sim::Time::millis(1);
+  double alpha = 0.125;  ///< gain on (delay - target)
+  double beta = 1.25;    ///< gain on (delay - old_delay)
+  std::uint64_t seed = 11;
+};
+
+class PieAqmProgram : public topo::L3Program {
+ public:
+  explicit PieAqmProgram(PieConfig config);
+
+  void on_attach(core::EventContext& ctx) override;
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_dequeue(const tm_::DequeueRecord& e,
+                  core::EventContext& ctx) override;
+  void on_timer(const core::TimerEventData& e,
+                core::EventContext& ctx) override;
+
+  double drop_probability() const { return drop_prob_; }
+  std::uint64_t early_drops() const { return early_drops_; }
+  double latest_delay_us() const { return latest_delay_us_; }
+
+ private:
+  PieConfig config_;
+  sim::Random rng_;
+  double drop_prob_ = 0;
+  double latest_delay_us_ = 0;
+  double prev_delay_us_ = 0;
+  std::uint64_t early_drops_ = 0;
+};
+
+}  // namespace edp::apps

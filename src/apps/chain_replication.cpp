@@ -1,0 +1,77 @@
+#include "apps/chain_replication.hpp"
+
+namespace edp::apps {
+
+ChainNodeProgram::ChainNodeProgram(ChainNodeConfig config)
+    : config_(std::move(config)), port_down_(config_.num_ports, 0) {}
+
+int ChainNodeProgram::live_successor() const {
+  for (const std::uint16_t p : config_.successor_ports) {
+    if (p < port_down_.size() && port_down_[p] == 0) {
+      return p;
+    }
+  }
+  return -1;
+}
+
+void ChainNodeProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  if (!phv.kv || !phv.ipv4 || !phv.udp || !phv.eth) {
+    phv.std_meta.drop = true;  // chain nodes only speak the KV protocol
+    return;
+  }
+  const int succ = live_successor();
+  switch (phv.kv->op) {
+    case net::KvHeader::kSet: {
+      // Every replica stores the write on its way down the chain.
+      store_[phv.kv->key] = phv.kv->value;
+      ++writes_;
+      if (succ >= 0) {
+        ++forwarded_;
+        phv.std_meta.egress_port = static_cast<std::uint16_t>(succ);
+        return;
+      }
+      // Acting tail: the write is committed; acknowledge to the client.
+      std::swap(phv.eth->src, phv.eth->dst);
+      std::swap(phv.ipv4->src, phv.ipv4->dst);
+      std::swap(phv.udp->src_port, phv.udp->dst_port);
+      phv.kv->op = net::KvHeader::kReply;
+      phv.std_meta.egress_port = config_.client_port;
+      return;
+    }
+    case net::KvHeader::kGet: {
+      if (succ >= 0) {
+        // Reads are answered by the tail for strong consistency.
+        ++forwarded_;
+        phv.std_meta.egress_port = static_cast<std::uint16_t>(succ);
+        return;
+      }
+      ++reads_;
+      std::swap(phv.eth->src, phv.eth->dst);
+      std::swap(phv.ipv4->src, phv.ipv4->dst);
+      std::swap(phv.udp->src_port, phv.udp->dst_port);
+      phv.kv->op = net::KvHeader::kReply;
+      phv.kv->value = value(phv.kv->key);
+      phv.std_meta.egress_port = config_.client_port;
+      return;
+    }
+    default:
+      phv.std_meta.drop = true;
+      return;
+  }
+}
+
+void ChainNodeProgram::on_link_status(const core::LinkStatusEventData& e,
+                                      core::EventContext&) {
+  if (e.port >= port_down_.size()) {
+    return;
+  }
+  const bool was_down = port_down_[e.port] != 0;
+  port_down_[e.port] = e.up ? 0 : 1;
+  if (!e.up && !was_down) {
+    // Chain repair happened the instant this handler ran: subsequent
+    // packets take the surviving successor (or this node acts as tail).
+    ++repairs_;
+  }
+}
+
+}  // namespace edp::apps

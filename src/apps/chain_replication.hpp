@@ -1,0 +1,67 @@
+// edp::apps — in-network coordination with chain replication (paper §3,
+// Table 2 "In-Network Computing: Coordination", citing NetChain [12]).
+//
+// "Link status change events enable coordination services, such as
+// NetChain, to quickly react to network failures."
+//
+// A NetChain-style replicated key-value store across a chain of switches:
+// writes enter at the head, are stored at every node, and are acknowledged
+// by the tail; reads are served by the tail (strong consistency). Each
+// node keeps an ordered successor list; a LinkStatusChange event flips a
+// port-down register and the very next packet follows the surviving
+// successor — sub-microsecond chain repair with no coordination service
+// in the control plane.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/event_program.hpp"
+
+namespace edp::apps {
+
+struct ChainNodeConfig {
+  /// Port toward the client side (the head receives requests here; the
+  /// acting tail emits replies here).
+  std::uint16_t client_port = 0;
+  /// Successor ports in preference order; empty = this node is the tail.
+  std::vector<std::uint16_t> successor_ports;
+  std::uint16_t num_ports = 4;
+};
+
+class ChainNodeProgram : public core::EventProgram {
+ public:
+  explicit ChainNodeProgram(ChainNodeConfig config);
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_link_status(const core::LinkStatusEventData& e,
+                      core::EventContext& ctx) override;
+
+  /// First successor whose link is up; -1 if none (acting tail).
+  int live_successor() const;
+  bool acting_tail() const { return live_successor() < 0; }
+
+  /// Store introspection.
+  bool has(std::uint64_t key) const { return store_.contains(key); }
+  std::uint64_t value(std::uint64_t key) const {
+    const auto it = store_.find(key);
+    return it == store_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t writes_stored() const { return writes_; }
+  std::uint64_t reads_served() const { return reads_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t repairs() const { return repairs_; }
+
+ private:
+  ChainNodeConfig config_;
+  std::vector<std::uint8_t> port_down_;
+  std::unordered_map<std::uint64_t, std::uint64_t> store_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t repairs_ = 0;
+};
+
+}  // namespace edp::apps

@@ -1,0 +1,51 @@
+#include "apps/cms_monitor.hpp"
+
+#include <cmath>
+
+#include "net/flow.hpp"
+
+namespace edp::apps {
+
+CmsMonitorProgram::CmsMonitorProgram(CmsMonitorConfig config)
+    : config_(config), cms_(config.width, config.depth) {}
+
+void CmsMonitorProgram::on_attach(core::EventContext& ctx) {
+  // Event-driven architectures grant this; baselines refuse (returns 0)
+  // and the control plane must drive control_reset instead.
+  ctx.set_periodic_timer(config_.reset_period, /*cookie=*/0xc35);
+}
+
+void CmsMonitorProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  cms_.update(flow_id, 1);
+  if (cms_.estimate(flow_id) == config_.heavy_thresh) {
+    ++heavy_detections_;  // first crossing within this period
+  }
+}
+
+void CmsMonitorProgram::on_timer(const core::TimerEventData& e,
+                                 core::EventContext&) {
+  if (e.cookie != 0xc35) {
+    return;
+  }
+  do_reset(e.fired_at);
+}
+
+void CmsMonitorProgram::control_reset(sim::Time when) { do_reset(when); }
+
+void CmsMonitorProgram::do_reset(sim::Time now) {
+  if (resets_ > 0) {
+    const double interval_us = (now - last_reset_).as_micros();
+    jitter_.add(std::abs(interval_us - config_.reset_period.as_micros()));
+  }
+  last_reset_ = now;
+  ++resets_;
+  cms_.reset();
+}
+
+}  // namespace edp::apps

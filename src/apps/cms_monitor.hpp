@@ -1,0 +1,68 @@
+// edp::apps — Count-Min-Sketch heavy-hitter monitor with periodic reset
+// (paper §1: "When a CMS is used in a baseline PISA architecture, the
+// control plane must be responsible for performing the reset operation.
+// This can lead to significant overhead for the control plane, especially
+// if the data structure must be frequently reset.")
+//
+// Event-driven mode: on_attach installs a periodic timer; on_timer resets
+// the sketch in the data plane — zero control-plane involvement.
+// Baseline mode: the timer request is refused; a ControlPlaneAgent must
+// call `control_reset()` on its own schedule, paying channel latency per
+// reset and one CP message per reset (bench_claim_cms_reset counts both).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/count_min_sketch.hpp"
+#include "stats/histogram.hpp"
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+struct CmsMonitorConfig {
+  std::size_t width = 2048;
+  std::size_t depth = 3;
+  sim::Time reset_period = sim::Time::millis(10);
+  /// Flows whose estimate exceeds this within one period are heavy hitters.
+  std::uint64_t heavy_thresh = 1000;
+};
+
+class CmsMonitorProgram : public topo::L3Program {
+ public:
+  explicit CmsMonitorProgram(CmsMonitorConfig config);
+
+  void on_attach(core::EventContext& ctx) override;
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_timer(const core::TimerEventData& e,
+                core::EventContext& ctx) override;
+
+  /// Control-plane reset entry point (baseline mode). `when` is the time
+  /// the reset takes effect (after CP channel latency).
+  void control_reset(sim::Time when);
+
+  std::uint64_t estimate(std::uint32_t flow_id) const {
+    return cms_.estimate(flow_id);
+  }
+  const stats::CountMinSketch& sketch() const { return cms_; }
+
+  std::uint64_t resets() const { return resets_; }
+  std::uint64_t heavy_detections() const { return heavy_detections_; }
+  /// Observed reset-interval error vs. the configured period, in
+  /// microseconds (jitter of the maintenance operation).
+  const stats::Summary& reset_jitter_us() const { return jitter_; }
+
+  const CmsMonitorConfig& config() const { return config_; }
+
+ private:
+  void do_reset(sim::Time now);
+
+  CmsMonitorConfig config_;
+  stats::CountMinSketch cms_;
+  std::uint64_t resets_ = 0;
+  std::uint64_t heavy_detections_ = 0;
+  sim::Time last_reset_ = sim::Time::zero();
+  stats::Summary jitter_;
+};
+
+}  // namespace edp::apps

@@ -1,0 +1,51 @@
+#include "apps/ecn_marking.hpp"
+
+#include <algorithm>
+
+namespace edp::apps {
+
+MultiBitEcnProgram::MultiBitEcnProgram(EcnMarkConfig config)
+    : config_(config), depth_(config.num_ports, 0) {}
+
+std::uint8_t MultiBitEcnProgram::level_of(std::int64_t depth_bytes) const {
+  if (depth_bytes <= 0) {
+    return 0;
+  }
+  const auto level = static_cast<std::uint64_t>(depth_bytes) /
+                     config_.quantum_bytes;
+  return static_cast<std::uint8_t>(std::min<std::uint64_t>(63, level));
+}
+
+void MultiBitEcnProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  const std::uint16_t out = phv.std_meta.egress_port;
+  if (out < depth_.size()) {
+    // Fold the local occupancy into the DSCP with a max(): downstream the
+    // field ends up carrying the bottleneck's occupancy level.
+    const std::uint8_t level = level_of(depth_[out]);
+    if (level > phv.ipv4->dscp) {
+      phv.ipv4->dscp = level;
+      ++marked_;
+    }
+  }
+}
+
+void MultiBitEcnProgram::on_enqueue(const tm_::EnqueueRecord& e,
+                                    core::EventContext&) {
+  if (e.port < depth_.size()) {
+    depth_[e.port] += e.pkt_len;
+  }
+}
+
+void MultiBitEcnProgram::on_dequeue(const tm_::DequeueRecord& e,
+                                    core::EventContext&) {
+  if (e.port < depth_.size()) {
+    depth_[e.port] =
+        std::max<std::int64_t>(0, depth_[e.port] - e.pkt_len);
+  }
+}
+
+}  // namespace edp::apps

@@ -1,0 +1,48 @@
+// edp::apps — multi-bit ECN marking from buffer events (paper §3).
+//
+// "This allows for variants of ECN marking, with packets carrying multiple
+// bits rather than just one, to communicate queue occupancy along the
+// path, or just the maximum queue occupancy at the bottleneck."
+//
+// Per-port queue occupancy is maintained from enqueue/dequeue events; the
+// ingress pipeline quantizes the occupancy of the packet's *chosen egress
+// port* into a 6-bit level and folds it into the IPv4 DSCP field with a
+// max() — so the receiver reads the occupancy of the most congested queue
+// on the path. A baseline PISA program cannot do this: ingress has no view
+// of queue state without the buffer events.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+struct EcnMarkConfig {
+  std::uint16_t num_ports = 4;
+  /// Bytes per DSCP step; level = min(63, depth / quantum).
+  std::size_t quantum_bytes = 2048;
+};
+
+class MultiBitEcnProgram : public topo::L3Program {
+ public:
+  explicit MultiBitEcnProgram(EcnMarkConfig config);
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_enqueue(const tm_::EnqueueRecord& e,
+                  core::EventContext& ctx) override;
+  void on_dequeue(const tm_::DequeueRecord& e,
+                  core::EventContext& ctx) override;
+
+  std::int64_t port_depth(std::uint16_t port) const { return depth_[port]; }
+  std::uint8_t level_of(std::int64_t depth_bytes) const;
+  std::uint64_t packets_marked() const { return marked_; }
+
+ private:
+  EcnMarkConfig config_;
+  std::vector<std::int64_t> depth_;
+  std::uint64_t marked_ = 0;
+};
+
+}  // namespace edp::apps

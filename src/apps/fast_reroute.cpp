@@ -1,0 +1,44 @@
+#include "apps/fast_reroute.hpp"
+
+namespace edp::apps {
+
+void FrrProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  if (!phv.ipv4) {
+    phv.std_meta.drop = true;
+    return;
+  }
+  for (const auto& r : routes_) {
+    if (!r.prefix.matches_prefix(phv.ipv4->dst, 24)) {
+      continue;
+    }
+    if (port_down(r.primary)) {
+      phv.std_meta.egress_port = r.backup;
+      ++rerouted_;
+    } else {
+      phv.std_meta.egress_port = r.primary;
+    }
+    return;
+  }
+  phv.std_meta.drop = true;
+}
+
+void FrrProgram::on_link_status(const core::LinkStatusEventData& e,
+                                core::EventContext& ctx) {
+  if (e.port >= port_down_.size()) {
+    return;
+  }
+  const bool was_down = port_down_[e.port] != 0;
+  port_down_[e.port] = e.up ? 0 : 1;
+  if (!e.up && !was_down && activated_at_ == sim::Time::zero()) {
+    activated_at_ = ctx.now();
+  }
+}
+
+void FrrProgram::control_set_port_down(std::uint16_t port, bool down) {
+  if (port >= port_down_.size()) {
+    return;
+  }
+  port_down_[port] = down ? 1 : 0;
+}
+
+}  // namespace edp::apps

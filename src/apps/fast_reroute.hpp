@@ -1,0 +1,59 @@
+// edp::apps — Fast Re-Route on link status events (paper §3 "Network
+// Management" and §5 student project "Fast Re-Route").
+//
+// "By introducing link status change events, the data plane can immediately
+// respond to link failures [and] autonomously re-route affected flows."
+//
+// `FrrProgram` keeps a primary and a backup port per route; a per-port
+// "down" register, flipped by the LinkStatusChange handler, steers packets
+// to the backup with zero control-plane involvement. The baseline recovery
+// path (modeled in bench_claim_frr) is: the MAC raises an interrupt, the
+// control plane learns of it after the channel latency, processes, and
+// only then rewrites the routes via `control_set_port_down` — every packet
+// sent to the dead port in between is lost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+struct FrrRoute {
+  net::Ipv4Address prefix;  ///< /24
+  std::uint16_t primary = 0;
+  std::uint16_t backup = 0;
+};
+
+class FrrProgram : public core::EventProgram {
+ public:
+  explicit FrrProgram(std::uint16_t num_ports) : port_down_(num_ports, 0) {}
+
+  void add_route(const FrrRoute& route) { routes_.push_back(route); }
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+
+  /// Data-plane reaction: flip the port-down register the moment the event
+  /// arrives. On a baseline architecture this handler is never invoked.
+  void on_link_status(const core::LinkStatusEventData& e,
+                      core::EventContext& ctx) override;
+
+  /// Control-plane entry point (the baseline path; also used to model CP
+  /// cleanup after data-plane FRR).
+  void control_set_port_down(std::uint16_t port, bool down);
+
+  bool port_down(std::uint16_t port) const {
+    return port < port_down_.size() && port_down_[port] != 0;
+  }
+  std::uint64_t rerouted() const { return rerouted_; }
+  sim::Time reroute_activated_at() const { return activated_at_; }
+
+ private:
+  std::vector<FrrRoute> routes_;
+  std::vector<std::uint8_t> port_down_;
+  std::uint64_t rerouted_ = 0;
+  sim::Time activated_at_ = sim::Time::zero();
+};
+
+}  // namespace edp::apps

@@ -1,0 +1,268 @@
+#include "apps/hula.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/event_switch.hpp"
+#include "net/packet_builder.hpp"
+
+namespace edp::apps {
+namespace {
+
+/// Unknown paths start saturated so any real probe immediately wins.
+constexpr std::uint32_t kUtilUnknown = 0xffffffffU;
+
+std::uint32_t util_permille(const stats::DecayingRate& rate, double port_bps,
+                            sim::Time now) {
+  const double bps = rate.bytes_per_sec(now) * 8.0;
+  return static_cast<std::uint32_t>(
+      std::min(4000.0, 1000.0 * bps / port_bps));
+}
+
+}  // namespace
+
+// ---- ToR --------------------------------------------------------------------
+
+HulaTorProgram::HulaTorProgram(HulaTorConfig config)
+    : config_(std::move(config)),
+      path_util_(config_.num_tors,
+                 std::vector<std::uint32_t>(config_.uplink_ports.size(),
+                                            kUtilUnknown)) {
+  uplink_rate_.reserve(config_.uplink_ports.size());
+  for (std::size_t i = 0; i < config_.uplink_ports.size(); ++i) {
+    uplink_rate_.emplace_back(config_.util_tau);
+  }
+}
+
+net::Packet HulaTorProgram::make_probe(std::size_t uplink_index) const {
+  net::HulaProbeHeader probe;
+  probe.tor_id = config_.tor_id;
+  probe.path_util_permille = 0;  // stamped at origination
+  probe.origin_ts_ps = 0;        // stamped at origination
+  // The uplink index rides in the destination MAC so on_generated knows
+  // which port this template targets (generator ids don't reach the PHV).
+  return net::PacketBuilder()
+      .ethernet(net::MacAddress::from_u64(0x0200000000a0 + config_.tor_id),
+                net::MacAddress::from_u64(uplink_index),
+                net::kEtherTypeHula)
+      .hula_probe(probe)
+      .pad_to(64)
+      .build();
+}
+
+void HulaTorProgram::on_attach(core::EventContext& ctx) {
+  // One generator per uplink. On a baseline architecture these calls are
+  // refused (return 0) and the CP must inject probes instead.
+  for (std::size_t i = 0; i < config_.uplink_ports.size(); ++i) {
+    core::PacketGenerator::Config g;
+    g.packet_template = make_probe(i);
+    g.period = config_.probe_period;
+    g.start_immediately = false;
+    ctx.add_generator(std::move(g));
+  }
+}
+
+void HulaTorProgram::on_generated(pisa::Phv& phv, core::EventContext& ctx) {
+  if (!phv.hula || !phv.eth) {
+    phv.std_meta.drop = true;
+    return;
+  }
+  // Probe origination: stamp time, send out the uplink encoded in the
+  // template's destination MAC. Utilization starts at zero — probes record
+  // the utilization of links in the direction *toward this ToR* (the
+  // direction data will flow), which downstream switches fill in.
+  const auto uplink = static_cast<std::size_t>(phv.eth->dst.to_u64() %
+                                               config_.uplink_ports.size());
+  phv.hula->origin_ts_ps = static_cast<std::uint64_t>(ctx.now().ps());
+  phv.hula->path_util_permille = 0;
+  phv.std_meta.egress_port = config_.uplink_ports[uplink];
+  ++probes_tx_;
+}
+
+void HulaTorProgram::on_ingress(pisa::Phv& phv, core::EventContext& ctx) {
+  if (phv.hula) {
+    // CP-injected probes (baseline mode) arrive at ingress from the CPU
+    // port still unstamped: originate them here.
+    if (phv.std_meta.ingress_port == core::kPortCpu && phv.eth) {
+      const auto uplink = static_cast<std::size_t>(
+          phv.eth->dst.to_u64() % config_.uplink_ports.size());
+      // origin_ts was stamped by the CP when it built the packet, so CP
+      // channel latency counts against freshness, as it should.
+      phv.hula->path_util_permille = 0;
+      phv.std_meta.egress_port = config_.uplink_ports[uplink];
+      ++probes_tx_;
+      return;
+    }
+    handle_probe(phv, ctx);
+    return;
+  }
+  forward_data(phv, ctx);
+}
+
+void HulaTorProgram::handle_probe(pisa::Phv& phv, core::EventContext& ctx) {
+  // A probe advertising the path toward phv.hula->tor_id arrived on an
+  // uplink; record it and consume the probe.
+  const std::uint16_t in_port = phv.std_meta.ingress_port;
+  const auto it = std::find(config_.uplink_ports.begin(),
+                            config_.uplink_ports.end(), in_port);
+  if (it == config_.uplink_ports.end() ||
+      phv.hula->tor_id >= config_.num_tors) {
+    phv.std_meta.drop = true;
+    return;
+  }
+  const auto uplink =
+      static_cast<std::size_t>(it - config_.uplink_ports.begin());
+  // Complete the path with the first hop data will take from here: this
+  // ToR's own uplink toward the spine (local tx utilization).
+  path_util_[phv.hula->tor_id][uplink] =
+      std::max(phv.hula->path_util_permille,
+               local_util_permille(uplink, ctx.now()));
+  ++probes_rx_;
+  const sim::Time staleness =
+      ctx.now() - sim::Time(static_cast<std::int64_t>(phv.hula->origin_ts_ps));
+  staleness_.add(staleness.as_micros());
+  phv.std_meta.drop = true;  // probes terminate here
+}
+
+std::uint32_t HulaTorProgram::dst_tor_of(net::Ipv4Address dst) const {
+  for (const auto& s : config_.subnets) {
+    if (s.prefix.matches_prefix(dst, 24)) {
+      return s.tor_id;
+    }
+  }
+  return kUtilUnknown;
+}
+
+void HulaTorProgram::forward_data(pisa::Phv& phv, core::EventContext&) {
+  if (!phv.ipv4) {
+    phv.std_meta.drop = true;
+    return;
+  }
+  const std::uint32_t tor = dst_tor_of(phv.ipv4->dst);
+  if (tor == kUtilUnknown) {
+    phv.std_meta.drop = true;
+    return;
+  }
+  if (tor == config_.tor_id) {
+    phv.std_meta.egress_port = config_.host_port;  // local delivery
+  } else {
+    phv.std_meta.egress_port = best_uplink(tor);
+  }
+  ++data_fwd_;
+}
+
+std::uint16_t HulaTorProgram::best_uplink(std::uint32_t tor) const {
+  assert(tor < config_.num_tors && !config_.uplink_ports.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < config_.uplink_ports.size(); ++i) {
+    if (path_util_[tor][i] < path_util_[tor][best]) {
+      best = i;
+    }
+  }
+  return config_.uplink_ports[best];
+}
+
+std::uint32_t HulaTorProgram::path_util(std::uint32_t tor,
+                                        std::size_t i) const {
+  return path_util_[tor][i];
+}
+
+void HulaTorProgram::on_enqueue(const tm_::EnqueueRecord& e,
+                                core::EventContext&) {
+  // Track utilization of the uplinks from buffer enqueue events.
+  const auto it = std::find(config_.uplink_ports.begin(),
+                            config_.uplink_ports.end(), e.port);
+  if (it == config_.uplink_ports.end()) {
+    return;
+  }
+  const auto i =
+      static_cast<std::size_t>(it - config_.uplink_ports.begin());
+  uplink_rate_[i].observe(e.pkt_len, e.when);
+}
+
+std::uint32_t HulaTorProgram::local_util_permille(std::size_t i,
+                                                  sim::Time now) const {
+  return util_permille(uplink_rate_[i], config_.port_rate_bps, now);
+}
+
+// ---- Spine -------------------------------------------------------------------
+
+HulaSpineProgram::HulaSpineProgram(HulaSpineConfig config)
+    : config_(std::move(config)) {
+  port_rate_.reserve(config_.tor_port.size());
+  for (std::size_t i = 0; i < config_.tor_port.size(); ++i) {
+    port_rate_.emplace_back(config_.util_tau);
+  }
+}
+
+std::uint32_t HulaSpineProgram::port_tor(std::uint16_t port) const {
+  for (std::size_t t = 0; t < config_.tor_port.size(); ++t) {
+    if (config_.tor_port[t] == port) {
+      return static_cast<std::uint32_t>(t);
+    }
+  }
+  return 0xffffffffU;
+}
+
+void HulaSpineProgram::on_ingress(pisa::Phv& phv, core::EventContext& ctx) {
+  if (phv.hula) {
+    // Relay the probe to the other ToR(s); with two ToRs this is the single
+    // port that is not the arrival port. The probe accumulates the max
+    // utilization along its path.
+    const std::uint32_t from_tor = port_tor(phv.std_meta.ingress_port);
+    if (from_tor == 0xffffffffU) {
+      phv.std_meta.drop = true;  // probe from a non-ToR port
+      return;
+    }
+    // The probe advertises the path TOWARD its originating ToR, so the
+    // relevant link here is this spine's egress toward that origin — the
+    // port the probe arrived on (data to the origin flows out of it).
+    phv.hula->path_util_permille =
+        std::max(phv.hula->path_util_permille,
+                 util_permille(port_rate_[from_tor], config_.port_rate_bps,
+                               ctx.now()));
+    if (config_.probe_mcast_base != 0) {
+      // Flood to every other ToR through the replication engine.
+      phv.std_meta.mcast_group = static_cast<std::uint16_t>(
+          config_.probe_mcast_base + from_tor);
+      ++probes_relayed_;
+      return;
+    }
+    std::uint32_t target = 0xffffffffU;
+    for (std::size_t t = 0; t < config_.tor_port.size(); ++t) {
+      if (static_cast<std::uint32_t>(t) != from_tor) {
+        target = static_cast<std::uint32_t>(t);
+      }
+    }
+    if (target == 0xffffffffU) {
+      phv.std_meta.drop = true;
+      return;
+    }
+    phv.std_meta.egress_port = config_.tor_port[target];
+    ++probes_relayed_;
+    return;
+  }
+  // Data packets: route to the ToR owning the destination subnet.
+  if (!phv.ipv4) {
+    phv.std_meta.drop = true;
+    return;
+  }
+  for (const auto& s : config_.subnets) {
+    if (s.prefix.matches_prefix(phv.ipv4->dst, 24) &&
+        s.tor_id < config_.tor_port.size()) {
+      phv.std_meta.egress_port = config_.tor_port[s.tor_id];
+      return;
+    }
+  }
+  phv.std_meta.drop = true;
+}
+
+void HulaSpineProgram::on_enqueue(const tm_::EnqueueRecord& e,
+                                  core::EventContext&) {
+  const std::uint32_t tor = port_tor(e.port);
+  if (tor != 0xffffffffU) {
+    port_rate_[tor].observe(e.pkt_len, e.when);
+  }
+}
+
+}  // namespace edp::apps

@@ -1,0 +1,100 @@
+#include "apps/int_aggregator.hpp"
+
+#include <algorithm>
+
+#include "net/flow.hpp"
+#include "net/packet_builder.hpp"
+
+namespace edp::apps {
+namespace {
+constexpr std::uint64_t kReportCookie = 0x1277;
+}  // namespace
+
+IntAggregatorProgram::IntAggregatorProgram(IntAggregatorConfig config)
+    : config_(config),
+      depth_(config.num_ports, 0),
+      drops_since_(config.num_ports, 0),
+      flows_(config.flow_slots) {}
+
+void IntAggregatorProgram::on_attach(core::EventContext& ctx) {
+  ctx.set_periodic_timer(config_.report_period, kReportCookie);
+}
+
+void IntAggregatorProgram::on_ingress(pisa::Phv& phv,
+                                      core::EventContext&) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  ++naive_postcards_;  // a per-packet INT postcard would leave here
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  set_enq_meta(phv, 0, flow_id);
+  set_deq_meta(phv, 0, flow_id);
+}
+
+void IntAggregatorProgram::on_enqueue(const tm_::EnqueueRecord& e,
+                                      core::EventContext&) {
+  if (e.port < depth_.size()) {
+    depth_[e.port] += e.pkt_len;
+  }
+  flows_.on_enqueue(static_cast<std::uint32_t>(e.enq_meta[0]));
+}
+
+void IntAggregatorProgram::on_dequeue(const tm_::DequeueRecord& e,
+                                      core::EventContext&) {
+  if (e.port < depth_.size()) {
+    depth_[e.port] =
+        std::max<std::int64_t>(0, depth_[e.port] - e.pkt_len);
+  }
+  flows_.on_dequeue(static_cast<std::uint32_t>(e.deq_meta[0]));
+}
+
+void IntAggregatorProgram::on_overflow(const tm_::DropRecord& e,
+                                       core::EventContext&) {
+  if (e.port < drops_since_.size()) {
+    ++drops_since_[e.port];
+  }
+}
+
+void IntAggregatorProgram::on_timer(const core::TimerEventData& e,
+                                    core::EventContext& ctx) {
+  if (e.cookie != kReportCookie) {
+    return;
+  }
+  for (std::uint16_t port = 0; port < config_.num_ports; ++port) {
+    const bool anomalous =
+        depth_[port] >
+            static_cast<std::int64_t>(config_.depth_thresh_bytes) ||
+        drops_since_[port] > 0;
+    if (!anomalous) {
+      ++reports_suppressed_;
+      continue;
+    }
+    net::IntReportHeader rep;
+    rep.switch_id = ctx.switch_id();
+    rep.queue_id = port;
+    rep.flags = net::IntReportHeader::kFlagAnomaly;
+    rep.queue_depth_bytes = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, depth_[port]));
+    rep.active_flows = flows_.active_flows();
+    rep.drops = drops_since_[port];
+    rep.ts_ps = static_cast<std::uint64_t>(ctx.now().ps());
+    drops_since_[port] = 0;
+    net::Packet p =
+        net::PacketBuilder()
+            .ethernet(net::MacAddress::from_u64(0x02000000cc00),
+                      net::MacAddress::from_u64(0x02000000dd00))
+            .ipv4(config_.self_ip, config_.monitor_ip, net::kIpProtoUdp)
+            .udp(static_cast<std::uint16_t>(31000 + seq_++),
+                 net::kPortIntReport)
+            .int_report(rep)
+            .pad_to(64)
+            .build();
+    if (ctx.send_packet(std::move(p), config_.report_port)) {
+      ++reports_sent_;
+    }
+  }
+}
+
+}  // namespace edp::apps

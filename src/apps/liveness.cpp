@@ -1,0 +1,133 @@
+#include "apps/liveness.hpp"
+
+#include "net/packet_builder.hpp"
+
+namespace edp::apps {
+namespace {
+
+constexpr std::uint64_t kCheckCookie = 0x11fe;
+
+net::Packet make_echo(std::uint32_t self_id, std::size_t port_index) {
+  net::LivenessHeader h;
+  h.kind = net::LivenessHeader::kRequest;
+  h.sender_id = self_id;
+  return net::PacketBuilder()
+      .ethernet(net::MacAddress::from_u64(0x020000000100 + self_id),
+                net::MacAddress::from_u64(port_index),
+                net::kEtherTypeLiveness)
+      .liveness(h)
+      .pad_to(64)
+      .build();
+}
+
+}  // namespace
+
+LivenessProgram::LivenessProgram(LivenessConfig config)
+    : config_(std::move(config)),
+      last_seen_(config_.monitored_ports.size(), sim::Time::zero()),
+      alive_(config_.monitored_ports.size(), 1),
+      failed_at_(config_.monitored_ports.size(), sim::Time::zero()) {}
+
+void LivenessProgram::on_attach(core::EventContext& ctx) {
+  for (std::size_t i = 0; i < config_.monitored_ports.size(); ++i) {
+    core::PacketGenerator::Config g;
+    g.packet_template = make_echo(config_.self_id, i);
+    g.period = config_.probe_period;
+    g.start_immediately = true;
+    ctx.add_generator(std::move(g));
+    last_seen_[i] = ctx.now();  // grace period from attach
+  }
+  ctx.set_periodic_timer(config_.check_period, kCheckCookie);
+}
+
+int LivenessProgram::port_index(std::uint16_t port) const {
+  for (std::size_t i = 0; i < config_.monitored_ports.size(); ++i) {
+    if (config_.monitored_ports[i] == port) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void LivenessProgram::on_generated(pisa::Phv& phv, core::EventContext& ctx) {
+  if (!phv.liveness || !phv.eth) {
+    phv.std_meta.drop = true;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(
+      phv.eth->dst.to_u64() % config_.monitored_ports.size());
+  phv.liveness->seq = next_seq_++;
+  phv.liveness->ts_ps = static_cast<std::uint64_t>(ctx.now().ps());
+  phv.std_meta.egress_port = config_.monitored_ports[idx];
+  ++requests_tx_;
+}
+
+void LivenessProgram::on_ingress(pisa::Phv& phv, core::EventContext& ctx) {
+  if (!phv.liveness) {
+    phv.std_meta.drop = true;  // this program only speaks liveness
+    return;
+  }
+  if (phv.liveness->kind == net::LivenessHeader::kRequest) {
+    // Reflect: turn the request into a reply back out the arrival port,
+    // preserving the originator's timestamp for RTT measurement.
+    phv.liveness->kind = net::LivenessHeader::kReply;
+    phv.std_meta.egress_port = phv.std_meta.ingress_port;
+    return;
+  }
+  if (phv.liveness->kind == net::LivenessHeader::kReply) {
+    const int i = port_index(phv.std_meta.ingress_port);
+    if (i >= 0) {
+      const auto idx = static_cast<std::size_t>(i);
+      last_seen_[idx] = ctx.now();
+      const sim::Time rtt =
+          ctx.now() -
+          sim::Time(static_cast<std::int64_t>(phv.liveness->ts_ps));
+      rtt_.add(rtt.as_micros());
+      ++replies_rx_;
+      if (alive_[idx] == 0) {
+        alive_[idx] = 1;  // neighbor recovered
+        failed_at_[idx] = sim::Time::zero();
+      }
+    }
+    phv.std_meta.drop = true;
+    return;
+  }
+  phv.std_meta.drop = true;  // failure notices terminate at the monitor
+}
+
+void LivenessProgram::on_timer(const core::TimerEventData& e,
+                               core::EventContext& ctx) {
+  if (e.cookie != kCheckCookie) {
+    return;
+  }
+  for (std::size_t i = 0; i < config_.monitored_ports.size(); ++i) {
+    if (alive_[i] == 0) {
+      continue;
+    }
+    if (ctx.now() - last_seen_[i] > config_.dead_after) {
+      alive_[i] = 0;
+      failed_at_[i] = ctx.now();
+      if (config_.monitor_port != 0xffff) {
+        net::LivenessHeader h;
+        h.kind = net::LivenessHeader::kFailureNotice;
+        h.sender_id = config_.self_id;
+        h.seq = static_cast<std::uint16_t>(i);
+        h.ts_ps = static_cast<std::uint64_t>(ctx.now().ps());
+        net::Packet notice =
+            net::PacketBuilder()
+                .ethernet(
+                    net::MacAddress::from_u64(0x020000000100 +
+                                              config_.self_id),
+                    net::MacAddress::broadcast(), net::kEtherTypeLiveness)
+                .liveness(h)
+                .pad_to(64)
+                .build();
+        if (ctx.send_packet(std::move(notice), config_.monitor_port)) {
+          ++notices_tx_;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace edp::apps

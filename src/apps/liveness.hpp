@@ -1,0 +1,73 @@
+// edp::apps — data-plane liveness monitoring (paper §5 student project).
+//
+// "The event-driven programming model was used to implement a protocol in
+// the data plane that periodically checks the liveness of neighboring
+// network devices by transmitting echo request packets and waiting for
+// replies. Upon detecting failure of a neighbor, the data plane transmits
+// notifications to a central monitor, with no intervention by the control
+// plane."
+//
+// Per monitored port: a packet generator emits echo requests every probe
+// period; replies refresh a last-seen register; a periodic check timer
+// declares the neighbor dead after `dead_after` of silence and sends a
+// FailureNotice packet toward the monitor — all in the data plane.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event_program.hpp"
+#include "stats/histogram.hpp"
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+struct LivenessConfig {
+  std::uint32_t self_id = 0;
+  std::vector<std::uint16_t> monitored_ports;
+  sim::Time probe_period = sim::Time::micros(500);
+  sim::Time check_period = sim::Time::micros(500);
+  sim::Time dead_after = sim::Time::micros(1600);  ///< ~3 missed probes
+  /// Where failure notices go (switch port toward the central monitor);
+  /// kPortInvalid disables notification.
+  std::uint16_t monitor_port = 0xffff;
+};
+
+class LivenessProgram : public core::EventProgram {
+ public:
+  explicit LivenessProgram(LivenessConfig config);
+
+  void on_attach(core::EventContext& ctx) override;
+  void on_generated(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_timer(const core::TimerEventData& e,
+                core::EventContext& ctx) override;
+
+  /// Detection state per monitored port index.
+  bool neighbor_alive(std::size_t i) const { return alive_[i] != 0; }
+  sim::Time failure_detected_at(std::size_t i) const {
+    return failed_at_[i];
+  }
+
+  std::uint64_t requests_sent() const { return requests_tx_; }
+  std::uint64_t replies_received() const { return replies_rx_; }
+  std::uint64_t notices_sent() const { return notices_tx_; }
+  const stats::Summary& rtt_us() const { return rtt_; }
+
+  const LivenessConfig& config() const { return config_; }
+
+ private:
+  int port_index(std::uint16_t port) const;
+
+  LivenessConfig config_;
+  std::vector<sim::Time> last_seen_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<sim::Time> failed_at_;
+  std::uint16_t next_seq_ = 0;
+  std::uint64_t requests_tx_ = 0;
+  std::uint64_t replies_rx_ = 0;
+  std::uint64_t notices_tx_ = 0;
+  stats::Summary rtt_;
+};
+
+}  // namespace edp::apps

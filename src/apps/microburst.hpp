@@ -1,0 +1,87 @@
+// edp::apps — microburst culprit detection (paper §2, microburst.p4).
+//
+// The paper's worked example, transliterated handler for handler:
+//
+//   shared_register<bit<32>>(NUM_REGS) bufSize_reg;
+//   Ingress: flowID = hash(ip.src ++ ip.dst); init enq/deq metadata;
+//            bufSize_reg.read(flowID, bufSize);
+//            if (bufSize > FLOW_THRESH) { /* microburst culprit! */ }
+//   Enqueue: bufSize += meta.pkt_len   (per meta.flowID)
+//   Dequeue: bufSize -= meta.pkt_len
+//
+// Two state realizations are provided, matching §4:
+//   kShared     — multi-ported shared_register (logical model; exact)
+//   kAggregated — single-ported main register + enq/deq aggregation arrays
+//                 (high line-rate model; bounded-stale)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/aggregated_register.hpp"
+#include "core/shared_register.hpp"
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+/// How the shared per-flow occupancy state is realized (paper §4).
+enum class StateModel : std::uint8_t { kShared, kAggregated };
+
+/// One detected culprit occurrence.
+struct CulpritDetection {
+  std::uint32_t flow_id = 0;
+  std::int64_t occupancy = 0;        ///< bytes the detector saw
+  sim::Time when = sim::Time::zero();
+  bool at_ingress = true;            ///< detected before enqueue?
+};
+
+struct MicroburstConfig {
+  std::size_t num_regs = 1024;       ///< NUM_REGS
+  std::int64_t flow_thresh = 32 * 1024;  ///< FLOW_THRESH (bytes)
+  StateModel state = StateModel::kAggregated;
+  /// Suppress repeat detections of one flow within this window.
+  sim::Time dedup_window = sim::Time::micros(100);
+};
+
+class MicroburstProgram : public topo::L3Program {
+ public:
+  explicit MicroburstProgram(MicroburstConfig config);
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_enqueue(const tm_::EnqueueRecord& e,
+                  core::EventContext& ctx) override;
+  void on_dequeue(const tm_::DequeueRecord& e,
+                  core::EventContext& ctx) override;
+
+  const std::vector<CulpritDetection>& detections() const {
+    return detections_;
+  }
+
+  /// Current per-flow occupancy as the detector would read it.
+  std::int64_t occupancy(std::uint32_t flow_id) const;
+
+  /// Programmer-visible stateful memory (for the C1 state comparison).
+  std::size_t state_bytes() const;
+
+  /// The aggregated register (nullptr under kShared) — register it with the
+  /// switch for idle-cycle drains.
+  core::AggregatedRegister* aggregated() { return agg_.get(); }
+
+  const MicroburstConfig& config() const { return config_; }
+
+ private:
+  std::uint32_t slot(std::uint32_t flow_id) const {
+    return flow_id % static_cast<std::uint32_t>(config_.num_regs);
+  }
+  void detect(std::uint32_t flow_id, std::int64_t occupancy, sim::Time now);
+
+  MicroburstConfig config_;
+  std::unique_ptr<core::SharedRegister<std::int64_t>> shared_;
+  std::unique_ptr<core::AggregatedRegister> agg_;
+  std::vector<CulpritDetection> detections_;
+  /// Last detection time per state slot (dedup).
+  std::vector<sim::Time> last_detect_;
+};
+
+}  // namespace edp::apps

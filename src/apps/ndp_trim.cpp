@@ -1,0 +1,43 @@
+#include "apps/ndp_trim.hpp"
+
+#include <algorithm>
+
+namespace edp::apps {
+
+NdpTrimProgram::NdpTrimProgram(NdpTrimConfig config)
+    : config_(config), depth_(config.num_ports, 0) {}
+
+void NdpTrimProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  const std::uint16_t out = phv.std_meta.egress_port;
+  if (out < depth_.size() &&
+      depth_[out] > static_cast<std::int64_t>(config_.trim_thresh_bytes)) {
+    // Trim: discard the payload (the deparser re-emits the headers with a
+    // recomputed IPv4 length/checksum) and escalate to the priority queue.
+    phv.payload_offset = phv.packet.size();
+    phv.ipv4->ecn = 3;  // CE mark so endpoints see the congestion too
+    phv.std_meta.qid = config_.priority_qid;
+    ++trimmed_;
+  } else {
+    phv.std_meta.qid = config_.data_qid;
+  }
+}
+
+void NdpTrimProgram::on_enqueue(const tm_::EnqueueRecord& e,
+                                core::EventContext&) {
+  if (e.port < depth_.size()) {
+    depth_[e.port] += e.pkt_len;
+  }
+}
+
+void NdpTrimProgram::on_dequeue(const tm_::DequeueRecord& e,
+                                core::EventContext&) {
+  if (e.port < depth_.size()) {
+    depth_[e.port] = std::max<std::int64_t>(0, depth_[e.port] - e.pkt_len);
+  }
+}
+
+}  // namespace edp::apps

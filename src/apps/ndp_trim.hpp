@@ -1,0 +1,54 @@
+// edp::apps — NDP-style packet trimming with priority forwarding (paper
+// §3 "Congestion Aware Forwarding", citing NDP [8]: congestion signals
+// "can be used in the ingress pipeline to make priority forwarding
+// decisions, as in NDP").
+//
+// NDP's core trick: when a queue is congested, don't drop the packet —
+// TRIM it to its headers and forward the header at high priority. The
+// receiver still learns the packet existed (and can request a resend)
+// within one RTT, instead of waiting out a timeout.
+//
+// Event-driven realization: per-port occupancy is maintained from
+// enqueue/dequeue events; the ingress handler compares the chosen egress
+// port's occupancy against the trim threshold and, when exceeded, cuts
+// the PHV's payload (the deparser re-emits a consistent header-only
+// packet) and steers it to the strict-priority queue 0. Untrimmed traffic
+// rides queue 1. Requires queues_per_port >= 2 with the strict-priority
+// TM scheduler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+struct NdpTrimConfig {
+  std::uint16_t num_ports = 4;
+  /// Trim arriving packets for a port whose occupancy exceeds this.
+  std::size_t trim_thresh_bytes = 16 * 1024;
+  std::uint8_t priority_qid = 0;  ///< trimmed headers (strict priority)
+  std::uint8_t data_qid = 1;      ///< full packets
+};
+
+class NdpTrimProgram : public topo::L3Program {
+ public:
+  explicit NdpTrimProgram(NdpTrimConfig config);
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_enqueue(const tm_::EnqueueRecord& e,
+                  core::EventContext& ctx) override;
+  void on_dequeue(const tm_::DequeueRecord& e,
+                  core::EventContext& ctx) override;
+
+  std::uint64_t trimmed() const { return trimmed_; }
+  std::int64_t port_depth(std::uint16_t port) const { return depth_[port]; }
+
+ private:
+  NdpTrimConfig config_;
+  std::vector<std::int64_t> depth_;
+  std::uint64_t trimmed_ = 0;
+};
+
+}  // namespace edp::apps

@@ -1,0 +1,124 @@
+#include "apps/netcache.hpp"
+
+namespace edp::apps {
+namespace {
+
+constexpr std::uint64_t kDecayCookie = 0xcac4e;
+
+/// 64-bit mix for slot indexing.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+NetCacheProgram::NetCacheProgram(NetCacheConfig config)
+    : config_(config),
+      slots_(config.cache_slots),
+      popularity_(1024, 3) {}
+
+void NetCacheProgram::on_attach(core::EventContext& ctx) {
+  ctx.set_periodic_timer(config_.decay_period, kDecayCookie);
+}
+
+std::size_t NetCacheProgram::slot_of(std::uint64_t key) const {
+  return static_cast<std::size_t>(mix(key) % slots_.size());
+}
+
+bool NetCacheProgram::cached(std::uint64_t key) const {
+  const Slot& s = slots_[slot_of(key)];
+  return s.valid && s.key == key;
+}
+
+void NetCacheProgram::answer_from_cache(pisa::Phv& phv, const Slot& slot) {
+  // Bounce the request back as a reply: swap L2/L3/L4 addressing, fill in
+  // the value — the switch impersonates the server.
+  std::swap(phv.eth->src, phv.eth->dst);
+  std::swap(phv.ipv4->src, phv.ipv4->dst);
+  std::swap(phv.udp->src_port, phv.udp->dst_port);
+  phv.kv->op = net::KvHeader::kReply;
+  phv.kv->value = slot.value;
+  phv.std_meta.egress_port = phv.std_meta.ingress_port;
+}
+
+void NetCacheProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  if (!phv.kv || !phv.ipv4 || !phv.udp || !phv.eth) {
+    // Non-KV traffic: plain two-port forwarding between client and server.
+    if (phv.ipv4 && phv.ipv4->dst == config_.server_ip) {
+      phv.std_meta.egress_port = config_.server_port;
+    } else if (phv.ipv4) {
+      phv.std_meta.egress_port = config_.client_port;
+    } else {
+      phv.std_meta.drop = true;
+    }
+    return;
+  }
+
+  Slot& slot = slots_[slot_of(phv.kv->key)];
+  switch (phv.kv->op) {
+    case net::KvHeader::kGet: {
+      if (slot.valid && slot.key == phv.kv->key) {
+        ++hits_;
+        if (slot.hits < UINT32_MAX) {
+          ++slot.hits;
+        }
+        answer_from_cache(phv, slot);
+        return;
+      }
+      ++misses_;
+      ++server_gets_;
+      popularity_.update(phv.kv->key, 1);
+      phv.std_meta.egress_port = config_.server_port;
+      return;
+    }
+    case net::KvHeader::kReply: {
+      // Server reply passing through: insert hot keys. A key earns a slot
+      // if it is hot and the incumbent is colder (decayed hits).
+      if (popularity_.estimate(phv.kv->key) >= config_.hot_thresh) {
+        const bool take =
+            !slot.valid || slot.key == phv.kv->key || slot.hits == 0;
+        if (take) {
+          slot.valid = true;
+          slot.key = phv.kv->key;
+          slot.value = phv.kv->value;
+          slot.hits = 1;
+          ++insertions_;
+        }
+      }
+      phv.std_meta.egress_port = config_.client_port;
+      return;
+    }
+    case net::KvHeader::kSet: {
+      // Write-through invalidate + update on the way to the server.
+      if (slot.valid && slot.key == phv.kv->key) {
+        slot.value = phv.kv->value;
+      }
+      phv.std_meta.egress_port = config_.server_port;
+      return;
+    }
+    default:
+      phv.std_meta.drop = true;
+      return;
+  }
+}
+
+void NetCacheProgram::on_timer(const core::TimerEventData& e,
+                               core::EventContext&) {
+  if (e.cookie != kDecayCookie) {
+    return;
+  }
+  // Approximate LRU: halve every slot's hit counter; a slot that decays to
+  // zero becomes replaceable.
+  for (auto& s : slots_) {
+    s.hits >>= 1;
+  }
+  // Fast workload adaptation: periodically clear the popularity stats.
+  if (config_.clear_every != 0 &&
+      ++decay_ticks_ % config_.clear_every == 0) {
+    popularity_.reset();
+  }
+}
+
+}  // namespace edp::apps

@@ -1,0 +1,82 @@
+// edp::apps — NetCache-style in-network key-value cache (Jin et al.,
+// reference [13]; paper §3 "In-Network Computing").
+//
+// "Timer events allow the programmer to write more sophisticated cache
+// replacement policies, such as approximate least-recently-used (LRU),
+// entirely in the data plane. Timer events can also be used to quickly
+// clear all NetCache statistics, which ... would allow the cache to more
+// rapidly react to workload changes."
+//
+// The cache is a hash-indexed slot array; GET hits are answered directly
+// by the switch, misses are counted in a CMS and forwarded to the server;
+// hot keys are inserted from the reply path. A decay timer halves slot hit
+// counters (approximate LRU) and periodically clears the popularity
+// statistics (fast workload adaptation) — both pure data-plane maintenance
+// that a baseline architecture would need the control plane for.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event_program.hpp"
+#include "stats/count_min_sketch.hpp"
+
+namespace edp::apps {
+
+struct NetCacheConfig {
+  std::size_t cache_slots = 256;
+  std::uint64_t hot_thresh = 8;   ///< CMS count to consider a key hot
+  sim::Time decay_period = sim::Time::millis(1);
+  /// Clear the popularity sketch every `clear_every` decay ticks
+  /// (0 = never clear).
+  std::uint32_t clear_every = 8;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 1;
+  net::Ipv4Address server_ip;
+};
+
+class NetCacheProgram : public core::EventProgram {
+ public:
+  explicit NetCacheProgram(NetCacheConfig config);
+
+  void on_attach(core::EventContext& ctx) override;
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_timer(const core::TimerEventData& e,
+                core::EventContext& ctx) override;
+
+  std::uint64_t cache_hits() const { return hits_; }
+  std::uint64_t cache_misses() const { return misses_; }
+  std::uint64_t server_gets() const { return server_gets_; }
+  std::uint64_t insertions() const { return insertions_; }
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+  bool cached(std::uint64_t key) const;
+
+  const NetCacheConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    std::uint32_t hits = 0;  ///< decayed by the timer (approximate LRU)
+  };
+
+  std::size_t slot_of(std::uint64_t key) const;
+  void answer_from_cache(pisa::Phv& phv, const Slot& slot);
+
+  NetCacheConfig config_;
+  std::vector<Slot> slots_;
+  stats::CountMinSketch popularity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t server_gets_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint32_t decay_ticks_ = 0;
+};
+
+}  // namespace edp::apps

@@ -1,0 +1,74 @@
+#include "apps/policer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/flow.hpp"
+
+namespace edp::apps {
+
+TimerTokenBucketProgram::TimerTokenBucketProgram(TokenBucketConfig config)
+    : config_(config),
+      tokens_(config.flow_slots,
+              static_cast<std::int64_t>(config.burst_bytes)) {
+  refill_amount_ = static_cast<std::int64_t>(std::llround(
+      config_.rate_bytes_per_sec * config_.refill_period.as_seconds()));
+}
+
+void TimerTokenBucketProgram::on_attach(core::EventContext& ctx) {
+  ctx.set_periodic_timer(config_.refill_period, /*cookie=*/0x70c);
+}
+
+void TimerTokenBucketProgram::on_ingress(pisa::Phv& phv,
+                                         core::EventContext&) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  auto& bucket = tokens_[flow_id % tokens_.size()];
+  const auto len = static_cast<std::int64_t>(phv.std_meta.packet_length);
+  if (bucket >= len) {
+    bucket -= len;
+    ++conformant_;
+  } else {
+    phv.std_meta.drop = true;
+    ++policed_;
+  }
+}
+
+void TimerTokenBucketProgram::on_timer(const core::TimerEventData& e,
+                                       core::EventContext&) {
+  if (e.cookie != 0x70c) {
+    return;
+  }
+  const auto cap = static_cast<std::int64_t>(config_.burst_bytes);
+  for (auto& bucket : tokens_) {
+    bucket = std::min(cap, bucket + refill_amount_);
+  }
+}
+
+MeterPolicerProgram::MeterPolicerProgram(std::size_t flow_slots,
+                                         pisa::Meter::Config meter)
+    : meter_("policer", flow_slots, meter) {}
+
+void MeterPolicerProgram::on_ingress(pisa::Phv& phv,
+                                     core::EventContext& ctx) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  const pisa::MeterColor color =
+      meter_.execute(flow_id, phv.std_meta.packet_length, ctx.now());
+  if (color == pisa::MeterColor::kRed) {
+    phv.std_meta.drop = true;
+    ++policed_;
+  } else {
+    ++conformant_;
+  }
+}
+
+}  // namespace edp::apps

@@ -1,0 +1,75 @@
+// edp::apps — programmable policing (paper §3 "Traffic Management").
+//
+// "While baseline PISA architectures might expose fixed-function meters to
+// P4 programmers as primitive elements, if we use timer events, token
+// bucket meters can be constructed from simple registers. This approach
+// allows data-plane developers to build and customize their own policing
+// algorithms."
+//
+// `TimerTokenBucketProgram` builds a per-flow single-rate policer out of a
+// token register array refilled by timer events; `MeterPolicerProgram`
+// wraps the fixed-function srTCM extern as the baseline. Both drop
+// non-conformant packets at ingress; bench_table2_apps compares their rate
+// conformance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pisa/meter.hpp"
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+struct TokenBucketConfig {
+  std::size_t flow_slots = 256;
+  double rate_bytes_per_sec = 1.25e6;  ///< committed rate (10 Mb/s default)
+  std::uint64_t burst_bytes = 15000;   ///< bucket depth
+  sim::Time refill_period = sim::Time::micros(100);
+};
+
+/// Token bucket from registers + timer events (event architecture only:
+/// without timers the bucket never refills and everything is dropped,
+/// which is exactly the baseline gap the paper points at).
+class TimerTokenBucketProgram : public topo::L3Program {
+ public:
+  explicit TimerTokenBucketProgram(TokenBucketConfig config);
+
+  void on_attach(core::EventContext& ctx) override;
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_timer(const core::TimerEventData& e,
+                core::EventContext& ctx) override;
+
+  std::uint64_t conformant() const { return conformant_; }
+  std::uint64_t policed() const { return policed_; }
+  std::int64_t tokens(std::uint32_t flow_id) const {
+    return tokens_[flow_id % tokens_.size()];
+  }
+
+  const TokenBucketConfig& config() const { return config_; }
+
+ private:
+  TokenBucketConfig config_;
+  std::vector<std::int64_t> tokens_;
+  std::int64_t refill_amount_ = 0;
+  std::uint64_t conformant_ = 0;
+  std::uint64_t policed_ = 0;
+};
+
+/// Baseline: fixed-function srTCM meter extern; red packets are dropped.
+class MeterPolicerProgram : public topo::L3Program {
+ public:
+  MeterPolicerProgram(std::size_t flow_slots, pisa::Meter::Config meter);
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+
+  std::uint64_t conformant() const { return conformant_; }
+  std::uint64_t policed() const { return policed_; }
+
+ private:
+  pisa::Meter meter_;
+  std::uint64_t conformant_ = 0;
+  std::uint64_t policed_ = 0;
+};
+
+}  // namespace edp::apps

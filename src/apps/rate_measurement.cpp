@@ -1,0 +1,37 @@
+#include "apps/rate_measurement.hpp"
+
+#include "net/flow.hpp"
+
+namespace edp::apps {
+namespace {
+constexpr std::uint64_t kTickCookie = 0x4a7e;
+}  // namespace
+
+RateMeasureProgram::RateMeasureProgram(RateMeasureConfig config)
+    : config_(config),
+      table_(config.flow_slots, config.buckets, config.bucket_width) {}
+
+void RateMeasureProgram::on_attach(core::EventContext& ctx) {
+  ctx.set_periodic_timer(config_.bucket_width, kTickCookie);
+}
+
+void RateMeasureProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  table_.observe(flow_id, phv.std_meta.packet_length);
+}
+
+void RateMeasureProgram::on_timer(const core::TimerEventData& e,
+                                  core::EventContext&) {
+  if (e.cookie != kTickCookie) {
+    return;
+  }
+  ++ticks_;
+  table_.tick();
+}
+
+}  // namespace edp::apps

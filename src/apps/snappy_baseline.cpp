@@ -1,0 +1,85 @@
+#include "apps/snappy_baseline.hpp"
+
+#include <algorithm>
+
+#include "net/flow.hpp"
+
+namespace edp::apps {
+
+SnappyProgram::SnappyProgram(SnappyConfig config)
+    : config_(config),
+      snapshots_(config.num_snapshots,
+                 std::vector<std::int64_t>(config.num_regs, 0)),
+      last_detect_(config.num_regs, sim::Time::zero()) {}
+
+void SnappyProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+}
+
+void SnappyProgram::maybe_rotate(sim::Time now) {
+  if (head_start_ == sim::Time::zero()) {
+    head_start_ = now;
+    return;
+  }
+  // May need several rotations after an idle period.
+  while (now - head_start_ >= config_.rotation) {
+    head_ = (head_ + 1) % snapshots_.size();
+    std::fill(snapshots_[head_].begin(), snapshots_[head_].end(), 0);
+    head_start_ += config_.rotation;
+    ++epoch_;
+  }
+}
+
+void SnappyProgram::on_egress(pisa::Phv& phv, core::EventContext& ctx) {
+  if (!phv.ipv4) {
+    return;
+  }
+  const sim::Time now = ctx.now();
+  maybe_rotate(now);
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  const std::uint32_t s = slot(flow_id);
+  snapshots_[head_][s] += phv.std_meta.packet_length;
+
+  // The packet's own queueing delay selects how many snapshots still
+  // correspond to bytes that are plausibly in the queue.
+  const sim::Time delay = now - phv.std_meta.enqueue_timestamp;
+  const std::int64_t est = estimate(flow_id, delay, now);
+  if (est > config_.flow_thresh) {
+    if (last_detect_[s] > sim::Time::zero() &&
+        now - last_detect_[s] < config_.dedup_window) {
+      return;
+    }
+    last_detect_[s] = now;
+    detections_.push_back(CulpritDetection{flow_id, est, now, false});
+  }
+}
+
+std::int64_t SnappyProgram::estimate(std::uint32_t flow_id,
+                                     sim::Time queue_delay,
+                                     sim::Time now) const {
+  // Bytes of this flow seen at egress within the last `queue_delay` are an
+  // estimate of what is still queued (they entered <= delay ago).
+  const std::uint32_t s = flow_id % static_cast<std::uint32_t>(
+                                        config_.num_regs);
+  std::int64_t sum = 0;
+  sim::Time covered = now - head_start_;  // age of the head snapshot
+  std::size_t idx = head_;
+  for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+    sum += snapshots_[idx][s];
+    if (covered >= queue_delay) {
+      break;
+    }
+    covered += config_.rotation;
+    idx = (idx + snapshots_.size() - 1) % snapshots_.size();
+  }
+  return sum;
+}
+
+std::size_t SnappyProgram::state_bytes() const {
+  // k snapshot arrays of 32-bit counters (hardware width), plus rotation
+  // bookkeeping (head index, epoch timestamps).
+  return snapshots_.size() * config_.num_regs * sizeof(std::uint32_t) + 64;
+}
+
+}  // namespace edp::apps

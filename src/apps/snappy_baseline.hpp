@@ -1,0 +1,78 @@
+// edp::apps — Snappy-style baseline microburst detection (Chen et al.,
+// "Catching the Microburst Culprits with Snappy", reference [3]).
+//
+// The approach the paper contrasts against: on a *baseline* PISA
+// architecture there are no enqueue/dequeue events, so per-flow queue
+// occupancy must be approximated in the egress pipeline with multiple
+// rotating snapshot arrays. Each snapshot accumulates the bytes of packets
+// seen at egress during one rotation interval; a flow's occupancy is
+// estimated as its bytes across the snapshots young enough to still be in
+// the queue (selected by the packet's measured queueing delay, which PSA
+// egress intrinsic metadata provides).
+//
+// Costs vs. the event-driven version (measured by bench_claim_microburst):
+//   * k snapshot arrays instead of one register (>= 4x state);
+//   * detection happens at egress, after the packet already sat in the
+//     queue, instead of at ingress before enqueue;
+//   * occupancy is approximate (rotation quantization + hash collisions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/microburst.hpp"
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+struct SnappyConfig {
+  std::size_t num_regs = 1024;          ///< per snapshot array
+  std::size_t num_snapshots = 8;        ///< k rotating snapshots
+  sim::Time rotation = sim::Time::micros(50);  ///< snapshot interval
+  std::int64_t flow_thresh = 32 * 1024;
+  sim::Time dedup_window = sim::Time::micros(100);
+};
+
+class SnappyProgram : public topo::L3Program {
+ public:
+  explicit SnappyProgram(SnappyConfig config);
+
+  /// Ingress just routes (baseline router).
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+
+  /// All the detection work happens at egress.
+  void on_egress(pisa::Phv& phv, core::EventContext& ctx) override;
+
+  const std::vector<CulpritDetection>& detections() const {
+    return detections_;
+  }
+
+  /// Estimated occupancy for a flow given an assumed queueing delay.
+  std::int64_t estimate(std::uint32_t flow_id, sim::Time queue_delay,
+                        sim::Time now) const;
+
+  /// Programmer-visible stateful memory: k snapshot arrays + rotation
+  /// bookkeeping registers.
+  std::size_t state_bytes() const;
+
+  const SnappyConfig& config() const { return config_; }
+
+ private:
+  std::uint32_t slot(std::uint32_t flow_id) const {
+    return flow_id % static_cast<std::uint32_t>(config_.num_regs);
+  }
+  /// Rotate if the rotation interval elapsed (driven by packet timestamps —
+  /// the only clock a baseline data plane has).
+  void maybe_rotate(sim::Time now);
+
+  SnappyConfig config_;
+  /// snapshots_[i] = byte counters of rotation epoch (epoch_ - i mod k).
+  std::vector<std::vector<std::int64_t>> snapshots_;
+  std::size_t head_ = 0;               ///< index of the current snapshot
+  sim::Time head_start_ = sim::Time::zero();
+  std::uint64_t epoch_ = 0;
+  std::vector<CulpritDetection> detections_;
+  std::vector<sim::Time> last_detect_;
+};
+
+}  // namespace edp::apps

@@ -1,0 +1,82 @@
+#include "apps/swing_state.hpp"
+
+#include "net/flow.hpp"
+#include "net/packet_builder.hpp"
+
+namespace edp::apps {
+namespace {
+
+constexpr std::size_t kSlotOff = net::EthernetHeader::kSize;
+constexpr std::size_t kPktsOff = kSlotOff + 4;
+constexpr std::size_t kBytesOff = kPktsOff + 8;
+constexpr std::size_t kFrameSize = kBytesOff + 8;
+
+}  // namespace
+
+SwingStateProgram::SwingStateProgram(SwingStateConfig config)
+    : config_(config),
+      packets_(config.flow_slots, 0),
+      bytes_(config.flow_slots, 0) {}
+
+net::Packet SwingStateProgram::make_state_packet(std::uint32_t slot) const {
+  net::Packet p =
+      net::PacketBuilder()
+          .ethernet(net::MacAddress::from_u64(0x02000000ee01),
+                    net::MacAddress::from_u64(0x02000000ee02),
+                    kEtherTypeSwingState)
+          .payload(kFrameSize - net::EthernetHeader::kSize)
+          .pad_to(64)
+          .build();
+  p.set_u32(kSlotOff, slot);
+  p.set_u64(kPktsOff, packets_[slot]);
+  p.set_u64(kBytesOff, bytes_[slot]);
+  return p;
+}
+
+void SwingStateProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  // State-carry frames from a failing peer: merge and consume.
+  if (phv.eth && phv.eth->ether_type == kEtherTypeSwingState) {
+    if (phv.packet.size() >= kFrameSize) {
+      const std::uint32_t slot =
+          phv.packet.u32(kSlotOff) % static_cast<std::uint32_t>(
+                                         packets_.size());
+      packets_[slot] += phv.packet.u64(kPktsOff);
+      bytes_[slot] += phv.packet.u64(kBytesOff);
+      ++migrated_in_;
+    }
+    phv.std_meta.drop = true;
+    return;
+  }
+  if (!phv.ipv4) {
+    phv.std_meta.drop = true;
+    return;
+  }
+  // The per-flow state this switch is responsible for.
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  const std::size_t s = flow_id % packets_.size();
+  ++packets_[s];
+  bytes_[s] += phv.std_meta.packet_length;
+  phv.std_meta.egress_port = config_.data_out_port;
+}
+
+void SwingStateProgram::on_link_status(const core::LinkStatusEventData& e,
+                                       core::EventContext& ctx) {
+  if (e.up || e.port != config_.monitored_port || migrated_) {
+    return;
+  }
+  // Swing the state: one carry packet per dirty slot, sent immediately
+  // from the data plane toward the backup-path switch.
+  migrated_ = true;
+  migration_at_ = ctx.now();
+  for (std::uint32_t s = 0; s < packets_.size(); ++s) {
+    if (packets_[s] == 0) {
+      continue;
+    }
+    if (ctx.send_packet(make_state_packet(s), config_.migration_port)) {
+      ++migrated_out_;
+    }
+  }
+}
+
+}  // namespace edp::apps

@@ -1,0 +1,73 @@
+// edp::apps — data-plane state migration on link failure (paper §3,
+// Table 2 "Network Management: Data-plane State Migration", citing
+// swing-state [17]).
+//
+// "re-routing traffic when links fail usually requires the control plane
+// to detect the failure, re-route the affected flows, and potentially
+// migrate data-plane state from a flow's old path to its new one. By
+// introducing link status change events, the data plane can immediately
+// respond to link failures, autonomously re-route affected flows and
+// migrate data-plane state."
+//
+// A switch on a flow's path maintains per-flow state (here: a per-flow
+// packet/byte accounting register, standing in for a policer/firewall
+// state). When the monitored downstream link dies, the LinkStatusChange
+// handler serializes every dirty slot into state-carry packets and sends
+// them out the migration port toward the switch on the backup path — no
+// control plane anywhere. The peer merges them and continues from the
+// migrated values.
+//
+// Wire format (EtherType 0x88b7): slot:u32 | packets:u64 | bytes:u64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/event_program.hpp"
+
+namespace edp::apps {
+
+/// Experimental EtherType for state-carry frames.
+inline constexpr std::uint16_t kEtherTypeSwingState = 0x88b7;
+
+struct SwingStateConfig {
+  std::size_t flow_slots = 256;
+  /// Data packets are forwarded out this port.
+  std::uint16_t data_out_port = 1;
+  /// Link whose failure triggers migration (usually == data_out_port).
+  std::uint16_t monitored_port = 1;
+  /// Where state-carry packets go (toward the backup-path switch).
+  std::uint16_t migration_port = 2;
+};
+
+class SwingStateProgram : public core::EventProgram {
+ public:
+  explicit SwingStateProgram(SwingStateConfig config);
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_link_status(const core::LinkStatusEventData& e,
+                      core::EventContext& ctx) override;
+
+  std::uint64_t flow_packets(std::uint32_t flow_id) const {
+    return packets_[flow_id % packets_.size()];
+  }
+  std::uint64_t flow_bytes(std::uint32_t flow_id) const {
+    return bytes_[flow_id % bytes_.size()];
+  }
+  std::uint64_t migrated_out() const { return migrated_out_; }
+  std::uint64_t migrated_in() const { return migrated_in_; }
+  sim::Time migration_started_at() const { return migration_at_; }
+
+ private:
+  net::Packet make_state_packet(std::uint32_t slot) const;
+
+  SwingStateConfig config_;
+  std::vector<std::uint64_t> packets_;
+  std::vector<std::uint64_t> bytes_;
+  std::uint64_t migrated_out_ = 0;
+  std::uint64_t migrated_in_ = 0;
+  sim::Time migration_at_ = sim::Time::zero();
+  bool migrated_ = false;
+};
+
+}  // namespace edp::apps

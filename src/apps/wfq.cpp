@@ -1,0 +1,46 @@
+#include "apps/wfq.hpp"
+
+#include <algorithm>
+
+#include "net/flow.hpp"
+
+namespace edp::apps {
+
+WfqProgram::WfqProgram(WfqConfig config)
+    : config_(config),
+      finish_(config.flow_slots, 0),
+      weight_(config.flow_slots, config.default_weight) {}
+
+void WfqProgram::set_weight(std::uint32_t flow_id, std::uint32_t weight) {
+  weight_[slot(flow_id)] = std::max<std::uint32_t>(1, weight);
+}
+
+void WfqProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+  if (!phv.ipv4 || phv.std_meta.drop) {
+    return;
+  }
+  const std::uint32_t flow_id =
+      net::flow_id_src_dst(phv.ipv4->src, phv.ipv4->dst);
+  const std::size_t s = slot(flow_id);
+  // Start-time fair queueing: start tag = max(V, F[f]); the PIFO serves
+  // packets in start-tag order, which is weighted-fair in bytes.
+  const std::uint64_t start = std::max(virtual_time_, finish_[s]);
+  // Virtual length = bytes / weight, scaled to keep integer precision.
+  const std::uint64_t vlen =
+      (static_cast<std::uint64_t>(phv.std_meta.packet_length) * 1024) /
+      weight_[s];
+  finish_[s] = start + vlen;
+  phv.std_meta.pifo_rank = start;
+  // Carry the start tag to the dequeue handler through deq_meta.
+  set_deq_meta(phv, 0, start);
+}
+
+void WfqProgram::on_dequeue(const tm_::DequeueRecord& e,
+                            core::EventContext&) {
+  // The virtual clock advances to the start tag of the packet being
+  // served — dequeue events give the scheduler its time base.
+  virtual_time_ = std::max(virtual_time_, e.deq_meta[0]);
+}
+
+}  // namespace edp::apps

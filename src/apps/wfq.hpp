@@ -1,0 +1,53 @@
+// edp::apps — programmable packet scheduling: WFQ over a PIFO (paper §3).
+//
+// "Taking this one step further, we can construct a complete, programmable
+// packet scheduler using our event-driven model in combination with the
+// recently proposed Push-In-First-Out (PIFO) queue."
+//
+// Start-time fair queueing on a PIFO: the ingress pipeline computes each
+// packet's rank (its virtual start time) from per-flow finish-time state;
+// dequeue events advance the scheduler's virtual clock. Weights are
+// per-flow, set through the control API — changing the scheduling
+// discipline is a program change, not a hardware change.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/routing.hpp"
+
+namespace edp::apps {
+
+struct WfqConfig {
+  std::size_t flow_slots = 256;
+  std::uint32_t default_weight = 1;
+};
+
+class WfqProgram : public topo::L3Program {
+ public:
+  explicit WfqProgram(WfqConfig config);
+
+  /// Control API: scheduling weight for a flow (by flow id hash).
+  void set_weight(std::uint32_t flow_id, std::uint32_t weight);
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+  void on_dequeue(const tm_::DequeueRecord& e,
+                  core::EventContext& ctx) override;
+
+  std::uint64_t virtual_time() const { return virtual_time_; }
+  std::uint64_t flow_finish(std::uint32_t flow_id) const {
+    return finish_[flow_id % finish_.size()];
+  }
+
+ private:
+  std::size_t slot(std::uint32_t flow_id) const {
+    return flow_id % finish_.size();
+  }
+
+  WfqConfig config_;
+  std::vector<std::uint64_t> finish_;   ///< per-flow virtual finish time
+  std::vector<std::uint32_t> weight_;
+  std::uint64_t virtual_time_ = 0;
+};
+
+}  // namespace edp::apps

@@ -1,0 +1,137 @@
+#include "core/aggregated_register.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edp::core {
+
+AggregatedRegister::AggregatedRegister(std::string name, std::size_t size,
+                                       DrainPolicy policy)
+    : name_(std::move(name)),
+      policy_(policy),
+      main_(name_ + ".main", size, /*ports=*/1),
+      enq_(size),
+      deq_(size) {
+  assert(size > 0);
+}
+
+std::int64_t AggregatedRegister::packet_read(std::size_t idx,
+                                             std::uint64_t cycle) {
+  main_.ports().try_acquire(cycle);
+  return main_.read(idx);
+}
+
+std::int64_t AggregatedRegister::packet_add(std::size_t idx,
+                                            std::int64_t delta,
+                                            std::uint64_t cycle) {
+  main_.ports().try_acquire(cycle);
+  return main_.rmw(idx, [delta](std::int64_t v) { return v + delta; });
+}
+
+void AggregatedRegister::agg_add(AggArray& arr, std::size_t idx,
+                                 std::int64_t delta, std::uint64_t cycle) {
+  const std::size_t i = idx % arr.delta.size();
+  arr.ports.try_acquire(cycle);
+  arr.delta[i] += delta;
+  if (!arr.in_fifo[i]) {
+    arr.in_fifo[i] = 1;
+    arr.dirty_since[i] = cycle;
+    arr.fifo.push_back(static_cast<std::uint32_t>(i));
+    note_backlog();
+  }
+  // If the coalesced delta returns to zero the entry stays queued; hardware
+  // would still apply a zero delta (one wasted drain cycle), so we keep it.
+}
+
+void AggregatedRegister::enqueue_add(std::size_t idx, std::int64_t delta,
+                                     std::uint64_t cycle) {
+  agg_add(enq_, idx, delta, cycle);
+}
+
+void AggregatedRegister::dequeue_add(std::size_t idx, std::int64_t delta,
+                                     std::uint64_t cycle) {
+  agg_add(deq_, idx, delta, cycle);
+}
+
+bool AggregatedRegister::apply_one(AggArray& arr, std::uint64_t cycle) {
+  if (arr.fifo.empty()) {
+    return false;
+  }
+  const std::uint32_t i = arr.fifo.front();
+  arr.fifo.pop_front();
+  arr.in_fifo[i] = 0;
+  const std::int64_t delta = arr.delta[i];
+  arr.delta[i] = 0;
+  // One main-register RMW (uses the spare port bandwidth of this cycle).
+  main_.ports().try_acquire(cycle);
+  main_.rmw(i, [delta](std::int64_t v) { return v + delta; });
+  // Staleness accounting: how long this update waited to become visible.
+  const std::uint64_t age =
+      cycle >= arr.dirty_since[i] ? cycle - arr.dirty_since[i] : 0;
+  ++drained_;
+  staleness_sum_ += age;
+  staleness_max_ = std::max(staleness_max_, age);
+  return true;
+}
+
+std::size_t AggregatedRegister::drain(std::uint64_t cycle,
+                                      std::size_t budget) {
+  std::size_t applied = 0;
+  while (applied < budget && backlog() > 0) {
+    // Array selection per the programmer's drain policy (§4 future work).
+    bool enq_first;
+    switch (policy_) {
+      case DrainPolicy::kEnqueueFirst:
+        enq_first = true;
+        break;
+      case DrainPolicy::kDequeueFirst:
+        enq_first = false;
+        break;
+      case DrainPolicy::kRoundRobin:
+      default:
+        enq_first = drain_from_enq_next_;
+        drain_from_enq_next_ = !drain_from_enq_next_;
+        break;
+    }
+    AggArray& first = enq_first ? enq_ : deq_;
+    AggArray& second = enq_first ? deq_ : enq_;
+    if (!apply_one(first, cycle) && !apply_one(second, cycle)) {
+      break;
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+std::int64_t AggregatedRegister::pending_error(std::size_t idx) const {
+  const std::size_t i = idx % enq_.delta.size();
+  return enq_.delta[i] + deq_.delta[i];
+}
+
+void AggregatedRegister::drain_all(std::uint64_t cycle) {
+  while (backlog() > 0) {
+    drain(cycle, backlog());
+  }
+}
+
+std::int64_t AggregatedRegister::true_value(std::size_t idx) const {
+  const std::size_t i = idx % enq_.delta.size();
+  return main_.read(i) + enq_.delta[i] + deq_.delta[i];
+}
+
+std::uint64_t AggregatedRegister::oldest_age(std::uint64_t cycle) const {
+  std::uint64_t oldest = 0;
+  if (!enq_.fifo.empty()) {
+    oldest = std::max(oldest, cycle - enq_.dirty_since[enq_.fifo.front()]);
+  }
+  if (!deq_.fifo.empty()) {
+    oldest = std::max(oldest, cycle - deq_.dirty_since[deq_.fifo.front()]);
+  }
+  return oldest;
+}
+
+void AggregatedRegister::note_backlog() {
+  backlog_max_ = std::max(backlog_max_, backlog());
+}
+
+}  // namespace edp::core

@@ -1,0 +1,11 @@
+#include "core/baseline_switch.hpp"
+
+namespace edp::core {
+
+EventSwitchConfig make_baseline_config(EventSwitchConfig config) {
+  config.event_architecture = false;
+  config.egress_pipeline = true;  // the PSA has an egress pipeline
+  return config;
+}
+
+}  // namespace edp::core

@@ -1,0 +1,65 @@
+#include "core/event.hpp"
+
+namespace edp::core {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kIngressPacket:
+      return "IngressPacket";
+    case EventKind::kEgressPacket:
+      return "EgressPacket";
+    case EventKind::kRecirculatedPacket:
+      return "RecirculatedPacket";
+    case EventKind::kGeneratedPacket:
+      return "GeneratedPacket";
+    case EventKind::kPacketTransmitted:
+      return "PacketTransmitted";
+    case EventKind::kEnqueue:
+      return "BufferEnqueue";
+    case EventKind::kDequeue:
+      return "BufferDequeue";
+    case EventKind::kBufferOverflow:
+      return "BufferOverflow";
+    case EventKind::kBufferUnderflow:
+      return "BufferUnderflow";
+    case EventKind::kTimer:
+      return "TimerExpiration";
+    case EventKind::kControlPlane:
+      return "ControlPlaneTriggered";
+    case EventKind::kLinkStatus:
+      return "LinkStatusChange";
+    case EventKind::kUser:
+      return "UserEvent";
+  }
+  return "Unknown";
+}
+
+Event Event::enqueue(tm_::EnqueueRecord r) {
+  return Event{EventKind::kEnqueue, r.when, std::move(r)};
+}
+Event Event::dequeue(tm_::DequeueRecord r) {
+  return Event{EventKind::kDequeue, r.when, std::move(r)};
+}
+Event Event::overflow(tm_::DropRecord r) {
+  return Event{EventKind::kBufferOverflow, r.when, std::move(r)};
+}
+Event Event::underflow(tm_::UnderflowRecord r) {
+  return Event{EventKind::kBufferUnderflow, r.when, std::move(r)};
+}
+Event Event::timer(TimerEventData d, sim::Time created) {
+  return Event{EventKind::kTimer, created, std::move(d)};
+}
+Event Event::control(ControlEventData d, sim::Time created) {
+  return Event{EventKind::kControlPlane, created, std::move(d)};
+}
+Event Event::link_status(LinkStatusEventData d) {
+  return Event{EventKind::kLinkStatus, d.when, std::move(d)};
+}
+Event Event::user(UserEventData d, sim::Time created) {
+  return Event{EventKind::kUser, created, std::move(d)};
+}
+Event Event::transmitted(TransmitRecord r) {
+  return Event{EventKind::kPacketTransmitted, r.when, std::move(r)};
+}
+
+}  // namespace edp::core

@@ -1,0 +1,142 @@
+#include "core/event_merger.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edp::core {
+
+EventMerger::EventMerger(sim::Scheduler& sched, MergerConfig config)
+    : sched_(sched), config_(config) {
+  assert(config_.cycle_time > sim::Time::zero());
+}
+
+bool EventMerger::submit_packet(net::Packet packet, PacketOrigin origin) {
+  if (packets_.size() >= config_.packet_fifo_depth) {
+    ++packet_drops_;
+    return false;
+  }
+  packets_.push_back(PendingPacket{std::move(packet), origin});
+  pump();
+  return true;
+}
+
+bool EventMerger::submit_event(Event event) {
+  auto& st = stats_[static_cast<std::size_t>(event.kind)];
+  ++st.submitted;
+  auto& fifo = fifos_[static_cast<std::size_t>(event.kind)];
+  if (fifo.size() >= config_.event_fifo_depth) {
+    ++st.dropped;
+    return false;
+  }
+  fifo.push_back(std::move(event));
+  pump();
+  return true;
+}
+
+bool EventMerger::has_work() const {
+  if (!packets_.empty()) {
+    return true;
+  }
+  return std::any_of(fifos_.begin(), fifos_.end(),
+                     [](const auto& f) { return !f.empty(); });
+}
+
+std::size_t EventMerger::event_backlog() const {
+  std::size_t n = 0;
+  for (const auto& f : fifos_) {
+    n += f.size();
+  }
+  return n;
+}
+
+void EventMerger::pump() {
+  if (slot_scheduled_ || !has_work()) {
+    return;
+  }
+  // Slots stay on the clock grid: the next slot is the later of the next
+  // free pipeline cycle and the cycle containing "now".
+  const sim::Time cycle = config_.cycle_time;
+  const std::int64_t now_aligned =
+      ((sched_.now().ps() + cycle.ps() - 1) / cycle.ps()) * cycle.ps();
+  const sim::Time when =
+      std::max(next_slot_time_, sim::Time(now_aligned));
+  slot_scheduled_ = true;
+  sched_.at(when, [this] { run_slot(); });
+}
+
+void EventMerger::run_slot() {
+  slot_scheduled_ = false;
+  if (!has_work()) {
+    return;  // everything was consumed by an earlier slot
+  }
+
+  SlotWork work;
+  work.time = sched_.now();
+  work.cycle = cycle_at(work.time);
+
+  // Idle-cycle accounting for the aggregation drain.
+  last_gap_cycles_ = first_slot_done_ && work.cycle > last_slot_cycle_ + 1
+                         ? work.cycle - last_slot_cycle_ - 1
+                         : 0;
+  last_slot_cycle_ = work.cycle;
+  first_slot_done_ = true;
+
+  // Take the ingress packet, if any.
+  if (!packets_.empty()) {
+    work.packet = std::move(packets_.front().packet);
+    work.origin = packets_.front().origin;
+    packets_.pop_front();
+    ++slots_with_packet_;
+  }
+
+  // Attach pending events: up to `events_per_kind_per_slot` from each
+  // kind's FIFO (the per-kind metadata fields of the SUME event bus),
+  // subject to the shared per-slot budget. Kinds are visited in
+  // programmer-assigned priority order (stable by kind index on ties), so
+  // urgent events win the metadata space when it is scarce (§4 future
+  // work on access scheduling).
+  std::array<std::size_t, kNumEventKinds> order{};
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    order[k] = k;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return config_.priority[a] > config_.priority[b];
+                   });
+  std::size_t budget = config_.events_per_slot;
+  for (const std::size_t k : order) {
+    auto& fifo = fifos_[k];
+    for (std::size_t i = 0; i < config_.events_per_kind_per_slot &&
+                            !fifo.empty() && budget > 0;
+         ++i, --budget) {
+      Event ev = std::move(fifo.front());
+      fifo.pop_front();
+      auto& st = stats_[static_cast<std::size_t>(ev.kind)];
+      ++st.delivered;
+      const sim::Time wait = work.time - ev.created;
+      st.wait_sum += wait;
+      st.wait_max = std::max(st.wait_max, wait);
+      work.events.push_back(std::move(ev));
+      if (work.packet) {
+        ++events_piggybacked_;
+      } else {
+        ++events_on_carrier_;
+      }
+    }
+  }
+
+  work.carrier = !work.packet && !work.events.empty();
+  if (work.carrier) {
+    ++slots_carrier_;
+  }
+  ++slots_total_;
+
+  next_slot_time_ = work.time + config_.cycle_time;
+
+  if (on_slot) {
+    on_slot(std::move(work));
+  }
+  pump();  // more work -> next slot
+}
+
+}  // namespace edp::core

@@ -1,0 +1,161 @@
+// edp::core — the Event Merger (paper §5, Figure 4).
+//
+// "The Event Merger is responsible for gathering all new events and placing
+// them into metadata that flows through the pipeline. If there are no
+// ingress packets for the metadata to piggyback onto, the Event Merger
+// generates an empty packet, attaches the event metadata and injects it
+// into the P4 pipeline."
+//
+// The model is cycle-slotted: the P4 pipeline accepts one PHV per clock
+// cycle. Each slot carries either an ingress packet (with up to one pending
+// event of each kind piggybacked as metadata — the SUME metadata bus has a
+// dedicated field per event type) or, when no packet is waiting, an empty
+// carrier frame bearing the pending event metadata. Event FIFOs are
+// bounded; overflow drops are counted per kind, which is precisely the
+// capacity pressure §4/§5 discuss.
+//
+// The merger is event-driven for efficiency: slots are only simulated when
+// there is work, and slot times stay aligned to the clock grid, so cycle
+// indices are exact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/event.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace edp::core {
+
+/// How a packet entered the pipeline.
+enum class PacketOrigin : std::uint8_t {
+  kIngress,       ///< arrived on a front-panel port
+  kRecirculated,  ///< resubmitted by the program
+  kGenerated,     ///< produced by the packet generator
+};
+
+struct MergerConfig {
+  sim::Time cycle_time = sim::Time::nanos(5);  ///< 200 MHz pipeline
+  std::size_t packet_fifo_depth = 256;         ///< ingress backlog (packets)
+  std::size_t event_fifo_depth = 64;           ///< per event kind
+  /// Events of one kind attachable to a single PHV (metadata bus width).
+  std::size_t events_per_kind_per_slot = 1;
+  /// Total events per slot across all kinds (the shared metadata budget).
+  /// Default: no extra cap beyond the per-kind fields. When slots are
+  /// scarce this budget is what the priority policy arbitrates.
+  std::size_t events_per_slot = kNumEventKinds;
+  /// Paper §4 future work: "how memory accesses are scheduled, depending
+  /// on which events are the most important and urgent, and whether
+  /// priorities are assigned by the programmer, the compiler, or the
+  /// hardware." Here the *programmer* assigns a priority per event kind
+  /// (higher = more urgent); under a constrained events_per_slot budget,
+  /// pending events are granted metadata space in priority order.
+  /// All-equal priorities reproduce the plain per-kind round robin.
+  std::array<int, kNumEventKinds> priority{};
+};
+
+/// The work assigned to one pipeline slot.
+struct SlotWork {
+  std::uint64_t cycle = 0;          ///< absolute clock cycle index
+  sim::Time time = sim::Time::zero();
+  std::optional<net::Packet> packet;
+  PacketOrigin origin = PacketOrigin::kIngress;
+  std::vector<Event> events;        ///< piggybacked / carrier-borne events
+  bool carrier = false;             ///< true when events ride an empty frame
+};
+
+/// Per-event-kind delivery statistics.
+struct EventKindStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;          ///< FIFO overflow
+  sim::Time wait_sum = sim::Time::zero();
+  sim::Time wait_max = sim::Time::zero();
+
+  sim::Time wait_mean() const {
+    return delivered == 0 ? sim::Time::zero()
+                          : sim::Time(wait_sum.ps() /
+                                      static_cast<std::int64_t>(delivered));
+  }
+};
+
+class EventMerger {
+ public:
+  EventMerger(sim::Scheduler& sched, MergerConfig config);
+
+  /// Slot consumer (the EventSwitch's pipeline dispatch).
+  std::function<void(SlotWork&&)> on_slot;
+
+  /// Submit a packet for pipeline processing. False (and counted) if the
+  /// ingress backlog is full.
+  bool submit_packet(net::Packet packet, PacketOrigin origin);
+
+  /// Submit a non-packet event. False (and counted) if that kind's FIFO is
+  /// full — a genuinely dropped event, as in hardware.
+  bool submit_event(Event event);
+
+  // ---- cycle bookkeeping ----------------------------------------------------
+
+  /// Clock cycle index corresponding to `t` on this merger's grid.
+  std::uint64_t cycle_at(sim::Time t) const {
+    return static_cast<std::uint64_t>(t.ps() / config_.cycle_time.ps());
+  }
+  std::uint64_t current_cycle() const { return cycle_at(sched_.now()); }
+
+  /// Idle cycles between the previous slot and the most recent one (spare
+  /// pipeline bandwidth the switch may use for aggregation drains).
+  std::uint64_t last_gap_cycles() const { return last_gap_cycles_; }
+
+  // ---- statistics -----------------------------------------------------------
+
+  const EventKindStats& kind_stats(EventKind kind) const {
+    return stats_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t slots_total() const { return slots_total_; }
+  std::uint64_t slots_with_packet() const { return slots_with_packet_; }
+  std::uint64_t slots_carrier() const { return slots_carrier_; }
+  std::uint64_t events_piggybacked() const { return events_piggybacked_; }
+  std::uint64_t events_on_carrier() const { return events_on_carrier_; }
+  std::uint64_t packet_backlog_drops() const { return packet_drops_; }
+  std::size_t packet_backlog() const { return packets_.size(); }
+  std::size_t event_backlog() const;
+
+  const MergerConfig& config() const { return config_; }
+
+ private:
+  struct PendingPacket {
+    net::Packet packet;
+    PacketOrigin origin;
+  };
+
+  /// Ensure a slot callback is scheduled if there is work.
+  void pump();
+  void run_slot();
+  bool has_work() const;
+
+  sim::Scheduler& sched_;
+  MergerConfig config_;
+  std::deque<PendingPacket> packets_;
+  std::array<std::deque<Event>, kNumEventKinds> fifos_;
+  std::array<EventKindStats, kNumEventKinds> stats_{};
+
+  sim::Time next_slot_time_ = sim::Time::zero();
+  std::uint64_t last_slot_cycle_ = 0;
+  bool first_slot_done_ = false;
+  std::uint64_t last_gap_cycles_ = 0;
+  bool slot_scheduled_ = false;
+
+  std::uint64_t slots_total_ = 0;
+  std::uint64_t slots_with_packet_ = 0;
+  std::uint64_t slots_carrier_ = 0;
+  std::uint64_t events_piggybacked_ = 0;
+  std::uint64_t events_on_carrier_ = 0;
+  std::uint64_t packet_drops_ = 0;
+};
+
+}  // namespace edp::core

@@ -1,0 +1,23 @@
+#include "core/event_program.hpp"
+
+namespace edp::core {
+
+// Default handlers are intentionally empty: a program opts into exactly the
+// events it needs. Defined out-of-line to anchor the vtable in this TU.
+
+void EventProgram::on_ingress(pisa::Phv&, EventContext&) {}
+void EventProgram::on_egress(pisa::Phv&, EventContext&) {}
+void EventProgram::on_recirculate(pisa::Phv&, EventContext&) {}
+void EventProgram::on_generated(pisa::Phv&, EventContext&) {}
+void EventProgram::on_enqueue(const tm_::EnqueueRecord&, EventContext&) {}
+void EventProgram::on_dequeue(const tm_::DequeueRecord&, EventContext&) {}
+void EventProgram::on_overflow(const tm_::DropRecord&, EventContext&) {}
+void EventProgram::on_underflow(const tm_::UnderflowRecord&, EventContext&) {}
+void EventProgram::on_transmit(const TransmitRecord&, EventContext&) {}
+void EventProgram::on_timer(const TimerEventData&, EventContext&) {}
+void EventProgram::on_control(const ControlEventData&, EventContext&) {}
+void EventProgram::on_link_status(const LinkStatusEventData&, EventContext&) {}
+void EventProgram::on_user(const UserEventData&, EventContext&) {}
+void EventProgram::on_attach(EventContext&) {}
+
+}  // namespace edp::core

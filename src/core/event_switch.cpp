@@ -1,0 +1,531 @@
+#include "core/event_switch.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace edp::core {
+namespace {
+
+tm_::TmConfig make_tm_config(const EventSwitchConfig& c) {
+  tm_::TmConfig tc;
+  tc.num_ports = c.num_ports;
+  tc.queues_per_port = c.queues_per_port;
+  tc.use_pifo = c.use_pifo;
+  tc.queue_limits = c.queue_limits;
+  tc.scheduler = c.tm_scheduler;
+  tc.dwrr_weights = c.dwrr_weights;
+  tc.buffer = c.buffer;
+  return tc;
+}
+
+}  // namespace
+
+EventSwitch::EventSwitch(sim::Scheduler& sched, EventSwitchConfig config)
+    : sched_(sched),
+      config_(std::move(config)),
+      merger_(sched, config_.merger),
+      tm_(make_tm_config(config_)),
+      timers_(sched, config_.timer_resolution),
+      pktgen_(sched),
+      parser_(pisa::Parser::standard()) {
+  ports_.resize(config_.num_ports);
+
+  // Default delivery policy (see enable_event doc).
+  if (config_.event_architecture) {
+    deliver_[static_cast<std::size_t>(EventKind::kEnqueue)] = true;
+    deliver_[static_cast<std::size_t>(EventKind::kDequeue)] = true;
+    deliver_[static_cast<std::size_t>(EventKind::kBufferOverflow)] = true;
+    deliver_[static_cast<std::size_t>(EventKind::kTimer)] = true;
+    deliver_[static_cast<std::size_t>(EventKind::kControlPlane)] = true;
+    deliver_[static_cast<std::size_t>(EventKind::kLinkStatus)] = true;
+    deliver_[static_cast<std::size_t>(EventKind::kUser)] = true;
+  }
+
+  merger_.on_slot = [this](SlotWork&& work) { process_slot(std::move(work)); };
+
+  tm_.on_enqueue = [this](const tm_::EnqueueRecord& r) {
+    observe(EventKind::kEnqueue);
+    submit_if_enabled(Event::enqueue(r));
+  };
+  tm_.on_dequeue = [this](const tm_::DequeueRecord& r) {
+    observe(EventKind::kDequeue);
+    submit_if_enabled(Event::dequeue(r));
+  };
+  tm_.on_drop = [this](const tm_::DropRecord& r) {
+    observe(EventKind::kBufferOverflow);
+    submit_if_enabled(Event::overflow(r));
+  };
+  tm_.on_underflow = [this](const tm_::UnderflowRecord& r) {
+    observe(EventKind::kBufferUnderflow);
+    submit_if_enabled(Event::underflow(r));
+  };
+
+  timers_.on_expire = [this](const TimerEventData& d) {
+    observe(EventKind::kTimer);
+    submit_if_enabled(Event::timer(d, sched_.now()));
+  };
+
+  pktgen_.on_generate = [this](GeneratorId, net::Packet pkt) {
+    observe(EventKind::kGeneratedPacket);
+    ++counters_.generated;
+    pkt.meta().ingress_port = kPortGenerated;
+    pkt.meta().arrival = sched_.now();
+    pkt.meta().trace_id = next_trace_id_++;
+    merger_.submit_packet(std::move(pkt), PacketOrigin::kGenerated);
+  };
+}
+
+void EventSwitch::set_program(EventProgram* program) {
+  program_ = program;
+  if (program_ != nullptr) {
+    program_->on_attach(*this);
+  }
+}
+
+void EventSwitch::connect_tx(std::uint16_t port,
+                             std::function<void(net::Packet)> tx) {
+  assert(port < ports_.size());
+  ports_[port].tx = std::move(tx);
+}
+
+void EventSwitch::receive(std::uint16_t port, net::Packet packet) {
+  assert(port < ports_.size());
+  ++counters_.rx_packets;
+  observe(EventKind::kIngressPacket);
+  packet.meta().ingress_port = port;
+  packet.meta().arrival = sched_.now();
+  packet.meta().trace_id = next_trace_id_++;
+  merger_.submit_packet(std::move(packet), PacketOrigin::kIngress);
+}
+
+void EventSwitch::set_link_status(std::uint16_t port, bool up) {
+  assert(port < ports_.size());
+  if (ports_[port].link_up == up) {
+    return;
+  }
+  ports_[port].link_up = up;
+  observe(EventKind::kLinkStatus);
+  submit_if_enabled(
+      Event::link_status(LinkStatusEventData{port, up, sched_.now()}));
+  if (up) {
+    try_transmit(port);
+  }
+}
+
+bool EventSwitch::control_event(const ControlEventData& data) {
+  observe(EventKind::kControlPlane);
+  if (!config_.event_architecture) {
+    ++counters_.refused_ops;
+    return false;
+  }
+  return merger_.submit_event(Event::control(data, sched_.now()));
+}
+
+void EventSwitch::inject_from_control_plane(net::Packet packet) {
+  ++counters_.rx_packets;
+  observe(EventKind::kIngressPacket);
+  packet.meta().ingress_port = kPortCpu;
+  packet.meta().arrival = sched_.now();
+  packet.meta().trace_id = next_trace_id_++;
+  merger_.submit_packet(std::move(packet), PacketOrigin::kIngress);
+}
+
+void EventSwitch::set_multicast_group(std::uint16_t group_id,
+                                      std::vector<std::uint16_t> ports) {
+  assert(group_id != 0 && "multicast group 0 means 'no multicast'");
+  mcast_[group_id] = std::move(ports);
+}
+
+void EventSwitch::register_aggregated(AggregatedRegister& reg) {
+  aggregated_.push_back(&reg);
+}
+
+void EventSwitch::settle() {
+  for (auto* reg : aggregated_) {
+    reg->drain_all(merger_.current_cycle());
+  }
+}
+
+bool EventSwitch::link_up(std::uint16_t port) const {
+  return port < ports_.size() && ports_[port].link_up;
+}
+
+std::size_t EventSwitch::queue_bytes(std::uint16_t port,
+                                     std::uint8_t qid) const {
+  return tm_.queue_bytes(port, qid);
+}
+
+bool EventSwitch::inject_packet(net::Packet packet) {
+  if (!config_.event_architecture) {
+    ++counters_.refused_ops;
+    return false;
+  }
+  observe(EventKind::kGeneratedPacket);
+  ++counters_.generated;
+  packet.meta().ingress_port = kPortGenerated;
+  packet.meta().arrival = sched_.now();
+  packet.meta().trace_id = next_trace_id_++;
+  return merger_.submit_packet(std::move(packet), PacketOrigin::kGenerated);
+}
+
+bool EventSwitch::send_packet(net::Packet packet, std::uint16_t port,
+                              std::uint8_t qid) {
+  if (!config_.event_architecture) {
+    ++counters_.refused_ops;
+    return false;
+  }
+  if (port >= ports_.size()) {
+    ++counters_.bad_port_drops;
+    return false;
+  }
+  tm_::QueuedPacket qp;
+  qp.packet = std::move(packet);
+  const bool ok = tm_.enqueue(port, qid, std::move(qp), {}, sched_.now());
+  if (ok) {
+    try_transmit(port);
+  }
+  return ok;
+}
+
+TimerId EventSwitch::set_periodic_timer(sim::Time period,
+                                        std::uint64_t cookie) {
+  if (!config_.event_architecture) {
+    ++counters_.refused_ops;
+    return 0;
+  }
+  return timers_.set_periodic(period, cookie);
+}
+
+TimerId EventSwitch::set_oneshot_timer(sim::Time delay,
+                                       std::uint64_t cookie) {
+  if (!config_.event_architecture) {
+    ++counters_.refused_ops;
+    return 0;
+  }
+  return timers_.set_oneshot(delay, cookie);
+}
+
+bool EventSwitch::cancel_timer(TimerId id) { return timers_.cancel(id); }
+
+GeneratorId EventSwitch::add_generator(PacketGenerator::Config config) {
+  if (!config_.event_architecture) {
+    ++counters_.refused_ops;
+    return 0;
+  }
+  return pktgen_.add(std::move(config));
+}
+
+void EventSwitch::trigger_generator(GeneratorId id, std::uint64_t n) {
+  if (!config_.event_architecture) {
+    ++counters_.refused_ops;
+    return;
+  }
+  pktgen_.trigger(id, n);
+}
+
+bool EventSwitch::set_generator_template(GeneratorId id, net::Packet tmpl) {
+  return pktgen_.set_template(id, std::move(tmpl));
+}
+
+bool EventSwitch::raise_user_event(const UserEventData& data) {
+  observe(EventKind::kUser);
+  if (!config_.event_architecture) {
+    ++counters_.refused_ops;
+    return false;
+  }
+  return merger_.submit_event(Event::user(data, sched_.now()));
+}
+
+void EventSwitch::notify_control_plane(const ControlEventData& msg) {
+  ++counters_.punts;
+  if (on_punt) {
+    on_punt(msg);
+  }
+}
+
+void EventSwitch::enable_event(EventKind kind, bool enabled) {
+  if (!config_.event_architecture) {
+    return;  // baseline architectures have no event delivery to enable
+  }
+  deliver_[static_cast<std::size_t>(kind)] = enabled;
+}
+
+bool EventSwitch::event_enabled(EventKind kind) const {
+  return deliver_[static_cast<std::size_t>(kind)];
+}
+
+std::string EventSwitch::describe() const {
+  char buf[512];
+  std::string out = config_.name + " (" +
+                    (config_.event_architecture ? "event-driven"
+                                                : "baseline PISA") +
+                    ")\n";
+  std::snprintf(buf, sizeof buf,
+                "  packets: rx=%llu tx=%llu (%.3f MB) drops: parse=%llu "
+                "program=%llu bad_port=%llu tm=%llu\n",
+                static_cast<unsigned long long>(counters_.rx_packets),
+                static_cast<unsigned long long>(counters_.tx_packets),
+                static_cast<double>(counters_.tx_bytes) / 1e6,
+                static_cast<unsigned long long>(counters_.parse_drops),
+                static_cast<unsigned long long>(counters_.program_drops),
+                static_cast<unsigned long long>(counters_.bad_port_drops),
+                static_cast<unsigned long long>(tm_.drops_total()));
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  slots: %llu total, %llu packet, %llu carrier; events "
+      "piggybacked=%llu carried=%llu; recirc=%llu gen=%llu punts=%llu\n",
+      static_cast<unsigned long long>(merger_.slots_total()),
+      static_cast<unsigned long long>(merger_.slots_with_packet()),
+      static_cast<unsigned long long>(merger_.slots_carrier()),
+      static_cast<unsigned long long>(merger_.events_piggybacked()),
+      static_cast<unsigned long long>(merger_.events_on_carrier()),
+      static_cast<unsigned long long>(counters_.recirculated),
+      static_cast<unsigned long long>(counters_.generated),
+      static_cast<unsigned long long>(counters_.punts));
+  out += buf;
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    const auto& st = merger_.kind_stats(kind);
+    if (counters_.observed[k] == 0 && st.submitted == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "  %-22s observed=%llu delivered=%llu dropped=%llu "
+                  "wait_mean=%s\n",
+                  std::string(to_string(kind)).c_str(),
+                  static_cast<unsigned long long>(counters_.observed[k]),
+                  static_cast<unsigned long long>(st.delivered),
+                  static_cast<unsigned long long>(st.dropped),
+                  st.wait_mean().to_string().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::uint64_t EventSwitch::cycles_elapsed() const {
+  if (!saw_slot_) {
+    return 0;
+  }
+  return merger_.current_cycle() - first_slot_cycle_ + 1;
+}
+
+void EventSwitch::submit_if_enabled(Event ev) {
+  if (!deliver_[static_cast<std::size_t>(ev.kind)]) {
+    return;
+  }
+  merger_.submit_event(std::move(ev));
+}
+
+void EventSwitch::process_slot(SlotWork&& work) {
+  if (!saw_slot_) {
+    saw_slot_ = true;
+    first_slot_cycle_ = work.cycle;
+  }
+
+  // §4: spare cycles between this slot and the previous one are drain
+  // bandwidth for aggregated state. (Credited at the current cycle, so the
+  // measured staleness is a slight over-estimate — an upper bound.)
+  if (!aggregated_.empty()) {
+    std::uint64_t budget = merger_.last_gap_cycles();
+    // A slot without a packet leaves the main register's packet-thread
+    // port free this cycle as well.
+    if (!work.packet) {
+      budget += 1;
+    }
+    if (budget > 0) {
+      for (auto* reg : aggregated_) {
+        reg->drain(work.cycle, budget);
+      }
+    }
+  }
+
+  // Deliver the slot's events to the program's handlers.
+  for (const Event& ev : work.events) {
+    dispatch_event(ev);
+  }
+
+  // Process the slot's packet through the P4 pipeline.
+  if (!work.packet) {
+    return;
+  }
+  pisa::Phv phv = parser_.parse(std::move(*work.packet));
+  if (phv.parse_error) {
+    ++counters_.parse_drops;
+    return;
+  }
+  if (program_ != nullptr) {
+    switch (work.origin) {
+      case PacketOrigin::kIngress:
+        program_->on_ingress(phv, *this);
+        break;
+      case PacketOrigin::kRecirculated:
+        observe(EventKind::kRecirculatedPacket);
+        program_->on_recirculate(phv, *this);
+        break;
+      case PacketOrigin::kGenerated:
+        program_->on_generated(phv, *this);
+        break;
+    }
+  }
+  route(std::move(phv));
+}
+
+void EventSwitch::dispatch_event(const Event& ev) {
+  if (program_ == nullptr) {
+    return;
+  }
+  switch (ev.kind) {
+    case EventKind::kEnqueue:
+      program_->on_enqueue(std::get<tm_::EnqueueRecord>(ev.data), *this);
+      break;
+    case EventKind::kDequeue:
+      program_->on_dequeue(std::get<tm_::DequeueRecord>(ev.data), *this);
+      break;
+    case EventKind::kBufferOverflow:
+      program_->on_overflow(std::get<tm_::DropRecord>(ev.data), *this);
+      break;
+    case EventKind::kBufferUnderflow:
+      program_->on_underflow(std::get<tm_::UnderflowRecord>(ev.data), *this);
+      break;
+    case EventKind::kTimer:
+      program_->on_timer(std::get<TimerEventData>(ev.data), *this);
+      break;
+    case EventKind::kControlPlane:
+      program_->on_control(std::get<ControlEventData>(ev.data), *this);
+      break;
+    case EventKind::kLinkStatus:
+      program_->on_link_status(std::get<LinkStatusEventData>(ev.data), *this);
+      break;
+    case EventKind::kUser:
+      program_->on_user(std::get<UserEventData>(ev.data), *this);
+      break;
+    case EventKind::kPacketTransmitted:
+      program_->on_transmit(std::get<TransmitRecord>(ev.data), *this);
+      break;
+    default:
+      break;  // packet events never travel the event path
+  }
+}
+
+void EventSwitch::route(pisa::Phv&& phv) {
+  if (phv.std_meta.drop) {
+    ++counters_.program_drops;
+    return;
+  }
+  if (phv.std_meta.recirculate) {
+    if (phv.packet.meta().recirc_count >= config_.max_recirculations) {
+      ++counters_.recirc_loop_drops;  // loop guard, as real targets bound
+      return;
+    }
+    ++counters_.recirculated;
+    phv.std_meta.recirculate = false;
+    net::Packet pkt = deparser_.deparse(phv);
+    ++pkt.meta().recirc_count;
+    merger_.submit_packet(std::move(pkt), PacketOrigin::kRecirculated);
+    return;
+  }
+  tm_::EventMetaWords enq_meta{};
+  tm_::EventMetaWords deq_meta{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    enq_meta[i] = phv.user[kEnqMetaBase + i];
+    deq_meta[i] = phv.user[kDeqMetaBase + i];
+  }
+  const std::uint8_t qid = phv.std_meta.qid;
+  const net::Packet wire = deparser_.deparse(phv);
+
+  const auto enqueue_to = [&](std::uint16_t port) {
+    if (port >= ports_.size()) {
+      ++counters_.bad_port_drops;
+      return;
+    }
+    tm_::QueuedPacket qp;
+    qp.rank = phv.std_meta.pifo_rank;
+    qp.deq_meta = deq_meta;
+    qp.packet = wire;  // replicas each own a copy
+    if (tm_.enqueue(port, qid, std::move(qp), enq_meta, sched_.now())) {
+      try_transmit(port);
+    }
+    // On failure the TM has already fired the overflow event.
+  };
+
+  if (phv.std_meta.mcast_group != 0) {
+    // Packet replication engine: one independent copy per group member.
+    const auto it = mcast_.find(phv.std_meta.mcast_group);
+    if (it == mcast_.end()) {
+      ++counters_.bad_port_drops;
+      return;
+    }
+    for (const std::uint16_t port : it->second) {
+      enqueue_to(port);
+    }
+    return;
+  }
+  enqueue_to(phv.std_meta.egress_port);
+}
+
+void EventSwitch::try_transmit(std::uint16_t port) {
+  PortState& ps = ports_[port];
+  // Loop (not recursion): the egress pipeline may drop many consecutive
+  // queued packets, and the next candidate must be served from the same
+  // activation without growing the stack.
+  while (!ps.busy && ps.link_up && !tm_.port_empty(port)) {
+    auto qp = tm_.dequeue(port, sched_.now());
+    assert(qp.has_value());
+    net::Packet pkt = std::move(qp->packet);
+
+    if (config_.egress_pipeline && program_ != nullptr) {
+      observe(EventKind::kEgressPacket);
+      pisa::Phv phv = parser_.parse(std::move(pkt));
+      if (!phv.parse_error) {
+        phv.std_meta.egress_port = port;
+        phv.std_meta.enqueue_timestamp = qp->enqueue_time;
+        program_->on_egress(phv, *this);
+        if (phv.std_meta.drop) {
+          ++counters_.program_drops;
+          continue;  // port still free; serve the next packet
+        }
+        if (phv.std_meta.recirc_clone &&
+            phv.packet.meta().recirc_count < config_.max_recirculations) {
+          // Tofino-style egress mirror to the recirculation port (§6):
+          // a copy re-enters ingress — this is how a baseline
+          // architecture emulates dequeue events, paying a pipeline slot
+          // per cloned packet.
+          phv.std_meta.recirc_clone = false;
+          net::Packet clone = deparser_.deparse(phv);
+          ++clone.meta().recirc_count;
+          ++counters_.recirculated;
+          merger_.submit_packet(std::move(clone),
+                                PacketOrigin::kRecirculated);
+        }
+        pkt = deparser_.deparse(phv);
+      } else {
+        pkt = std::move(phv.packet);  // pass through unmodified
+      }
+    }
+
+    ps.busy = true;
+    const auto bytes = static_cast<std::uint32_t>(pkt.size());
+    const sim::Time tx_time =
+        sim::serialization_time(bytes, config_.port_rate_bps);
+    sched_.after(tx_time, [this, port, bytes, p = std::move(pkt)]() mutable {
+      if (ports_[port].tx) {
+        ports_[port].tx(std::move(p));
+      }
+      finish_transmit(port, bytes);
+    });
+  }
+}
+
+void EventSwitch::finish_transmit(std::uint16_t port, std::uint32_t bytes) {
+  PortState& ps = ports_[port];
+  ps.busy = false;
+  ++counters_.tx_packets;
+  counters_.tx_bytes += bytes;
+  observe(EventKind::kPacketTransmitted);
+  submit_if_enabled(
+      Event::transmitted(TransmitRecord{port, bytes, sched_.now()}));
+  try_transmit(port);
+}
+
+}  // namespace edp::core

@@ -1,0 +1,6 @@
+// SharedRegister is a header-only template; this TU anchors the module.
+#include "core/shared_register.hpp"
+
+namespace edp::core {
+// (intentionally empty)
+}  // namespace edp::core

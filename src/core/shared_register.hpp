@@ -1,0 +1,110 @@
+// edp::core — the `shared_register` extern (paper §2).
+//
+// "Our target event-driven architecture will support a new type of extern
+// called shared_register to allow event processing threads to share state."
+//
+// This is the *multi-ported* realization from §4: suitable for lower
+// line-rate devices, where the memory can afford one read/write port per
+// event processing thread. Every access is attributed to a named thread so
+// the model can verify the port budget (number of distinct threads) and
+// report per-thread access patterns. State is never stale — accesses take
+// effect immediately — which is exactly the semantics the aggregated
+// single-ported realization (aggregated_register.hpp) relaxes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edp::core {
+
+/// Identifies which event-processing thread performs an access (the paper's
+/// logical pipelines of Figure 2).
+enum class ThreadId : std::uint8_t {
+  kIngress = 0,
+  kEgress,
+  kEnqueue,
+  kDequeue,
+  kTimer,
+  kOther,
+};
+inline constexpr std::size_t kNumThreads = 6;
+
+template <typename T>
+class SharedRegister {
+ public:
+  /// `ports` = number of simultaneous per-cycle accesses the multi-ported
+  /// memory supports; sized to the number of threads that touch it.
+  SharedRegister(std::string name, std::size_t size, int ports)
+      : name_(std::move(name)), cells_(size, T{}), ports_(ports) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return cells_.size(); }
+  int ports() const { return ports_; }
+
+  /// The paper's extern interface: read(index, out).
+  void read(std::size_t index, T& out, ThreadId thread,
+            std::uint64_t cycle) {
+    account(thread, cycle);
+    out = cells_[index % cells_.size()];
+  }
+
+  void write(std::size_t index, const T& value, ThreadId thread,
+             std::uint64_t cycle) {
+    account(thread, cycle);
+    cells_[index % cells_.size()] = value;
+  }
+
+  /// Atomic read-modify-write (one port use).
+  template <typename Fn>
+  T rmw(std::size_t index, Fn&& fn, ThreadId thread, std::uint64_t cycle) {
+    account(thread, cycle);
+    T& cell = cells_[index % cells_.size()];
+    cell = fn(cell);
+    return cell;
+  }
+
+  /// Number of cycles in which the port budget was exceeded — i.e. cycles
+  /// that would not be realizable on the configured memory. A correctly
+  /// provisioned multi-ported register reports 0.
+  std::uint64_t overcommitted_cycles() const { return overcommitted_; }
+
+  std::uint64_t accesses(ThreadId thread) const {
+    return per_thread_[static_cast<std::size_t>(thread)];
+  }
+  std::uint64_t total_accesses() const {
+    std::uint64_t t = 0;
+    for (const auto a : per_thread_) {
+      t += a;
+    }
+    return t;
+  }
+
+  /// Modeled memory footprint. Multi-ported memories pay an area cost per
+  /// extra port; the resource model uses ports() to scale it.
+  std::size_t bytes() const { return cells_.size() * sizeof(T); }
+
+ private:
+  void account(ThreadId thread, std::uint64_t cycle) {
+    ++per_thread_[static_cast<std::size_t>(thread)];
+    if (cycle != current_cycle_) {
+      current_cycle_ = cycle;
+      used_this_cycle_ = 0;
+    }
+    ++used_this_cycle_;
+    if (used_this_cycle_ == ports_ + 1) {
+      ++overcommitted_;  // count the cycle once, on first excess access
+    }
+  }
+
+  std::string name_;
+  std::vector<T> cells_;
+  int ports_;
+  std::array<std::uint64_t, kNumThreads> per_thread_{};
+  std::uint64_t current_cycle_ = ~0ULL;
+  int used_this_cycle_ = 0;
+  std::uint64_t overcommitted_ = 0;
+};
+
+}  // namespace edp::core

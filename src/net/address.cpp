@@ -1,0 +1,49 @@
+#include "net/address.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace edp::net {
+
+MacAddress MacAddress::parse(const std::string& text) {
+  unsigned v[6];
+  const int n = std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &v[0], &v[1],
+                            &v[2], &v[3], &v[4], &v[5]);
+  if (n != 6) {
+    assert(false && "malformed MAC address");
+    return MacAddress{};
+  }
+  std::array<std::uint8_t, 6> b{};
+  for (int i = 0; i < 6; ++i) {
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v[i] & 0xff);
+  }
+  return MacAddress(b);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+Ipv4Address Ipv4Address::parse(const std::string& text) {
+  unsigned a, b, c, d;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    assert(false && "malformed IPv4 address");
+    return Ipv4Address{};
+  }
+  return Ipv4Address(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c),
+                     static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace edp::net

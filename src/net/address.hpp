@@ -1,0 +1,100 @@
+// edp::net — MAC and IPv4 address value types.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace edp::net {
+
+/// 48-bit Ethernet MAC address, stored in network (big-endian) byte order.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> b) : bytes_(b) {}
+
+  /// Build from the low 48 bits of an integer (0x0000aabbccddeeff form).
+  static constexpr MacAddress from_u64(std::uint64_t v) {
+    return MacAddress({static_cast<std::uint8_t>(v >> 40),
+                       static_cast<std::uint8_t>(v >> 32),
+                       static_cast<std::uint8_t>(v >> 24),
+                       static_cast<std::uint8_t>(v >> 16),
+                       static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v)});
+  }
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  /// Parse "aa:bb:cc:dd:ee:ff". Returns broadcast on malformed input is NOT
+  /// acceptable, so malformed input asserts in debug and yields zero.
+  static MacAddress parse(const std::string& text);
+
+  constexpr const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes_) {
+      v = (v << 8) | b;
+    }
+    return v;
+  }
+  constexpr bool is_broadcast() const { return to_u64() == 0xffffffffffffULL; }
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+/// IPv4 address held as a host-order 32-bit integer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted quad "10.0.1.2"; asserts in debug / zero on bad input.
+  static Ipv4Address parse(const std::string& text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  /// True if `other` falls inside this/`prefix_len`.
+  constexpr bool matches_prefix(Ipv4Address other, int prefix_len) const {
+    if (prefix_len <= 0) {
+      return true;
+    }
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xffffffffU : ~((1U << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (other.value_ & mask);
+  }
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace edp::net
+
+template <>
+struct std::hash<edp::net::Ipv4Address> {
+  std::size_t operator()(const edp::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<edp::net::MacAddress> {
+  std::size_t operator()(const edp::net::MacAddress& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.to_u64());
+  }
+};

@@ -1,0 +1,47 @@
+#include "net/checksum.hpp"
+
+namespace edp::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Complete the pending high byte with this low byte.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (std::uint64_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += std::uint64_t{data[i]} << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t v) {
+  const std::uint8_t bytes[2] = {static_cast<std::uint8_t>(v >> 8),
+                                 static_cast<std::uint8_t>(v)};
+  add(bytes);
+}
+
+void ChecksumAccumulator::add_u32(std::uint32_t v) {
+  add_u16(static_cast<std::uint16_t>(v >> 16));
+  add_u16(static_cast<std::uint16_t>(v));
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xffff) + (s >> 16);
+  }
+  return static_cast<std::uint16_t>(~s);
+}
+
+}  // namespace edp::net

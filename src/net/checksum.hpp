@@ -1,0 +1,31 @@
+// edp::net — RFC 1071 internet checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace edp::net {
+
+/// One's-complement sum over `data` (odd final byte is padded with zero),
+/// folded to 16 bits and complemented — the value that goes on the wire.
+/// A buffer containing a correct checksum field sums to 0xffff before the
+/// final complement, i.e. `internet_checksum` over it returns 0.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Incremental accumulator for checksums over scattered regions
+/// (pseudo-header + payload).
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> data);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v);
+
+  /// Fold and complement.
+  std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  ///< true if an odd byte is pending alignment
+};
+
+}  // namespace edp::net

@@ -1,0 +1,109 @@
+#include "net/flow.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "net/headers.hpp"
+
+namespace edp::net {
+namespace {
+
+/// CRC-32 lookup table generated once at first use (IEEE reflected poly).
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xedb88320U ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::string FiveTuple::to_string() const {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "%s:%u->%s:%u/%u", src.to_string().c_str(),
+                src_port, dst.to_string().c_str(), dst_port, protocol);
+  return buf;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xffffffffU;
+  for (const std::uint8_t b : data) {
+    c = table[(c ^ b) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffU;
+}
+
+std::uint32_t fnv1a(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 16777619U;
+  }
+  return h;
+}
+
+std::uint32_t flow_id_src_dst(Ipv4Address src, Ipv4Address dst) {
+  std::array<std::uint8_t, 8> buf{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf[i] = static_cast<std::uint8_t>(src.value() >> (24 - 8 * i));
+    buf[4 + i] = static_cast<std::uint8_t>(dst.value() >> (24 - 8 * i));
+  }
+  return crc32(buf);
+}
+
+std::uint32_t flow_id_five_tuple(const FiveTuple& t) {
+  std::array<std::uint8_t, 13> buf{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf[i] = static_cast<std::uint8_t>(t.src.value() >> (24 - 8 * i));
+    buf[4 + i] = static_cast<std::uint8_t>(t.dst.value() >> (24 - 8 * i));
+  }
+  buf[8] = static_cast<std::uint8_t>(t.src_port >> 8);
+  buf[9] = static_cast<std::uint8_t>(t.src_port);
+  buf[10] = static_cast<std::uint8_t>(t.dst_port >> 8);
+  buf[11] = static_cast<std::uint8_t>(t.dst_port);
+  buf[12] = t.protocol;
+  return crc32(buf);
+}
+
+FiveTuple extract_five_tuple(const Packet& p) {
+  FiveTuple t;
+  if (p.size() < EthernetHeader::kSize + Ipv4Header::kSize) {
+    return t;
+  }
+  const auto eth = EthernetHeader::decode(p, 0);
+  std::size_t ip_off = EthernetHeader::kSize;
+  std::uint16_t ether_type = eth.ether_type;
+  if (ether_type == kEtherTypeVlan) {
+    if (p.size() < ip_off + VlanHeader::kSize + Ipv4Header::kSize) {
+      return t;
+    }
+    const auto vlan = VlanHeader::decode(p, ip_off);
+    ether_type = vlan.ether_type;
+    ip_off += VlanHeader::kSize;
+  }
+  if (ether_type != kEtherTypeIpv4) {
+    return t;
+  }
+  const auto ip = Ipv4Header::decode(p, ip_off);
+  t.src = ip.src;
+  t.dst = ip.dst;
+  t.protocol = ip.protocol;
+  const std::size_t l4_off = ip_off + Ipv4Header::kSize;
+  if ((ip.protocol == kIpProtoTcp || ip.protocol == kIpProtoUdp) &&
+      p.size() >= l4_off + 4) {
+    t.src_port = p.u16(l4_off);
+    t.dst_port = p.u16(l4_off + 2);
+  }
+  return t;
+}
+
+}  // namespace edp::net

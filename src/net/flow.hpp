@@ -1,0 +1,56 @@
+// edp::net — flow identification.
+//
+// Data-plane programs index per-flow state by a hash of packet fields; the
+// paper's microburst example hashes (ip.src ++ ip.dst). We provide the
+// classic 5-tuple, the 2-tuple the paper uses, and the hash functions the
+// PISA `hash` primitive exposes (CRC32 and FNV-1a, the two commonly offered
+// by P4 targets).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <span>
+#include <string>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+
+namespace edp::net {
+
+/// TCP/UDP 5-tuple. For non-TCP/UDP packets the ports are zero.
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  auto operator<=>(const FiveTuple&) const = default;
+  std::string to_string() const;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) — the `hash` extern most P4
+/// targets provide.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// FNV-1a 32-bit, the cheap alternative hash used for sketch rows.
+std::uint32_t fnv1a(std::span<const std::uint8_t> data, std::uint32_t seed = 0x811c9dc5U);
+
+/// The paper's flow id: hash(ip.src ++ ip.dst) — CRC32 over the 8 bytes.
+std::uint32_t flow_id_src_dst(Ipv4Address src, Ipv4Address dst);
+
+/// Hash of the full 5-tuple (used for ECMP and per-flow queues).
+std::uint32_t flow_id_five_tuple(const FiveTuple& t);
+
+/// Extract the 5-tuple from an Ethernet/IPv4/{TCP,UDP} packet. Returns a
+/// zero tuple for non-IPv4 packets (callers treat hash(0-tuple) as flow 0).
+FiveTuple extract_five_tuple(const Packet& p);
+
+}  // namespace edp::net
+
+template <>
+struct std::hash<edp::net::FiveTuple> {
+  std::size_t operator()(const edp::net::FiveTuple& t) const noexcept {
+    return edp::net::flow_id_five_tuple(t);
+  }
+};

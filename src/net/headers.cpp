@@ -1,0 +1,216 @@
+#include "net/headers.hpp"
+
+#include "net/checksum.hpp"
+
+namespace edp::net {
+
+// ---- Ethernet --------------------------------------------------------------
+
+EthernetHeader EthernetHeader::decode(const Packet& p, std::size_t off) {
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> d{}, s{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    d[i] = p.u8(off + i);
+    s[i] = p.u8(off + 6 + i);
+  }
+  h.dst = MacAddress(d);
+  h.src = MacAddress(s);
+  h.ether_type = p.u16(off + 12);
+  return h;
+}
+
+void EthernetHeader::encode(Packet& p, std::size_t off) const {
+  for (std::size_t i = 0; i < 6; ++i) {
+    p.set_u8(off + i, dst.bytes()[i]);
+    p.set_u8(off + 6 + i, src.bytes()[i]);
+  }
+  p.set_u16(off + 12, ether_type);
+}
+
+// ---- VLAN ------------------------------------------------------------------
+
+VlanHeader VlanHeader::decode(const Packet& p, std::size_t off) {
+  VlanHeader h;
+  const std::uint16_t tci = p.u16(off);
+  h.pcp = static_cast<std::uint8_t>(tci >> 13);
+  h.dei = (tci >> 12) & 1;
+  h.vid = tci & 0x0fff;
+  h.ether_type = p.u16(off + 2);
+  return h;
+}
+
+void VlanHeader::encode(Packet& p, std::size_t off) const {
+  const std::uint16_t tci = static_cast<std::uint16_t>(
+      (std::uint16_t{pcp} << 13) | (std::uint16_t{dei} << 12) |
+      (vid & 0x0fff));
+  p.set_u16(off, tci);
+  p.set_u16(off + 2, ether_type);
+}
+
+// ---- IPv4 ------------------------------------------------------------------
+
+Ipv4Header Ipv4Header::decode(const Packet& p, std::size_t off) {
+  Ipv4Header h;
+  const std::uint8_t tos = p.u8(off + 1);
+  h.dscp = tos >> 2;
+  h.ecn = tos & 0x3;
+  h.total_length = p.u16(off + 2);
+  h.identification = p.u16(off + 4);
+  h.ttl = p.u8(off + 8);
+  h.protocol = p.u8(off + 9);
+  h.checksum = p.u16(off + 10);
+  h.src = Ipv4Address(p.u32(off + 12));
+  h.dst = Ipv4Address(p.u32(off + 16));
+  return h;
+}
+
+void Ipv4Header::encode(Packet& p, std::size_t off) const {
+  p.set_u8(off, 0x45);  // version 4, IHL 5 (no options)
+  p.set_u8(off + 1, static_cast<std::uint8_t>((dscp << 2) | (ecn & 0x3)));
+  p.set_u16(off + 2, total_length);
+  p.set_u16(off + 4, identification);
+  p.set_u16(off + 6, 0x4000);  // DF set, no fragments
+  p.set_u8(off + 8, ttl);
+  p.set_u8(off + 9, protocol);
+  p.set_u16(off + 10, checksum);
+  p.set_u32(off + 12, src.value());
+  p.set_u32(off + 16, dst.value());
+}
+
+void Ipv4Header::update_checksum() {
+  Packet scratch(kSize);
+  Ipv4Header copy = *this;
+  copy.checksum = 0;
+  copy.encode(scratch, 0);
+  checksum = internet_checksum(scratch.bytes());
+}
+
+bool Ipv4Header::checksum_ok() const {
+  Ipv4Header copy = *this;
+  copy.update_checksum();
+  return copy.checksum == checksum;
+}
+
+// ---- UDP -------------------------------------------------------------------
+
+UdpHeader UdpHeader::decode(const Packet& p, std::size_t off) {
+  UdpHeader h;
+  h.src_port = p.u16(off);
+  h.dst_port = p.u16(off + 2);
+  h.length = p.u16(off + 4);
+  h.checksum = p.u16(off + 6);
+  return h;
+}
+
+void UdpHeader::encode(Packet& p, std::size_t off) const {
+  p.set_u16(off, src_port);
+  p.set_u16(off + 2, dst_port);
+  p.set_u16(off + 4, length);
+  p.set_u16(off + 6, checksum);
+}
+
+// ---- TCP -------------------------------------------------------------------
+
+TcpHeader TcpHeader::decode(const Packet& p, std::size_t off) {
+  TcpHeader h;
+  h.src_port = p.u16(off);
+  h.dst_port = p.u16(off + 2);
+  h.seq = p.u32(off + 4);
+  h.ack = p.u32(off + 8);
+  h.flags = static_cast<std::uint8_t>(p.u16(off + 12) & 0x3f);
+  h.window = p.u16(off + 14);
+  h.checksum = p.u16(off + 16);
+  return h;
+}
+
+void TcpHeader::encode(Packet& p, std::size_t off) const {
+  p.set_u16(off, src_port);
+  p.set_u16(off + 2, dst_port);
+  p.set_u32(off + 4, seq);
+  p.set_u32(off + 8, ack);
+  // Data offset 5 words (no options) in the high nibble.
+  p.set_u16(off + 12, static_cast<std::uint16_t>((5 << 12) | flags));
+  p.set_u16(off + 14, window);
+  p.set_u16(off + 16, checksum);
+  p.set_u16(off + 18, 0);  // urgent pointer unused
+}
+
+// ---- HULA probe ------------------------------------------------------------
+
+HulaProbeHeader HulaProbeHeader::decode(const Packet& p, std::size_t off) {
+  HulaProbeHeader h;
+  h.tor_id = p.u32(off);
+  h.path_util_permille = p.u32(off + 4);
+  h.origin_ts_ps = p.u64(off + 8);
+  return h;
+}
+
+void HulaProbeHeader::encode(Packet& p, std::size_t off) const {
+  p.set_u32(off, tor_id);
+  p.set_u32(off + 4, path_util_permille);
+  p.set_u64(off + 8, origin_ts_ps);
+}
+
+// ---- Liveness echo ---------------------------------------------------------
+
+LivenessHeader LivenessHeader::decode(const Packet& p, std::size_t off) {
+  LivenessHeader h;
+  h.kind = p.u8(off);
+  h.seq = p.u16(off + 2);
+  h.sender_id = p.u32(off + 4);
+  h.ts_ps = p.u64(off + 8);
+  return h;
+}
+
+void LivenessHeader::encode(Packet& p, std::size_t off) const {
+  p.set_u8(off, kind);
+  p.set_u8(off + 1, 0);
+  p.set_u16(off + 2, seq);
+  p.set_u32(off + 4, sender_id);
+  p.set_u64(off + 8, ts_ps);
+}
+
+// ---- INT report ------------------------------------------------------------
+
+IntReportHeader IntReportHeader::decode(const Packet& p, std::size_t off) {
+  IntReportHeader h;
+  h.switch_id = p.u32(off);
+  h.queue_id = p.u16(off + 4);
+  h.flags = p.u16(off + 6);
+  h.queue_depth_bytes = p.u32(off + 8);
+  h.active_flows = p.u32(off + 12);
+  h.drops = p.u32(off + 16);
+  h.ts_ps = p.u64(off + 20);
+  return h;
+}
+
+void IntReportHeader::encode(Packet& p, std::size_t off) const {
+  p.set_u32(off, switch_id);
+  p.set_u16(off + 4, queue_id);
+  p.set_u16(off + 6, flags);
+  p.set_u32(off + 8, queue_depth_bytes);
+  p.set_u32(off + 12, active_flows);
+  p.set_u32(off + 16, drops);
+  p.set_u64(off + 20, ts_ps);
+}
+
+// ---- KV cache --------------------------------------------------------------
+
+KvHeader KvHeader::decode(const Packet& p, std::size_t off) {
+  KvHeader h;
+  h.op = p.u8(off);
+  h.seq = p.u16(off + 2);
+  h.key = p.u64(off + 4);
+  h.value = p.u64(off + 12);
+  return h;
+}
+
+void KvHeader::encode(Packet& p, std::size_t off) const {
+  p.set_u8(off, op);
+  p.set_u8(off + 1, 0);
+  p.set_u16(off + 2, seq);
+  p.set_u64(off + 4, key);
+  p.set_u64(off + 12, value);
+}
+
+}  // namespace edp::net

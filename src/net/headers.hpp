@@ -1,0 +1,182 @@
+// edp::net — wire header codecs.
+//
+// Every header is a plain struct with `kSize`, `decode(packet, offset)` and
+// `encode(packet, offset)`; encode/decode are exact inverses (tested by the
+// round-trip property suite). Standard headers follow their RFC layouts;
+// the experiment-specific headers (HULA probe, liveness echo, INT report,
+// KV cache) use fixed formats documented inline.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+
+namespace edp::net {
+
+// EtherTypes used in this repository.
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+/// HULA path-utilization probes (IEEE experimental EtherType space).
+inline constexpr std::uint16_t kEtherTypeHula = 0x88b5;
+/// Data-plane liveness echo protocol (experimental EtherType space).
+inline constexpr std::uint16_t kEtherTypeLiveness = 0x88b6;
+/// Carrier frames injected by the Event Merger to ferry event metadata when
+/// no ingress packet is available. Never forwarded out of the switch.
+inline constexpr std::uint16_t kEtherTypeCarrier = 0xed00;
+
+// IP protocol numbers.
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+// Well-known UDP ports for the in-network-computing apps.
+inline constexpr std::uint16_t kPortKvCache = 9999;
+inline constexpr std::uint16_t kPortIntReport = 5432;
+
+/// Ethernet II header (no FCS; the simulator does not model bit errors).
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  static EthernetHeader decode(const Packet& p, std::size_t off = 0);
+  void encode(Packet& p, std::size_t off = 0) const;
+};
+
+/// 802.1Q VLAN tag (appears after the Ethernet src MAC).
+struct VlanHeader {
+  static constexpr std::size_t kSize = 4;
+
+  std::uint8_t pcp = 0;        ///< priority code point (3 bits)
+  bool dei = false;            ///< drop eligible indicator
+  std::uint16_t vid = 0;       ///< VLAN id (12 bits)
+  std::uint16_t ether_type = 0;
+
+  static VlanHeader decode(const Packet& p, std::size_t off);
+  void encode(Packet& p, std::size_t off) const;
+};
+
+/// IPv4 header, fixed 20 bytes (options are not modeled).
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint8_t dscp = 0;  ///< 6 bits
+  std::uint8_t ecn = 0;   ///< 2 bits; apps use this for multi-bit marking
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  static Ipv4Header decode(const Packet& p, std::size_t off);
+  /// Encodes with the stored checksum; call update_checksum() first when
+  /// building packets.
+  void encode(Packet& p, std::size_t off) const;
+  /// Recompute `checksum` from the other fields (RFC 1071 over the header).
+  void update_checksum();
+  /// True if the stored checksum matches the computed one.
+  bool checksum_ok() const;
+};
+
+/// UDP header (checksum optional; 0 = not computed, as allowed for IPv4).
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+
+  static UdpHeader decode(const Packet& p, std::size_t off);
+  void encode(Packet& p, std::size_t off) const;
+};
+
+/// TCP header, fixed 20 bytes (options are not modeled).
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;  ///< FIN=0x01 SYN=0x02 RST=0x04 PSH=0x08 ACK=0x10
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+
+  static TcpHeader decode(const Packet& p, std::size_t off);
+  void encode(Packet& p, std::size_t off) const;
+};
+
+/// HULA probe: carries the max link utilization seen along the path toward
+/// `tor_id`, plus the originating timestamp for staleness measurement.
+/// Format: tor_id:u32 | path_util_permille:u32 | origin_ts_ps:u64.
+struct HulaProbeHeader {
+  static constexpr std::size_t kSize = 16;
+
+  std::uint32_t tor_id = 0;
+  std::uint32_t path_util_permille = 0;  ///< 0..1000+ (can exceed on overload)
+  std::uint64_t origin_ts_ps = 0;
+
+  static HulaProbeHeader decode(const Packet& p, std::size_t off);
+  void encode(Packet& p, std::size_t off) const;
+};
+
+/// Liveness echo: request/reply with sender id + sequence + timestamp.
+/// Format: kind:u8 | pad:u8 | seq:u16 | sender_id:u32 | ts_ps:u64.
+struct LivenessHeader {
+  static constexpr std::size_t kSize = 16;
+  static constexpr std::uint8_t kRequest = 1;
+  static constexpr std::uint8_t kReply = 2;
+  static constexpr std::uint8_t kFailureNotice = 3;
+
+  std::uint8_t kind = kRequest;
+  std::uint16_t seq = 0;
+  std::uint32_t sender_id = 0;
+  std::uint64_t ts_ps = 0;
+
+  static LivenessHeader decode(const Packet& p, std::size_t off);
+  void encode(Packet& p, std::size_t off) const;
+};
+
+/// INT-style telemetry report sent by the data plane to a monitor (over
+/// UDP/kPortIntReport). Aggregated congestion state of one queue.
+/// Format: switch_id:u32 | queue_id:u16 | flags:u16 | queue_depth_bytes:u32
+///         | active_flows:u32 | drops:u32 | ts_ps:u64.
+struct IntReportHeader {
+  static constexpr std::size_t kSize = 28;
+  static constexpr std::uint16_t kFlagAnomaly = 0x1;
+
+  std::uint32_t switch_id = 0;
+  std::uint16_t queue_id = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t queue_depth_bytes = 0;
+  std::uint32_t active_flows = 0;
+  std::uint32_t drops = 0;
+  std::uint64_t ts_ps = 0;
+
+  static IntReportHeader decode(const Packet& p, std::size_t off);
+  void encode(Packet& p, std::size_t off) const;
+};
+
+/// NetCache-style key-value header (over UDP/kPortKvCache).
+/// Format: op:u8 | pad:u8 | seq:u16 | key:u64 | value:u64.
+struct KvHeader {
+  static constexpr std::size_t kSize = 20;
+  static constexpr std::uint8_t kGet = 1;
+  static constexpr std::uint8_t kSet = 2;
+  static constexpr std::uint8_t kReply = 3;
+
+  std::uint8_t op = kGet;
+  std::uint16_t seq = 0;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+
+  static KvHeader decode(const Packet& p, std::size_t off);
+  void encode(Packet& p, std::size_t off) const;
+};
+
+}  // namespace edp::net

@@ -1,0 +1,73 @@
+// edp::net — the wire packet.
+//
+// A `Packet` is an owned byte buffer plus the intrinsic metadata a switch
+// port attaches on arrival (timestamp, ingress port, unique trace id). All
+// multi-byte accessors are big-endian, i.e. network order, so serialized
+// buffers look exactly like real wire captures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace edp::net {
+
+/// Intrinsic (non-programmable) packet metadata, set by the device.
+struct PacketMeta {
+  sim::Time arrival = sim::Time::zero();  ///< time the first bit arrived
+  std::uint16_t ingress_port = 0;         ///< device port of arrival
+  std::uint64_t trace_id = 0;             ///< unique id for tracing/tests
+  std::uint8_t recirc_count = 0;          ///< times re-submitted to ingress
+};
+
+/// An owned, mutable packet. Cheap to move; copying duplicates the payload
+/// (used for multicast/broadcast and control-plane punts).
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+  /// An all-zero packet of `size` bytes (e.g. padding, carrier frames).
+  explicit Packet(std::size_t size) : bytes_(size, 0) {}
+
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::span<std::uint8_t> bytes() { return bytes_; }
+
+  PacketMeta& meta() { return meta_; }
+  const PacketMeta& meta() const { return meta_; }
+
+  // ---- big-endian field accessors ----------------------------------------
+  // All offsets are byte offsets from the start of the packet. Reads out of
+  // range assert in debug builds and return 0 in release; writes out of
+  // range assert and are dropped. Parsers must bounds-check with size().
+
+  std::uint8_t u8(std::size_t off) const;
+  std::uint16_t u16(std::size_t off) const;
+  std::uint32_t u32(std::size_t off) const;
+  std::uint64_t u64(std::size_t off) const;
+
+  void set_u8(std::size_t off, std::uint8_t v);
+  void set_u16(std::size_t off, std::uint16_t v);
+  void set_u32(std::size_t off, std::uint32_t v);
+  void set_u64(std::size_t off, std::uint64_t v);
+
+  /// Append raw bytes / grow with zeros.
+  void append(std::span<const std::uint8_t> data);
+  void pad_to(std::size_t size);
+
+  /// Remove `n` bytes from the front (decapsulation). n > size() clears.
+  void strip_front(std::size_t n);
+
+  /// Insert `n` zero bytes at offset `off` (encapsulation, e.g. INT push).
+  void insert_zeros(std::size_t off, std::size_t n);
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  PacketMeta meta_;
+};
+
+}  // namespace edp::net

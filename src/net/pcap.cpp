@@ -1,0 +1,63 @@
+#include "net/pcap.hpp"
+
+namespace edp::net {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // host order, usec timestamps
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return;
+  }
+  // Global header: magic, version 2.4, tz offset 0, sigfigs 0, snaplen,
+  // link type.
+  put_u32(kMagic);
+  put_u16(2);
+  put_u16(4);
+  put_u32(0);
+  put_u32(0);
+  put_u32(kSnapLen);
+  put_u32(kLinkTypeEthernet);
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void PcapWriter::put_u32(std::uint32_t v) {
+  std::fwrite(&v, sizeof v, 1, file_);
+}
+
+void PcapWriter::put_u16(std::uint16_t v) {
+  std::fwrite(&v, sizeof v, 1, file_);
+}
+
+void PcapWriter::write(const Packet& packet, sim::Time when) {
+  if (file_ == nullptr) {
+    return;
+  }
+  const std::int64_t us_total = when.ps() / 1'000'000;
+  put_u32(static_cast<std::uint32_t>(us_total / 1'000'000));  // seconds
+  put_u32(static_cast<std::uint32_t>(us_total % 1'000'000));  // microseconds
+  const auto len = static_cast<std::uint32_t>(packet.size());
+  const std::uint32_t caplen = len < kSnapLen ? len : kSnapLen;
+  put_u32(caplen);
+  put_u32(len);
+  std::fwrite(packet.bytes().data(), 1, caplen, file_);
+  ++packets_;
+}
+
+void PcapWriter::flush() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+  }
+}
+
+}  // namespace edp::net

@@ -1,0 +1,46 @@
+// edp::net — pcap capture writer.
+//
+// Records simulated packets into a classic libpcap file (readable by
+// tcpdump/Wireshark), with timestamps taken from the simulation clock.
+// Attach one to any packet stream — a Host's receive hook, a switch TX
+// callback — to debug an experiment exactly like a real network.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace edp::net {
+
+class PcapWriter {
+ public:
+  /// Opens `path` and writes the global pcap header (microsecond
+  /// timestamps, LINKTYPE_ETHERNET). Check ok() before use.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  /// Append one packet with the given simulated capture time.
+  void write(const Packet& packet, sim::Time when);
+
+  std::uint64_t packets_written() const { return packets_; }
+
+  /// Flush buffered records to disk (also done on destruction).
+  void flush();
+
+ private:
+  void put_u32(std::uint32_t v);
+  void put_u16(std::uint16_t v);
+
+  std::FILE* file_ = nullptr;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace edp::net

@@ -1,0 +1,7 @@
+// Counter is header-only; this TU anchors the module in the build so the
+// archive always exists even if no inline symbol is emitted elsewhere.
+#include "pisa/counter.hpp"
+
+namespace edp::pisa {
+// (intentionally empty)
+}  // namespace edp::pisa

@@ -1,0 +1,54 @@
+// edp::pisa — indexed packet/byte counters (the P4 `counter` extern).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edp::pisa {
+
+/// An array of (packets, bytes) counter cells. Indices wrap like registers.
+class Counter {
+ public:
+  struct Cell {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  Counter(std::string name, std::size_t size)
+      : name_(std::move(name)), cells_(size) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return cells_.size(); }
+
+  void count(std::size_t idx, std::uint64_t bytes) {
+    Cell& c = cells_[idx % cells_.size()];
+    ++c.packets;
+    c.bytes += bytes;
+  }
+
+  const Cell& cell(std::size_t idx) const {
+    return cells_[idx % cells_.size()];
+  }
+
+  void reset() {
+    for (auto& c : cells_) {
+      c = Cell{};
+    }
+  }
+
+  Cell total() const {
+    Cell t;
+    for (const auto& c : cells_) {
+      t.packets += c.packets;
+      t.bytes += c.bytes;
+    }
+    return t;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace edp::pisa

@@ -1,0 +1,74 @@
+#include "pisa/deparser.hpp"
+
+namespace edp::pisa {
+
+net::Packet Deparser::deparse(const Phv& phv) const {
+  net::Packet out;
+
+  // Emit headers outermost-first by growing the buffer per layer.
+  const auto grow = [&out](std::size_t n) {
+    const std::size_t off = out.size();
+    out.pad_to(off + n);
+    return off;
+  };
+
+  if (phv.eth) {
+    auto eth = *phv.eth;
+    // Keep the EtherType chain consistent with header validity.
+    if (phv.vlan) {
+      eth.ether_type = net::kEtherTypeVlan;
+    }
+    eth.encode(out, grow(net::EthernetHeader::kSize));
+  }
+  if (phv.vlan) {
+    phv.vlan->encode(out, grow(net::VlanHeader::kSize));
+  }
+
+  std::size_t ipv4_off = SIZE_MAX;
+  if (phv.ipv4) {
+    ipv4_off = grow(net::Ipv4Header::kSize);
+    phv.ipv4->encode(out, ipv4_off);
+  }
+  std::size_t udp_off = SIZE_MAX;
+  if (phv.tcp) {
+    phv.tcp->encode(out, grow(net::TcpHeader::kSize));
+  } else if (phv.udp) {
+    udp_off = grow(net::UdpHeader::kSize);
+    phv.udp->encode(out, udp_off);
+  }
+  if (phv.hula) {
+    phv.hula->encode(out, grow(net::HulaProbeHeader::kSize));
+  }
+  if (phv.liveness) {
+    phv.liveness->encode(out, grow(net::LivenessHeader::kSize));
+  }
+  if (phv.kv) {
+    phv.kv->encode(out, grow(net::KvHeader::kSize));
+  }
+  if (phv.int_report) {
+    phv.int_report->encode(out, grow(net::IntReportHeader::kSize));
+  }
+
+  // Unparsed payload from the original packet.
+  if (phv.payload_offset < phv.packet.size()) {
+    out.append(phv.packet.bytes().subspan(phv.payload_offset));
+  }
+
+  // Back-patch lengths and checksums that depend on the final size.
+  if (ipv4_off != SIZE_MAX) {
+    auto ip = net::Ipv4Header::decode(out, ipv4_off);
+    ip.total_length = static_cast<std::uint16_t>(out.size() - ipv4_off);
+    ip.update_checksum();
+    ip.encode(out, ipv4_off);
+  }
+  if (udp_off != SIZE_MAX) {
+    auto udp = net::UdpHeader::decode(out, udp_off);
+    udp.length = static_cast<std::uint16_t>(out.size() - udp_off);
+    udp.encode(out, udp_off);
+  }
+
+  out.meta() = phv.packet.meta();
+  return out;
+}
+
+}  // namespace edp::pisa

@@ -1,0 +1,19 @@
+// edp::pisa — deparser: serialize a PHV back to a wire packet.
+#pragma once
+
+#include "pisa/phv.hpp"
+
+namespace edp::pisa {
+
+/// Re-emits the valid headers of `phv` in canonical order (Ethernet, VLAN,
+/// IPv4, TCP/UDP, app headers), followed by the unparsed payload bytes of
+/// the original packet. IPv4 total_length/checksum are recomputed so a
+/// program that rewrites fields always emits a consistent packet.
+///
+/// The packet's intrinsic metadata (arrival, trace id) is carried over.
+class Deparser {
+ public:
+  net::Packet deparse(const Phv& phv) const;
+};
+
+}  // namespace edp::pisa

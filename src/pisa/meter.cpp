@@ -1,0 +1,49 @@
+#include "pisa/meter.hpp"
+
+#include <algorithm>
+
+namespace edp::pisa {
+
+Meter::Meter(std::string name, std::size_t size, Config config)
+    : name_(std::move(name)), config_(config), cells_(size) {
+  for (auto& c : cells_) {
+    c.committed_tokens = static_cast<double>(config_.cbs_bytes);
+    c.excess_tokens = static_cast<double>(config_.ebs_bytes);
+  }
+}
+
+void Meter::refill(Cell& c, sim::Time now) const {
+  const sim::Time dt = now - c.last_update;
+  if (dt <= sim::Time::zero()) {
+    return;
+  }
+  c.last_update = now;
+  // srTCM: tokens arrive at CIR; overflow of the committed bucket spills
+  // into the excess bucket.
+  double add = config_.cir_bytes_per_sec * dt.as_seconds();
+  const double c_room =
+      static_cast<double>(config_.cbs_bytes) - c.committed_tokens;
+  const double to_committed = std::min(add, std::max(0.0, c_room));
+  c.committed_tokens += to_committed;
+  add -= to_committed;
+  c.excess_tokens = std::min(static_cast<double>(config_.ebs_bytes),
+                             c.excess_tokens + add);
+}
+
+MeterColor Meter::execute(std::size_t idx, std::uint64_t bytes,
+                          sim::Time now) {
+  Cell& c = cells_[idx % cells_.size()];
+  refill(c, now);
+  const auto b = static_cast<double>(bytes);
+  if (c.committed_tokens >= b) {
+    c.committed_tokens -= b;
+    return MeterColor::kGreen;
+  }
+  if (c.excess_tokens >= b) {
+    c.excess_tokens -= b;
+    return MeterColor::kYellow;
+  }
+  return MeterColor::kRed;
+}
+
+}  // namespace edp::pisa

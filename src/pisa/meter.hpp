@@ -1,0 +1,53 @@
+// edp::pisa — fixed-function meter extern.
+//
+// A single-rate three-color marker (srTCM, RFC 2697 / Heinanen & Guérin),
+// the meter primitive the paper contrasts with timer-built token buckets
+// (§3, Traffic Management). Each cell holds two token buckets refilled
+// lazily on access from the elapsed simulated time, exactly how switch
+// hardware implements it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace edp::pisa {
+
+enum class MeterColor : std::uint8_t { kGreen, kYellow, kRed };
+
+/// Array of srTCM cells.
+class Meter {
+ public:
+  struct Config {
+    double cir_bytes_per_sec = 1.25e6;  ///< committed information rate
+    std::uint64_t cbs_bytes = 3000;     ///< committed burst size
+    std::uint64_t ebs_bytes = 6000;     ///< excess burst size
+  };
+
+  Meter(std::string name, std::size_t size, Config config);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return cells_.size(); }
+  const Config& config() const { return config_; }
+
+  /// Meter `bytes` against cell `idx` at time `now`; returns the color and
+  /// (for green/yellow) debits the corresponding bucket.
+  MeterColor execute(std::size_t idx, std::uint64_t bytes, sim::Time now);
+
+ private:
+  struct Cell {
+    double committed_tokens = 0;  ///< <= cbs
+    double excess_tokens = 0;     ///< <= ebs
+    sim::Time last_update = sim::Time::zero();
+  };
+
+  void refill(Cell& c, sim::Time now) const;
+
+  std::string name_;
+  Config config_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace edp::pisa

@@ -1,0 +1,58 @@
+// edp::pisa — programmable parser.
+//
+// A parser is a state machine, exactly as in P4: each state extracts a
+// header from the packet at the current offset and selects the next state.
+// States are registered by name; `Parser::standard()` builds the parse
+// graph for this repository's protocol suite, and programs may add or
+// replace states to parse custom formats.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "pisa/phv.hpp"
+
+namespace edp::pisa {
+
+/// Result of one parser state: where to go next and the new byte offset.
+struct ParseStep {
+  std::string next_state;  ///< "accept" / "reject" end parsing
+  std::size_t offset = 0;
+};
+
+/// One parser state: examine `phv.packet` at `offset`, extract into `phv`,
+/// return the transition.
+using ParseState =
+    std::function<ParseStep(Phv& phv, std::size_t offset)>;
+
+/// P4-style programmable parser.
+class Parser {
+ public:
+  static constexpr const char* kAccept = "accept";
+  static constexpr const char* kReject = "reject";
+
+  /// Empty parser; the caller supplies every state.
+  Parser() = default;
+
+  /// The standard parse graph:
+  ///   start -> ethernet -> {vlan ->} {ipv4 -> {tcp|udp -> {kv|int}}}
+  ///                        | hula | liveness | carrier(accept)
+  static Parser standard();
+
+  /// Register (or replace) a state.
+  void add_state(const std::string& name, ParseState state);
+
+  /// Run the state machine from "start". On reject/truncation the PHV is
+  /// returned with `parse_error` set. Also fills packet_length,
+  /// ingress_port and ingress_timestamp from the packet metadata.
+  Phv parse(net::Packet packet) const;
+
+  /// Loop guard: maximum state transitions per packet.
+  static constexpr std::size_t kMaxSteps = 32;
+
+ private:
+  std::unordered_map<std::string, ParseState> states_;
+};
+
+}  // namespace edp::pisa

@@ -1,0 +1,52 @@
+#include "pisa/phv.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace edp::pisa {
+
+/// Debug rendering of a PHV: which headers are valid plus key fields.
+/// Declared here (not in the header) so tests/tools can opt in without
+/// pulling <string> formatting into the hot path.
+std::string describe(const Phv& phv);
+
+std::string describe(const Phv& phv) {
+  std::string out = "phv[";
+  if (phv.eth) {
+    out += "eth(" + std::to_string(phv.eth->ether_type) + ") ";
+  }
+  if (phv.vlan) {
+    out += "vlan(" + std::to_string(phv.vlan->vid) + ") ";
+  }
+  if (phv.ipv4) {
+    out += "ipv4(" + phv.ipv4->src.to_string() + "->" +
+           phv.ipv4->dst.to_string() + ") ";
+  }
+  if (phv.tcp) {
+    out += "tcp ";
+  }
+  if (phv.udp) {
+    out += "udp ";
+  }
+  if (phv.hula) {
+    out += "hula ";
+  }
+  if (phv.liveness) {
+    out += "live ";
+  }
+  if (phv.int_report) {
+    out += "int ";
+  }
+  if (phv.kv) {
+    out += "kv ";
+  }
+  char meta[96];
+  std::snprintf(meta, sizeof meta, "in=%u out=%u len=%u%s%s]",
+                phv.std_meta.ingress_port, phv.std_meta.egress_port,
+                phv.std_meta.packet_length, phv.std_meta.drop ? " DROP" : "",
+                phv.parse_error ? " PARSE_ERR" : "");
+  out += meta;
+  return out;
+}
+
+}  // namespace edp::pisa

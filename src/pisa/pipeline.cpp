@@ -1,0 +1,25 @@
+#include "pisa/pipeline.hpp"
+
+#include <utility>
+
+namespace edp::pisa {
+
+void Pipeline::add_stage(std::string stage_name,
+                         std::function<void(Phv&)> logic) {
+  stages_.push_back(Stage{std::move(stage_name), std::move(logic), 0});
+}
+
+void Pipeline::process(Phv& phv) {
+  ++phvs_;
+  for (auto& s : stages_) {
+    if (stop_on_drop_ && phv.std_meta.drop) {
+      return;
+    }
+    ++s.phvs_processed;
+    if (s.logic) {
+      s.logic(phv);
+    }
+  }
+}
+
+}  // namespace edp::pisa

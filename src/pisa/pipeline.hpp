@@ -1,0 +1,52 @@
+// edp::pisa — the match-action pipeline container.
+//
+// A pipeline is an ordered sequence of named stages, each a function over
+// the PHV (in P4 terms, one `control` block apply). The container exists
+// for structure and per-stage accounting: the resource model and the
+// staleness analysis both reason about *which stage* state lives in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pisa/phv.hpp"
+
+namespace edp::pisa {
+
+/// One pipeline stage.
+struct Stage {
+  std::string name;
+  std::function<void(Phv&)> logic;
+  std::uint64_t phvs_processed = 0;
+};
+
+/// An ordered sequence of stages applied to each PHV. A stage may set
+/// `std_meta.drop`; subsequent stages still run (as in hardware, where the
+/// PHV physically traverses all stages) unless `stop_on_drop` is set.
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name, bool stop_on_drop = false)
+      : name_(std::move(name)), stop_on_drop_(stop_on_drop) {}
+
+  const std::string& name() const { return name_; }
+
+  void add_stage(std::string stage_name, std::function<void(Phv&)> logic);
+
+  std::size_t depth() const { return stages_.size(); }
+  const Stage& stage(std::size_t i) const { return stages_[i]; }
+
+  /// Apply every stage in order.
+  void process(Phv& phv);
+
+  std::uint64_t phvs_processed() const { return phvs_; }
+
+ private:
+  std::string name_;
+  bool stop_on_drop_;
+  std::vector<Stage> stages_;
+  std::uint64_t phvs_ = 0;
+};
+
+}  // namespace edp::pisa

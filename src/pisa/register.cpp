@@ -1,0 +1,26 @@
+#include "pisa/register.hpp"
+
+namespace edp::pisa {
+
+bool PortUsage::try_acquire(std::uint64_t cycle) {
+  if (cycle != current_cycle_) {
+    current_cycle_ = cycle;
+    used_this_cycle_ = 0;
+  }
+  if (used_this_cycle_ >= ports_) {
+    ++contention_;
+    return false;
+  }
+  ++used_this_cycle_;
+  ++acquired_;
+  return true;
+}
+
+bool PortUsage::available(std::uint64_t cycle) const {
+  if (cycle != current_cycle_) {
+    return ports_ >= 1;
+  }
+  return used_this_cycle_ < ports_;
+}
+
+}  // namespace edp::pisa

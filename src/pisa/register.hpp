@@ -1,0 +1,100 @@
+// edp::pisa — stateful register arrays.
+//
+// Registers are the stateful extern of PISA programs. Physical register
+// memories in a switch pipeline are *single-ported* per clock cycle (one
+// read-modify-write); that constraint is the entire reason for the paper's
+// §4 aggregation mechanism, so we model it explicitly: each array has a
+// port budget per cycle, tracked by `PortUsage`. Functional reads/writes
+// are separate from port accounting so tests can use registers directly
+// while the EventSwitch enforces the hardware constraint.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edp::pisa {
+
+/// Tracks how many of a memory's ports have been consumed in the current
+/// clock cycle, and counts contention (attempts beyond the budget).
+class PortUsage {
+ public:
+  explicit PortUsage(int ports = 1) : ports_(ports) { assert(ports >= 1); }
+
+  int ports() const { return ports_; }
+
+  /// Try to consume one port in `cycle`. Returns false (and counts
+  /// contention) if the budget for that cycle is exhausted.
+  bool try_acquire(std::uint64_t cycle);
+
+  /// True if at least one port is still free in `cycle` (no side effects).
+  bool available(std::uint64_t cycle) const;
+
+  std::uint64_t contention() const { return contention_; }
+  std::uint64_t acquired() const { return acquired_; }
+
+ private:
+  int ports_;
+  std::uint64_t current_cycle_ = ~0ULL;
+  int used_this_cycle_ = 0;
+  std::uint64_t contention_ = 0;
+  std::uint64_t acquired_ = 0;
+};
+
+/// A register array of `T` cells.
+template <typename T>
+class Register {
+ public:
+  Register(std::string name, std::size_t size, int ports = 1)
+      : name_(std::move(name)), cells_(size, T{}), port_usage_(ports) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return cells_.size(); }
+
+  /// Functional read. Out-of-range indices wrap (hash-indexed state in
+  /// hardware wraps the same way), keeping programs total.
+  T read(std::size_t idx) const {
+    ++reads_;
+    return cells_[idx % cells_.size()];
+  }
+
+  void write(std::size_t idx, const T& value) {
+    ++writes_;
+    cells_[idx % cells_.size()] = value;
+  }
+
+  /// Atomic read-modify-write (one port in hardware).
+  template <typename Fn>
+  T rmw(std::size_t idx, Fn&& fn) {
+    const std::size_t i = idx % cells_.size();
+    ++reads_;
+    ++writes_;
+    cells_[i] = fn(cells_[i]);
+    return cells_[i];
+  }
+
+  void fill(const T& value) {
+    for (auto& c : cells_) {
+      c = value;
+    }
+  }
+
+  PortUsage& ports() { return port_usage_; }
+  const PortUsage& ports() const { return port_usage_; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+  /// Modeled memory footprint (for the resource model / state comparisons).
+  std::size_t bytes() const { return cells_.size() * sizeof(T); }
+
+ private:
+  std::string name_;
+  std::vector<T> cells_;
+  PortUsage port_usage_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace edp::pisa

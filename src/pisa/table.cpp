@@ -1,0 +1,203 @@
+#include "pisa/table.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace edp::pisa {
+
+MatchActionTable::MatchActionTable(std::string name,
+                                   std::vector<MatchField> schema,
+                                   std::size_t capacity)
+    : name_(std::move(name)), schema_(std::move(schema)), capacity_(capacity) {
+  all_exact_ = std::all_of(schema_.begin(), schema_.end(), [](const auto& f) {
+    return f.kind == MatchKind::kExact;
+  });
+}
+
+void MatchActionTable::set_default_action(std::string action_name,
+                                          Action action, ActionData data) {
+  default_name_ = std::move(action_name);
+  default_action_ = std::move(action);
+  default_data_ = std::move(data);
+}
+
+std::string MatchActionTable::hash_key(
+    const std::vector<std::uint64_t>& key) const {
+  std::string s;
+  s.reserve(key.size() * 8);
+  for (const std::uint64_t v : key) {
+    for (int i = 0; i < 8; ++i) {
+      s.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  }
+  return s;
+}
+
+bool MatchActionTable::insert(TableEntry entry) {
+  if (entries_.size() >= capacity_ || entry.key.size() != schema_.size()) {
+    return false;
+  }
+  if (all_exact_) {
+    std::vector<std::uint64_t> vals;
+    vals.reserve(entry.key.size());
+    for (const auto& f : entry.key) {
+      vals.push_back(f.value);
+    }
+    const std::string k = hash_key(vals);
+    if (exact_index_.contains(k)) {
+      return false;  // duplicate exact key
+    }
+    exact_index_.emplace(k, entries_.size());
+  }
+  entries_.push_back(std::move(entry));
+  return true;
+}
+
+std::size_t MatchActionTable::erase(const std::vector<KeyField>& key) {
+  std::size_t removed = 0;
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    const auto& ek = entries_[i].key;
+    if (ek.size() != key.size()) {
+      continue;
+    }
+    bool same = true;
+    for (std::size_t f = 0; f < key.size(); ++f) {
+      if (ek[f].value != key[f].value || ek[f].mask != key[f].mask ||
+          ek[f].prefix_len != key[f].prefix_len) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++removed;
+    }
+  }
+  if (removed > 0 && all_exact_) {
+    exact_index_.clear();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::vector<std::uint64_t> vals;
+      for (const auto& f : entries_[i].key) {
+        vals.push_back(f.value);
+      }
+      exact_index_.emplace(hash_key(vals), i);
+    }
+  }
+  return removed;
+}
+
+void MatchActionTable::clear() {
+  entries_.clear();
+  exact_index_.clear();
+}
+
+bool MatchActionTable::entry_matches(
+    const TableEntry& e, const std::vector<std::uint64_t>& key) const {
+  for (std::size_t f = 0; f < schema_.size(); ++f) {
+    const std::uint64_t have = key[f];
+    const KeyField& want = e.key[f];
+    switch (schema_[f].kind) {
+      case MatchKind::kExact:
+        if (have != want.value) {
+          return false;
+        }
+        break;
+      case MatchKind::kLpm: {
+        const int width = schema_[f].width_bits;
+        const int plen = std::clamp(want.prefix_len, 0, width);
+        if (plen == 0) {
+          break;  // 0-length prefix matches everything
+        }
+        const std::uint64_t mask =
+            plen >= 64 ? ~0ULL : ~((1ULL << (width - plen)) - 1);
+        if ((have & mask) != (want.value & mask)) {
+          return false;
+        }
+        break;
+      }
+      case MatchKind::kTernary:
+        if ((have & want.mask) != (want.value & want.mask)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+int MatchActionTable::specificity(const TableEntry& e) const {
+  int bits = 0;
+  for (std::size_t f = 0; f < schema_.size(); ++f) {
+    switch (schema_[f].kind) {
+      case MatchKind::kExact:
+        bits += schema_[f].width_bits;
+        break;
+      case MatchKind::kLpm:
+        bits += std::clamp(e.key[f].prefix_len, 0, schema_[f].width_bits);
+        break;
+      case MatchKind::kTernary:
+        bits += std::popcount(e.key[f].mask);
+        break;
+    }
+  }
+  return bits;
+}
+
+LookupResult MatchActionTable::lookup(
+    const std::vector<std::uint64_t>& key) const {
+  ++lookups_;
+  if (key.size() != schema_.size()) {
+    ++misses_;
+    return {};
+  }
+  if (all_exact_) {
+    const auto it = exact_index_.find(hash_key(key));
+    if (it == exact_index_.end()) {
+      ++misses_;
+      return {};
+    }
+    const TableEntry& e = entries_[it->second];
+    ++e.hits;
+    return {true, &e};
+  }
+  // LPM/ternary: best (most specific, then highest priority) match wins.
+  const TableEntry* best = nullptr;
+  int best_spec = -1;
+  for (const auto& e : entries_) {
+    if (!entry_matches(e, key)) {
+      continue;
+    }
+    const int spec = specificity(e);
+    if (best == nullptr || spec > best_spec ||
+        (spec == best_spec && e.priority > best->priority)) {
+      best = &e;
+      best_spec = spec;
+    }
+  }
+  if (best == nullptr) {
+    ++misses_;
+    return {};
+  }
+  ++best->hits;
+  return {true, best};
+}
+
+bool MatchActionTable::apply(
+    Phv& phv,
+    const std::function<std::vector<std::uint64_t>(const Phv&)>& key_fn)
+    const {
+  const LookupResult r = lookup(key_fn(phv));
+  if (r.hit) {
+    if (r.entry->action) {
+      r.entry->action(phv, r.entry->data);
+    }
+    return true;
+  }
+  if (default_action_) {
+    default_action_(phv, default_data_);
+  }
+  return false;
+}
+
+}  // namespace edp::pisa

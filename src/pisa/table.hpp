@@ -1,0 +1,132 @@
+// edp::pisa — match-action tables.
+//
+// The workhorse of PISA programs. A table is configured with a key schema
+// (a list of fields, each exact / LPM / ternary), filled with entries by
+// the control plane, and applied to PHVs by the data plane. Actions are
+// bound callables over the PHV plus the entry's action data — the C++
+// equivalent of a P4 action with its compile-time parameters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pisa/phv.hpp"
+
+namespace edp::pisa {
+
+enum class MatchKind : std::uint8_t { kExact, kLpm, kTernary };
+
+/// One field of the key schema.
+struct MatchField {
+  MatchKind kind = MatchKind::kExact;
+  int width_bits = 32;  ///< informative; values are held in 64-bit lanes
+  std::string name;     ///< for diagnostics
+};
+
+/// One field of a concrete entry key.
+struct KeyField {
+  std::uint64_t value = 0;
+  /// LPM: prefix length in bits; Ternary: ignored (use mask). Exact: ignored.
+  int prefix_len = 0;
+  /// Ternary: care-mask (1 bits must match). Exact: all-ones implied.
+  std::uint64_t mask = ~0ULL;
+};
+
+/// Action data passed to the bound action at hit time.
+struct ActionData {
+  std::vector<std::uint64_t> args;
+  std::uint64_t arg(std::size_t i) const {
+    return i < args.size() ? args[i] : 0;
+  }
+};
+
+using Action = std::function<void(Phv&, const ActionData&)>;
+
+/// A table entry: key fields (one per schema field), priority (ternary
+/// tie-break, higher wins), the action and its data.
+struct TableEntry {
+  std::vector<KeyField> key;
+  std::int32_t priority = 0;
+  std::string action_name;
+  Action action;
+  ActionData data;
+  mutable std::uint64_t hits = 0;
+};
+
+/// Result of a lookup.
+struct LookupResult {
+  bool hit = false;
+  const TableEntry* entry = nullptr;  ///< valid iff hit
+};
+
+/// Match-action table with bounded capacity.
+///
+/// Lookup semantics follow P4:
+///  - all-exact schema: hash lookup, at most one match;
+///  - schemas containing LPM: longest prefix wins (then priority);
+///  - schemas containing ternary: highest priority matching entry wins.
+class MatchActionTable {
+ public:
+  MatchActionTable(std::string name, std::vector<MatchField> schema,
+                   std::size_t capacity = 1024);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Set the miss action (P4 default_action). Null = no-op on miss.
+  void set_default_action(std::string action_name, Action action,
+                          ActionData data = {});
+
+  /// Insert an entry. Returns false (and does not insert) if the table is
+  /// full or the key arity mismatches the schema.
+  bool insert(TableEntry entry);
+
+  /// Remove all entries whose key fields equal `key` exactly (control-plane
+  /// delete). Returns the number removed.
+  std::size_t erase(const std::vector<KeyField>& key);
+
+  void clear();
+
+  /// Pure lookup (no action execution).
+  LookupResult lookup(const std::vector<std::uint64_t>& key) const;
+
+  /// P4 `table.apply()`: look up using `key_fn` to extract the key from the
+  /// PHV, run the matching (or default) action. Returns hit/miss.
+  bool apply(Phv& phv,
+             const std::function<std::vector<std::uint64_t>(const Phv&)>&
+                 key_fn) const;
+
+  /// Lookup statistics.
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  bool entry_matches(const TableEntry& e,
+                     const std::vector<std::uint64_t>& key) const;
+  /// Sum of matched prefix bits, for LPM ordering (exact fields count full
+  /// width; ternary fields count popcount of mask).
+  int specificity(const TableEntry& e) const;
+  std::string hash_key(const std::vector<std::uint64_t>& key) const;
+
+  std::string name_;
+  std::vector<MatchField> schema_;
+  std::size_t capacity_;
+  bool all_exact_;
+  std::vector<TableEntry> entries_;
+  /// Index into entries_ for all-exact tables.
+  std::unordered_map<std::string, std::size_t> exact_index_;
+
+  std::string default_name_ = "NoAction";
+  Action default_action_;
+  ActionData default_data_;
+
+  mutable std::uint64_t lookups_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace edp::pisa

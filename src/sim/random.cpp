@@ -1,0 +1,138 @@
+#include "sim/random.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace edp::sim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) {
+    word = splitmix64(x);
+  }
+}
+
+std::uint64_t Random::next_u64() {
+  // xoshiro256++
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Random::uniform(std::uint64_t bound) {
+  if (bound == 0) {
+    return 0;
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Random::uniform_range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) {
+    return static_cast<std::int64_t>(next_u64());
+  }
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Random::uniform01() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Random::chance(double probability) {
+  if (probability <= 0.0) {
+    return false;
+  }
+  if (probability >= 1.0) {
+    return true;
+  }
+  return uniform01() < probability;
+}
+
+double Random::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = uniform01();
+  // Guard log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+double Random::pareto(double xm, double alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+  double u = uniform01();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Random Random::fork() { return Random(next_u64()); }
+
+std::vector<std::size_t> Random::permutation(std::size_t n) {
+  std::vector<std::size_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = i;
+  }
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(v[i - 1], v[uniform(i)]);
+  }
+  return v;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) {
+    c /= total;
+  }
+}
+
+std::size_t ZipfSampler::sample(Random& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return cdf_.size() - 1;
+  }
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace edp::sim

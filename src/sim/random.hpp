@@ -1,0 +1,65 @@
+// edp::sim — deterministic random source for workload generation.
+//
+// Experiments must be reproducible: every stochastic choice in the simulator
+// flows through a `Random` instance whose seed is part of the experiment
+// configuration. The engine is xoshiro256++ (public domain, Blackman &
+// Vigna), which is fast, has a 2^256-1 period, and — unlike the standard
+// library distributions — gives us bit-identical streams across compilers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace edp::sim {
+
+/// Deterministic PRNG with the distributions the workloads need.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Geometric-ish Pareto with shape alpha (> 0) and minimum xm (> 0).
+  double pareto(double xm, double alpha);
+
+  /// Derive an independent child stream (e.g. one per host).
+  Random fork();
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Zipf(n, s) sampler over {0, .., n-1} using precomputed CDF + binary
+/// search. Used for skewed flow popularity (CMS / NetCache workloads).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t sample(Random& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace edp::sim

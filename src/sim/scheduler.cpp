@@ -1,0 +1,96 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace edp::sim {
+
+EventId Scheduler::at(Time when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+EventId Scheduler::after(Time delay, std::function<void()> fn) {
+  assert(delay >= Time::zero());
+  return at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventId id) {
+  // Only genuinely pending callbacks can be cancelled; fired, unknown, and
+  // doubly-cancelled ids are harmless no-ops.
+  if (live_.erase(id) == 0) {
+    return false;
+  }
+  // Lazy deletion: remember the id; skip it when popped.
+  cancelled_.insert(id);
+  return true;
+}
+
+void Scheduler::step() {
+  // priority_queue has no non-const top() for moving; the const_cast is the
+  // standard idiom — the entry is popped immediately after the move.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    return;
+  }
+  live_.erase(e.id);
+  assert(e.when >= now_);
+  now_ = e.when;
+  ++executed_;
+  e.fn();
+}
+
+void Scheduler::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (!queue_.empty() && n < max_events) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+PeriodicTask::PeriodicTask(Scheduler& sched, Time period,
+                           std::function<void()> fn)
+    : sched_(sched), period_(period), fn_(std::move(fn)) {
+  assert(period_ > Time::zero());
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start() { start_at(sched_.now() + period_); }
+
+void PeriodicTask::start_at(Time t) {
+  stop();
+  running_ = true;
+  pending_ = sched_.at(t, [this] { fire(); });
+}
+
+void PeriodicTask::stop() {
+  if (running_) {
+    sched_.cancel(pending_);
+    running_ = false;
+    pending_ = 0;
+  }
+}
+
+void PeriodicTask::fire() {
+  // Reschedule before invoking so `fn_` may call stop() to end the loop.
+  pending_ = sched_.after(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace edp::sim

@@ -1,0 +1,119 @@
+// edp::sim — deterministic discrete-event scheduler.
+//
+// The simulation kernel: a priority queue of (time, sequence, callback).
+// The sequence number makes ordering total and deterministic — two events
+// scheduled for the same instant fire in scheduling order, which is what
+// makes whole-network runs bit-reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace edp::sim {
+
+/// Handle to a scheduled callback; used to cancel it.
+using EventId = std::uint64_t;
+
+/// Discrete-event scheduler. Single-threaded by design: network simulation
+/// correctness comes from the global time order, not concurrency.
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  // The scheduler owns pending closures that may capture references to it;
+  // moving it would dangle them.
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (must be >= now()).
+  EventId at(Time when, std::function<void()> fn);
+
+  /// Schedule `fn` after a relative delay (>= 0).
+  EventId after(Time delay, std::function<void()> fn);
+
+  /// Cancel a pending callback. Cancelling an already-fired or unknown id is
+  /// a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Run every event with time <= `deadline`; leaves now() == deadline.
+  void run_until(Time deadline);
+
+  /// Run until the queue drains (or `max_events` fire, as a runaway guard).
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// True if no pending (uncancelled) events remain.
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+
+  /// Number of pending events (including not-yet-collected cancelled ones).
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total callbacks executed since construction (diagnostics).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  /// Pop and run the earliest event; advances now(). Pre: !empty().
+  void step();
+
+  Time now_ = Time::zero();
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Ids currently in queue_ and not cancelled. Keeping this set makes
+  /// cancel() exact: cancelling an already-fired (or already-cancelled) id
+  /// is a detectable no-op instead of silently corrupting the pending
+  /// accounting.
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Convenience: a repeating task bound to a scheduler. Owns its rescheduling
+/// loop; stops when `stop()` is called or the object is destroyed.
+class PeriodicTask {
+ public:
+  PeriodicTask(Scheduler& sched, Time period, std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();          ///< First fire one period from now.
+  void start_at(Time t); ///< First fire at absolute time t.
+  void stop();
+
+  bool running() const { return running_; }
+  Time period() const { return period_; }
+
+ private:
+  void fire();
+
+  Scheduler& sched_;
+  Time period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventId pending_ = 0;
+};
+
+}  // namespace edp::sim

@@ -1,0 +1,49 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace edp::sim {
+
+Time Time::from_seconds(double s) {
+  return Time(static_cast<std::int64_t>(std::llround(s * 1e12)));
+}
+
+std::string Time::to_string() const {
+  char buf[48];
+  const double ps = static_cast<double>(ps_);
+  if (ps_ == 0) {
+    return "0s";
+  }
+  const double aps = std::abs(ps);
+  if (aps < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldps", static_cast<long long>(ps_));
+  } else if (aps < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3gns", ps / 1e3);
+  } else if (aps < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.4gus", ps / 1e6);
+  } else if (aps < 1e12) {
+    std::snprintf(buf, sizeof buf, "%.4gms", ps / 1e9);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4gs", ps / 1e12);
+  }
+  return buf;
+}
+
+Time serialization_time(std::uint64_t bytes, double bits_per_second) {
+  if (bits_per_second <= 0.0) {
+    return Time::zero();
+  }
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / bits_per_second;
+  return Time::from_seconds(seconds);
+}
+
+double rate_bps(std::uint64_t bytes, Time interval) {
+  if (interval <= Time::zero()) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) * 8.0 / interval.as_seconds();
+}
+
+}  // namespace edp::sim

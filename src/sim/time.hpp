@@ -1,0 +1,79 @@
+// edp::sim — simulation time.
+//
+// All simulation timestamps are integer picoseconds. Picosecond granularity
+// lets us represent one clock cycle of a multi-GHz pipeline exactly, as well
+// as per-byte serialization times on 10/40/100G links, without accumulating
+// floating point error. A signed 64-bit picosecond counter covers ~106 days
+// of simulated time, far beyond any experiment in this repository.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace edp::sim {
+
+/// A point in simulated time (or a duration), in integer picoseconds.
+///
+/// `Time` is deliberately a tiny value type: it is ordered, supports the
+/// arithmetic needed by schedulers and rate conversions, and nothing else.
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t picoseconds) : ps_(picoseconds) {}
+
+  /// Named constructors. These are the only way rates/periods should be
+  /// written in user code: `Time::micros(50)` reads better than 50'000'000.
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time picos(std::int64_t v) { return Time(v); }
+  static constexpr Time nanos(std::int64_t v) { return Time(v * 1'000); }
+  static constexpr Time micros(std::int64_t v) { return Time(v * 1'000'000); }
+  static constexpr Time millis(std::int64_t v) {
+    return Time(v * 1'000'000'000);
+  }
+  static constexpr Time seconds(std::int64_t v) {
+    return Time(v * 1'000'000'000'000);
+  }
+  /// Fractional seconds, useful for rate math; rounds to nearest picosecond.
+  static Time from_seconds(double s);
+
+  constexpr std::int64_t ps() const { return ps_; }
+  constexpr double as_nanos() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double as_micros() const { return static_cast<double>(ps_) / 1e6; }
+  constexpr double as_millis() const { return static_cast<double>(ps_) / 1e9; }
+  constexpr double as_seconds() const {
+    return static_cast<double>(ps_) / 1e12;
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time o) const { return Time(ps_ + o.ps_); }
+  constexpr Time operator-(Time o) const { return Time(ps_ - o.ps_); }
+  constexpr Time& operator+=(Time o) {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  constexpr Time operator*(std::int64_t k) const { return Time(ps_ * k); }
+  constexpr Time operator/(std::int64_t k) const { return Time(ps_ / k); }
+  /// Ratio of two durations (e.g. elapsed / period).
+  constexpr std::int64_t operator/(Time o) const { return ps_ / o.ps_; }
+  constexpr Time operator%(Time o) const { return Time(ps_ % o.ps_); }
+
+  /// Human-readable rendering with an auto-selected unit ("12.5us").
+  std::string to_string() const;
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+/// Time needed to serialize `bytes` onto a link of `bits_per_second`.
+Time serialization_time(std::uint64_t bytes, double bits_per_second);
+
+/// Bits per second needed to move `bytes` in `interval` (0 if interval == 0).
+double rate_bps(std::uint64_t bytes, Time interval);
+
+}  // namespace edp::sim

@@ -1,0 +1,34 @@
+#include "stats/active_flows.hpp"
+
+#include <cassert>
+
+namespace edp::stats {
+
+ActiveFlowTracker::ActiveFlowTracker(std::size_t capacity)
+    : counts_(capacity, 0) {
+  assert(capacity > 0);
+}
+
+void ActiveFlowTracker::on_enqueue(std::uint32_t flow_id) {
+  auto& c = counts_[flow_id % counts_.size()];
+  if (c == 0) {
+    ++active_;
+  }
+  ++c;
+}
+
+void ActiveFlowTracker::on_dequeue(std::uint32_t flow_id) {
+  auto& c = counts_[flow_id % counts_.size()];
+  if (c == 0) {
+    // Dequeue without matching enqueue (collision artifact); ignore rather
+    // than underflow — mirrors saturating register arithmetic in hardware.
+    return;
+  }
+  --c;
+  if (c == 0) {
+    assert(active_ > 0);
+    --active_;
+  }
+}
+
+}  // namespace edp::stats

@@ -1,0 +1,42 @@
+// edp::stats — active flow counting from enqueue/dequeue events.
+//
+// "Number of buffered flows" is the paper's canonical congestion signal
+// that *requires* state updates on both enqueue and dequeue (§1). The
+// tracker keeps a per-slot packet count (hash-indexed by flow id); a flow
+// is active while its count is non-zero, and the active total is maintained
+// incrementally — O(1) per event, exactly the register program a P4
+// handler pair would run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edp::stats {
+
+class ActiveFlowTracker {
+ public:
+  explicit ActiveFlowTracker(std::size_t capacity);
+
+  /// Enqueue handler: flow gained a buffered packet.
+  void on_enqueue(std::uint32_t flow_id);
+
+  /// Dequeue/drop handler: flow lost a buffered packet.
+  void on_dequeue(std::uint32_t flow_id);
+
+  /// Flows with >= 1 buffered packet (exact up to hash collisions).
+  std::uint32_t active_flows() const { return active_; }
+
+  /// Buffered packets of one flow's slot.
+  std::uint32_t flow_packets(std::uint32_t flow_id) const {
+    return counts_[flow_id % counts_.size()];
+  }
+
+  std::size_t capacity() const { return counts_.size(); }
+  std::size_t bytes() const { return counts_.size() * sizeof(std::uint32_t); }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::uint32_t active_ = 0;
+};
+
+}  // namespace edp::stats

@@ -1,0 +1,70 @@
+#include "stats/count_min_sketch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace edp::stats {
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer) used as the row hash.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), counters_(width * depth, 0) {
+  assert(width > 0 && depth > 0);
+  seeds_.reserve(depth);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < depth; ++i) {
+    s = mix(s + 0x9e3779b97f4a7c15ULL);
+    seeds_.push_back(s);
+  }
+}
+
+CountMinSketch CountMinSketch::from_error_bounds(double epsilon, double delta,
+                                                 std::uint64_t seed) {
+  assert(epsilon > 0 && delta > 0 && delta < 1);
+  const auto width =
+      static_cast<std::size_t>(std::ceil(std::exp(1.0) / epsilon));
+  const auto depth =
+      static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<std::size_t>(width, 1),
+                        std::max<std::size_t>(depth, 1), seed);
+}
+
+std::size_t CountMinSketch::index(std::size_t row, std::uint64_t key) const {
+  return row * width_ + static_cast<std::size_t>(mix(key ^ seeds_[row]) %
+                                                 width_);
+}
+
+void CountMinSketch::update(std::uint64_t key, std::uint64_t amount) {
+  total_ += amount;
+  for (std::size_t r = 0; r < depth_; ++r) {
+    auto& c = counters_[index(r, key)];
+    const std::uint64_t next = std::uint64_t{c} + amount;
+    c = next > UINT32_MAX ? UINT32_MAX
+                          : static_cast<std::uint32_t>(next);
+  }
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t best = UINT64_MAX;
+  for (std::size_t r = 0; r < depth_; ++r) {
+    best = std::min<std::uint64_t>(best, counters_[index(r, key)]);
+  }
+  return best;
+}
+
+void CountMinSketch::reset() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace edp::stats

@@ -1,0 +1,50 @@
+// edp::stats — Count-Min Sketch (Cormode & Muthukrishnan, reference [5]).
+//
+// The paper's running example of state that needs periodic maintenance:
+// a CMS must be reset regularly, which on baseline PISA architectures
+// burdens the control plane and with timer events is a data-plane no-op.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edp::stats {
+
+/// Count-Min Sketch with `depth` rows of `width` counters. Guarantees
+/// estimate(x) >= true(x), and estimate(x) <= true(x) + eps*N with
+/// probability >= 1-delta for width = ceil(e/eps), depth = ceil(ln(1/delta)).
+class CountMinSketch {
+ public:
+  CountMinSketch(std::size_t width, std::size_t depth,
+                 std::uint64_t seed = 0x5eed);
+
+  /// Dimension the sketch from accuracy targets.
+  static CountMinSketch from_error_bounds(double epsilon, double delta,
+                                          std::uint64_t seed = 0x5eed);
+
+  void update(std::uint64_t key, std::uint64_t amount = 1);
+  std::uint64_t estimate(std::uint64_t key) const;
+
+  /// Whole-structure reset (the operation the paper periodically needs).
+  void reset();
+
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Memory footprint in bytes (for state-requirement comparisons).
+  std::size_t bytes() const {
+    return counters_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t index(std::size_t row, std::uint64_t key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<std::uint32_t> counters_;  ///< depth x width, row-major
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace edp::stats

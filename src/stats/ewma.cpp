@@ -1,0 +1,29 @@
+#include "stats/ewma.hpp"
+
+#include <cmath>
+
+namespace edp::stats {
+
+void DecayingRate::observe(std::uint64_t bytes, sim::Time now) {
+  const sim::Time dt = now - last_;
+  if (dt > sim::Time::zero()) {
+    const double decay = std::exp(-dt.as_seconds() / tau_.as_seconds());
+    rate_ *= decay;
+    // The new bytes arrived "now"; spread them over tau so a steady stream
+    // converges to its true rate.
+    rate_ += static_cast<double>(bytes) / tau_.as_seconds();
+    last_ = now;
+  } else {
+    rate_ += static_cast<double>(bytes) / tau_.as_seconds();
+  }
+}
+
+double DecayingRate::bytes_per_sec(sim::Time now) const {
+  const sim::Time dt = now - last_;
+  if (dt <= sim::Time::zero()) {
+    return rate_;
+  }
+  return rate_ * std::exp(-dt.as_seconds() / tau_.as_seconds());
+}
+
+}  // namespace edp::stats

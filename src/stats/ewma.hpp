@@ -1,0 +1,57 @@
+// edp::stats — exponentially weighted moving average.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace edp::stats {
+
+/// Classic sample-driven EWMA: v <- (1-w)*v + w*sample. Used by RED for
+/// average queue size and by the HULA utilization estimator.
+class Ewma {
+ public:
+  explicit Ewma(double weight = 0.002) : weight_(weight) {}
+
+  void observe(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+      return;
+    }
+    value_ = (1.0 - weight_) * value_ + weight_ * sample;
+  }
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void reset() {
+    value_ = 0;
+    initialized_ = false;
+  }
+
+ private:
+  double weight_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+/// Time-decayed rate estimator (bytes/sec): on each observation the old
+/// estimate is decayed by exp(-dt/tau) before folding in the new bytes.
+/// This is the register+timestamp formulation implementable in one PISA
+/// stage, used by HULA's link utilization tracking.
+class DecayingRate {
+ public:
+  explicit DecayingRate(sim::Time tau) : tau_(tau) {}
+
+  void observe(std::uint64_t bytes, sim::Time now);
+
+  /// Current estimate decayed to `now`, in bytes/sec.
+  double bytes_per_sec(sim::Time now) const;
+
+  sim::Time tau() const { return tau_; }
+
+ private:
+  sim::Time tau_;
+  sim::Time last_ = sim::Time::zero();
+  double rate_ = 0;  ///< bytes/sec as of last_
+};
+
+}  // namespace edp::stats

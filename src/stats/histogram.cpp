@@ -1,0 +1,67 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace edp::stats {
+
+void Summary::add(double sample) { samples_.push_back(sample); }
+
+double Summary::mean() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  double s = 0;
+  for (const double v : samples_) {
+    s += v;
+  }
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) {
+    return 0;
+  }
+  const double m = mean();
+  double acc = 0;
+  for (const double v : samples_) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string Summary::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.4g p50=%.4g p99=%.4g max=%.4g", count(), mean(),
+                percentile(50), percentile(99), max());
+  return buf;
+}
+
+}  // namespace edp::stats

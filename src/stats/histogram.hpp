@@ -1,0 +1,32 @@
+// edp::stats — simple measurement helpers for the bench harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edp::stats {
+
+/// Accumulates samples; reports count/mean/min/max/percentiles. Percentile
+/// queries sort a copy, so they are for end-of-run reporting, not the hot
+/// path.
+class Summary {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// p in [0,100]; nearest-rank. Returns 0 for an empty summary.
+  double percentile(double p) const;
+  double stddev() const;
+
+  /// "n=100 mean=1.5 p50=1.2 p99=4.0 max=5.1"
+  std::string to_string() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace edp::stats

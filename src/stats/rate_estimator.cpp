@@ -1,0 +1,32 @@
+#include "stats/rate_estimator.hpp"
+
+namespace edp::stats {
+
+FlowRateTable::FlowRateTable(std::size_t capacity, std::size_t buckets,
+                             sim::Time bucket_width) {
+  windows_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    windows_.emplace_back(buckets, bucket_width);
+  }
+}
+
+void FlowRateTable::observe(std::uint32_t flow_id, std::uint64_t bytes) {
+  windows_[flow_id % windows_.size()].observe(bytes);
+}
+
+void FlowRateTable::tick() {
+  for (auto& w : windows_) {
+    w.advance();
+  }
+}
+
+double FlowRateTable::rate_bps(std::uint32_t flow_id) const {
+  const auto& w = windows_[flow_id % windows_.size()];
+  const double span_s = w.window_span().as_seconds();
+  if (span_s <= 0) {
+    return 0;
+  }
+  return static_cast<double>(w.window_sum()) * 8.0 / span_s;
+}
+
+}  // namespace edp::stats

@@ -1,0 +1,50 @@
+// edp::stats — per-flow rate measurement via timer-advanced shift register.
+//
+// Reproduces the student project of paper §5: "use timer events in
+// conjunction with a simple shift register to accurately measure flow rates
+// in the data plane". Per flow, bytes are accumulated into the current
+// slot; a timer event shifts, and the rate is the window sum divided by its
+// span.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "stats/sliding_window.hpp"
+
+namespace edp::stats {
+
+/// Fixed-size table of per-flow windowed byte counters, indexed by
+/// flow_id % capacity (hash-indexed state, as in the data plane).
+class FlowRateTable {
+ public:
+  FlowRateTable(std::size_t capacity, std::size_t buckets,
+                sim::Time bucket_width);
+
+  /// Data-path update: add `bytes` for `flow_id`.
+  void observe(std::uint32_t flow_id, std::uint64_t bytes);
+
+  /// Timer event: shift every flow's window.
+  void tick();
+
+  /// Measured rate for a flow, bits per second over the window.
+  double rate_bps(std::uint32_t flow_id) const;
+
+  std::size_t capacity() const { return windows_.size(); }
+  sim::Time window_span() const {
+    return windows_.empty() ? sim::Time::zero() : windows_[0].window_span();
+  }
+
+  /// Modeled state footprint: one u64 per bucket per flow slot.
+  std::size_t bytes() const {
+    return windows_.empty()
+               ? 0
+               : windows_.size() * windows_[0].buckets() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::vector<WindowedAggregate> windows_;
+};
+
+}  // namespace edp::stats

@@ -1,0 +1,46 @@
+#include "stats/sliding_window.hpp"
+
+#include <cassert>
+
+namespace edp::stats {
+
+WindowedAggregate::WindowedAggregate(std::size_t buckets,
+                                     sim::Time bucket_width)
+    : bucket_width_(bucket_width), sums_(buckets) {
+  assert(buckets > 0 && bucket_width > sim::Time::zero());
+}
+
+void WindowedAggregate::observe(std::uint64_t value) {
+  Bucket& b = sums_[head_];
+  b.sum += value;
+  b.max = std::max(b.max, value);
+  ++b.count;
+}
+
+void WindowedAggregate::advance() {
+  head_ = (head_ + 1) % sums_.size();
+  sums_[head_] = Bucket{};
+}
+
+std::uint64_t WindowedAggregate::window_sum() const {
+  std::uint64_t total = 0;
+  for (const auto& b : sums_) {
+    total += b.sum;
+  }
+  return total;
+}
+
+std::uint64_t WindowedAggregate::window_max() const {
+  std::uint64_t m = 0;
+  for (const auto& b : sums_) {
+    m = std::max(m, b.max);
+  }
+  return m;
+}
+
+double WindowedAggregate::window_mean_per_bucket() const {
+  return static_cast<double>(window_sum()) /
+         static_cast<double>(sums_.size());
+}
+
+}  // namespace edp::stats

@@ -1,0 +1,53 @@
+// edp::stats — time-window functions.
+//
+// "Computing a function of a signal over a moving window of time" is one of
+// the paper's motivating operations (§1, §5 "Time-Windowed Network
+// Measurement"). The hardware-friendly implementation is a shift register
+// of per-bucket partial aggregates advanced by timer events; that is
+// exactly what `WindowedAggregate` models.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace edp::stats {
+
+/// A ring of `buckets` partial sums covering `bucket_width` each; `advance`
+/// (driven by a timer event) retires the oldest bucket. Queries return the
+/// aggregate over the whole window (buckets * bucket_width of history).
+class WindowedAggregate {
+ public:
+  WindowedAggregate(std::size_t buckets, sim::Time bucket_width);
+
+  /// Fold a sample into the current bucket.
+  void observe(std::uint64_t value);
+
+  /// Timer tick: rotate to a fresh bucket (dropping the oldest).
+  void advance();
+
+  std::uint64_t window_sum() const;
+  std::uint64_t window_max() const;
+  double window_mean_per_bucket() const;
+
+  sim::Time window_span() const {
+    return bucket_width_ * static_cast<std::int64_t>(sums_.size());
+  }
+  sim::Time bucket_width() const { return bucket_width_; }
+  std::size_t buckets() const { return sums_.size(); }
+
+ private:
+  struct Bucket {
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::uint64_t count = 0;
+  };
+
+  sim::Time bucket_width_;
+  std::vector<Bucket> sums_;
+  std::size_t head_ = 0;  ///< current bucket
+};
+
+}  // namespace edp::stats

@@ -1,0 +1,56 @@
+#include "tm/buffer_pool.hpp"
+
+#include <cassert>
+
+namespace edp::tm_ {
+
+BufferPool::BufferPool(Config config, std::size_t num_queues)
+    : config_(config), used_(num_queues, 0) {}
+
+std::size_t BufferPool::free_shared() const {
+  const std::size_t reserved_total =
+      config_.reserved_per_queue * used_.size();
+  const std::size_t shared_capacity =
+      config_.total_bytes > reserved_total
+          ? config_.total_bytes - reserved_total
+          : 0;
+  // Shared usage = sum of per-queue usage above each queue's reservation.
+  std::size_t shared_used = 0;
+  for (const std::size_t u : used_) {
+    if (u > config_.reserved_per_queue) {
+      shared_used += u - config_.reserved_per_queue;
+    }
+  }
+  return shared_capacity > shared_used ? shared_capacity - shared_used : 0;
+}
+
+bool BufferPool::can_admit(std::size_t q, std::size_t bytes) const {
+  assert(q < used_.size());
+  if (used_total_ + bytes > config_.total_bytes) {
+    return false;
+  }
+  const std::size_t after = used_[q] + bytes;
+  if (after <= config_.reserved_per_queue) {
+    return true;
+  }
+  // Dynamic threshold: the queue's share above its reservation must stay
+  // below alpha * free shared space (computed before this admission).
+  const double limit =
+      config_.alpha * static_cast<double>(free_shared());
+  return static_cast<double>(after - config_.reserved_per_queue) <= limit;
+}
+
+void BufferPool::on_enqueue(std::size_t q, std::size_t bytes) {
+  assert(q < used_.size());
+  used_[q] += bytes;
+  used_total_ += bytes;
+}
+
+void BufferPool::on_dequeue(std::size_t q, std::size_t bytes) {
+  assert(q < used_.size());
+  assert(used_[q] >= bytes && used_total_ >= bytes);
+  used_[q] -= bytes;
+  used_total_ -= bytes;
+}
+
+}  // namespace edp::tm_

@@ -1,0 +1,43 @@
+// edp::tm_ — shared buffer accounting.
+//
+// Switch buffers are a shared SRAM pool carved among queues. We model the
+// common dynamic-threshold scheme: each queue owns a small reserved
+// allotment, and may additionally use up to `alpha *` the remaining free
+// shared space — so a single congested queue can absorb bursts without
+// starving the others.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edp::tm_ {
+
+class BufferPool {
+ public:
+  struct Config {
+    std::size_t total_bytes = 2 * 1024 * 1024;
+    std::size_t reserved_per_queue = 8 * 1024;
+    double alpha = 1.0;  ///< dynamic threshold factor
+  };
+
+  BufferPool(Config config, std::size_t num_queues);
+
+  /// Can queue `q` admit `bytes` more? (no side effects)
+  bool can_admit(std::size_t q, std::size_t bytes) const;
+
+  /// Commit an admission decision.
+  void on_enqueue(std::size_t q, std::size_t bytes);
+  void on_dequeue(std::size_t q, std::size_t bytes);
+
+  std::size_t used_total() const { return used_total_; }
+  std::size_t used_by(std::size_t q) const { return used_[q]; }
+  std::size_t free_shared() const;
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::size_t> used_;
+  std::size_t used_total_ = 0;
+};
+
+}  // namespace edp::tm_

@@ -1,0 +1,6 @@
+// PifoQueue is header-only; this TU anchors the module in the build.
+#include "tm/pifo.hpp"
+
+namespace edp::tm_ {
+// (intentionally empty)
+}  // namespace edp::tm_

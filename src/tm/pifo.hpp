@@ -1,0 +1,68 @@
+// edp::tm_ — Push-In-First-Out queue.
+//
+// The PIFO (Sivaraman et al., SIGCOMM'16 — reference [27] of the paper) is
+// the programmable-scheduling building block: packets are pushed with a
+// program-computed rank and always dequeued in rank order. Combined with
+// event-driven rank computation this yields a fully programmable packet
+// scheduler (paper §3, Traffic Management).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "tm/queue.hpp"
+
+namespace edp::tm_ {
+
+/// Rank-ordered queue: pop returns the smallest rank; ties break FIFO
+/// (stable), matching the hardware PIFO definition.
+class PifoQueue final : public PacketQueue {
+ public:
+  explicit PifoQueue(QueueLimits limits) : PacketQueue(limits) {}
+
+  std::size_t front_size() const override {
+    return heap_.empty() ? 0 : heap_.top().qp.packet.size();
+  }
+  std::size_t packets() const override { return heap_.size(); }
+
+  /// Smallest rank currently queued (0 if empty) — used by schedulers.
+  std::uint64_t front_rank() const {
+    return heap_.empty() ? 0 : heap_.top().qp.rank;
+  }
+
+ protected:
+  void do_push(QueuedPacket qp) override {
+    heap_.push(Item{std::move(qp), seq_++});
+  }
+
+  std::optional<QueuedPacket> do_pop() override {
+    if (heap_.empty()) {
+      return std::nullopt;
+    }
+    // priority_queue::top is const; move out via const_cast before pop
+    // (standard idiom; the item is popped immediately).
+    QueuedPacket qp = std::move(const_cast<Item&>(heap_.top()).qp);
+    heap_.pop();
+    return qp;
+  }
+
+ private:
+  struct Item {
+    QueuedPacket qp;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.qp.rank != b.qp.rank) {
+        return a.qp.rank > b.qp.rank;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace edp::tm_

@@ -1,0 +1,39 @@
+#include "tm/queue.hpp"
+
+#include <algorithm>
+
+namespace edp::tm_ {
+
+bool PacketQueue::push(QueuedPacket qp) {
+  const std::size_t sz = qp.packet.size();
+  if (would_overflow(sz)) {
+    ++stats_.dropped;
+    return false;
+  }
+  bytes_ += sz;
+  do_push(std::move(qp));
+  ++stats_.enqueued;
+  stats_.max_depth_bytes = std::max(stats_.max_depth_bytes, bytes_);
+  stats_.max_depth_packets = std::max(stats_.max_depth_packets, packets());
+  return true;
+}
+
+std::optional<QueuedPacket> PacketQueue::pop() {
+  auto qp = do_pop();
+  if (qp) {
+    bytes_ -= qp->packet.size();
+    ++stats_.dequeued;
+  }
+  return qp;
+}
+
+std::optional<QueuedPacket> FifoQueue::do_pop() {
+  if (q_.empty()) {
+    return std::nullopt;
+  }
+  QueuedPacket qp = std::move(q_.front());
+  q_.pop_front();
+  return qp;
+}
+
+}  // namespace edp::tm_

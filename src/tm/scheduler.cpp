@@ -1,0 +1,89 @@
+#include "tm/scheduler.hpp"
+
+namespace edp::tm_ {
+
+std::unique_ptr<PortScheduler> PortScheduler::make(
+    SchedulerKind kind, std::size_t num_queues,
+    const std::vector<std::uint32_t>& weights) {
+  switch (kind) {
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kStrictPriority:
+      return std::make_unique<StrictPriorityScheduler>();
+    case SchedulerKind::kDwrr: {
+      std::vector<std::uint32_t> w = weights;
+      w.resize(num_queues, 1);
+      return std::make_unique<DwrrScheduler>(num_queues, std::move(w));
+    }
+  }
+  return nullptr;
+}
+
+int RoundRobinScheduler::select(
+    const std::vector<std::unique_ptr<PacketQueue>>& queues) {
+  const std::size_t n = queues.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t q = (next_ + i) % n;
+    if (!queues[q]->empty()) {
+      next_ = (q + 1) % n;
+      return static_cast<int>(q);
+    }
+  }
+  return -1;
+}
+
+int StrictPriorityScheduler::select(
+    const std::vector<std::unique_ptr<PacketQueue>>& queues) {
+  for (std::size_t q = 0; q < queues.size(); ++q) {
+    if (!queues[q]->empty()) {
+      return static_cast<int>(q);
+    }
+  }
+  return -1;
+}
+
+DwrrScheduler::DwrrScheduler(std::size_t num_queues,
+                             std::vector<std::uint32_t> weights,
+                             std::size_t quantum)
+    : weights_(std::move(weights)),
+      deficit_(num_queues, 0),
+      quantum_(quantum) {
+  weights_.resize(num_queues, 1);
+}
+
+int DwrrScheduler::select(
+    const std::vector<std::unique_ptr<PacketQueue>>& queues) {
+  const std::size_t n = queues.size();
+  if (n == 0) {
+    return -1;
+  }
+  // Up to 2n steps: each queue receives at most one quantum per visit, so a
+  // non-empty queue is guaranteed to become serviceable within two laps
+  // (its packet size is bounded by the queue byte limit in practice).
+  for (std::size_t step = 0; step < 2 * n; ++step) {
+    const std::size_t q = current_;
+    if (!queues[q]->empty()) {
+      if (!quantum_granted_) {
+        deficit_[q] += static_cast<std::int64_t>(quantum_ * weights_[q]);
+        quantum_granted_ = true;
+      }
+      if (deficit_[q] >= static_cast<std::int64_t>(queues[q]->front_size())) {
+        // Serve from this queue; the visit continues (no new quantum) until
+        // the deficit no longer covers the head packet.
+        return static_cast<int>(q);
+      }
+    } else {
+      deficit_[q] = 0;  // idle queues do not accumulate credit
+    }
+    quantum_granted_ = false;
+    current_ = (current_ + 1) % n;
+  }
+  return -1;
+}
+
+void DwrrScheduler::on_dequeued(int queue, std::size_t bytes) {
+  deficit_[static_cast<std::size_t>(queue)] -=
+      static_cast<std::int64_t>(bytes);
+}
+
+}  // namespace edp::tm_

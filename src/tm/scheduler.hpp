@@ -1,0 +1,73 @@
+// edp::tm_ — port schedulers: pick which queue a port serves next.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tm/queue.hpp"
+
+namespace edp::tm_ {
+
+enum class SchedulerKind : std::uint8_t {
+  kRoundRobin,      ///< cycle over non-empty queues, one packet each
+  kStrictPriority,  ///< lowest queue id first (qid 0 = highest priority)
+  kDwrr,            ///< deficit weighted round robin over bytes
+};
+
+/// Queue-selection policy for one output port.
+class PortScheduler {
+ public:
+  virtual ~PortScheduler() = default;
+
+  /// Index of the queue to serve next, or -1 if all are empty.
+  virtual int select(
+      const std::vector<std::unique_ptr<PacketQueue>>& queues) = 0;
+
+  /// Feedback after a dequeue (needed by DWRR's deficit accounting).
+  virtual void on_dequeued(int /*queue*/, std::size_t /*bytes*/) {}
+
+  /// Factory; `weights` is used by DWRR (default weight 1 per queue).
+  static std::unique_ptr<PortScheduler> make(
+      SchedulerKind kind, std::size_t num_queues,
+      const std::vector<std::uint32_t>& weights = {});
+};
+
+/// Round-robin: remembers the last served index.
+class RoundRobinScheduler final : public PortScheduler {
+ public:
+  int select(const std::vector<std::unique_ptr<PacketQueue>>& queues) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Strict priority: queue 0 is served whenever non-empty, then 1, ...
+class StrictPriorityScheduler final : public PortScheduler {
+ public:
+  int select(const std::vector<std::unique_ptr<PacketQueue>>& queues) override;
+};
+
+/// Deficit Weighted Round Robin (Shreedhar & Varghese). Each queue earns
+/// `quantum * weight` bytes of credit per round; a queue is served while
+/// its deficit covers its head packet.
+class DwrrScheduler final : public PortScheduler {
+ public:
+  DwrrScheduler(std::size_t num_queues, std::vector<std::uint32_t> weights,
+                std::size_t quantum = 1500);
+
+  int select(const std::vector<std::unique_ptr<PacketQueue>>& queues) override;
+  void on_dequeued(int queue, std::size_t bytes) override;
+
+ private:
+  std::vector<std::uint32_t> weights_;
+  std::vector<std::int64_t> deficit_;
+  std::size_t quantum_;
+  std::size_t current_ = 0;
+  /// True once the current queue received its quantum for this visit;
+  /// cleared when the round-robin pointer moves on. Prevents a backlogged
+  /// queue from collecting a fresh quantum on every select() call.
+  bool quantum_granted_ = false;
+};
+
+}  // namespace edp::tm_

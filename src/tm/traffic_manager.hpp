@@ -1,0 +1,147 @@
+// edp::tm_ — the traffic manager.
+//
+// Sits between ingress and egress pipelines (paper Figure 2): owns the
+// per-port queues and the shared buffer, and is the source of the buffer
+// events — every admit fires Enqueue, every service fires Dequeue, every
+// rejection fires Overflow (drop), and serving an empty port fires
+// Underflow. Event payloads carry the metadata the ingress program
+// attached (enq_meta / deq_meta), exactly as in the paper's architecture
+// where "the traffic manager extracts some metadata from the packet and
+// uses it to fire an enqueue event".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "tm/buffer_pool.hpp"
+#include "tm/pifo.hpp"
+#include "tm/queue.hpp"
+#include "tm/scheduler.hpp"
+
+namespace edp::tm_ {
+
+/// Why a packet was not admitted.
+enum class DropReason : std::uint8_t {
+  kQueueLimit,   ///< per-queue packet/byte cap
+  kBufferPool,   ///< shared buffer exhausted
+  kAdmission,    ///< rejected by the admission hook (AQM / policer)
+};
+
+/// Fired on every successful enqueue.
+struct EnqueueRecord {
+  std::uint16_t port = 0;
+  std::uint8_t qid = 0;
+  std::uint32_t pkt_len = 0;
+  EventMetaWords enq_meta{};
+  std::size_t depth_bytes = 0;    ///< queue depth after the enqueue
+  std::size_t depth_packets = 0;
+  sim::Time when = sim::Time::zero();
+};
+
+/// Fired on every dequeue.
+struct DequeueRecord {
+  std::uint16_t port = 0;
+  std::uint8_t qid = 0;
+  std::uint32_t pkt_len = 0;
+  EventMetaWords deq_meta{};
+  sim::Time sojourn = sim::Time::zero();  ///< queueing delay
+  std::size_t depth_bytes = 0;            ///< queue depth after the dequeue
+  std::size_t depth_packets = 0;
+  sim::Time when = sim::Time::zero();
+};
+
+/// Fired when a packet is dropped instead of enqueued (buffer overflow).
+struct DropRecord {
+  std::uint16_t port = 0;
+  std::uint8_t qid = 0;
+  std::uint32_t pkt_len = 0;
+  EventMetaWords enq_meta{};
+  DropReason reason = DropReason::kQueueLimit;
+  sim::Time when = sim::Time::zero();
+};
+
+/// Fired when a port is asked to dequeue but all its queues are empty.
+struct UnderflowRecord {
+  std::uint16_t port = 0;
+  sim::Time when = sim::Time::zero();
+};
+
+/// Traffic manager configuration.
+struct TmConfig {
+  std::uint16_t num_ports = 4;
+  std::uint8_t queues_per_port = 1;
+  bool use_pifo = false;  ///< PIFO queues instead of FIFOs
+  QueueLimits queue_limits;
+  SchedulerKind scheduler = SchedulerKind::kRoundRobin;
+  std::vector<std::uint32_t> dwrr_weights;  ///< per-qid weights for DWRR
+  BufferPool::Config buffer;
+};
+
+class TrafficManager {
+ public:
+  explicit TrafficManager(TmConfig config);
+
+  // ---- data path ----------------------------------------------------------
+
+  /// Admit `qp` to (port, qid). `enq_meta` is delivered with the enqueue
+  /// (or overflow) event. Returns true if admitted.
+  ///
+  /// The optional admission hook runs first; returning false there drops
+  /// the packet with DropReason::kAdmission (how ingress-side AQM rejects).
+  bool enqueue(std::uint16_t port, std::uint8_t qid, QueuedPacket qp,
+               const EventMetaWords& enq_meta, sim::Time now);
+
+  /// Serve one packet from `port` per its scheduler. Fires Dequeue, or
+  /// Underflow if every queue at the port is empty.
+  std::optional<QueuedPacket> dequeue(std::uint16_t port, sim::Time now);
+
+  /// Size of the packet `dequeue(port)` would return (0 if none).
+  std::size_t next_packet_size(std::uint16_t port) const;
+
+  bool port_empty(std::uint16_t port) const;
+
+  // ---- occupancy ------------------------------------------------------------
+
+  std::size_t queue_bytes(std::uint16_t port, std::uint8_t qid) const;
+  std::size_t queue_packets(std::uint16_t port, std::uint8_t qid) const;
+  std::size_t port_bytes(std::uint16_t port) const;
+  std::size_t total_bytes() const { return pool_.used_total(); }
+  const QueueStats& queue_stats(std::uint16_t port, std::uint8_t qid) const;
+  const TmConfig& config() const { return config_; }
+
+  // ---- event hooks ----------------------------------------------------------
+
+  std::function<void(const EnqueueRecord&)> on_enqueue;
+  std::function<void(const DequeueRecord&)> on_dequeue;
+  std::function<void(const DropRecord&)> on_drop;
+  std::function<void(const UnderflowRecord&)> on_underflow;
+
+  /// AQM/policer admission check: called with the candidate record before
+  /// commit; return false to drop. (Used by baseline AQMs that live in the
+  /// TM; the event-driven AQMs of this repo decide in the ingress program.)
+  std::function<bool(const EnqueueRecord&, const QueuedPacket&)> admit;
+
+  // ---- aggregate drop stats ---------------------------------------------------
+
+  std::uint64_t drops_total() const { return drops_total_; }
+
+ private:
+  struct Port {
+    std::vector<std::unique_ptr<PacketQueue>> queues;
+    std::unique_ptr<PortScheduler> scheduler;
+  };
+
+  std::size_t flat_index(std::uint16_t port, std::uint8_t qid) const {
+    return static_cast<std::size_t>(port) * config_.queues_per_port + qid;
+  }
+
+  TmConfig config_;
+  std::vector<Port> ports_;
+  BufferPool pool_;
+  std::uint64_t drops_total_ = 0;
+};
+
+}  // namespace edp::tm_

@@ -1,0 +1,69 @@
+// edp::topo — network container and wiring.
+//
+// Owns the switches, hosts, and links of an experiment topology and does
+// the callback plumbing: switch tx ports feed links, links deliver to the
+// peer and raise link-status changes into attached switches. Indices are
+// stable handles (vectors of unique_ptr), so experiment code can keep
+// references while building incrementally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/event_switch.hpp"
+#include "net/pcap.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/host.hpp"
+#include "topo/link.hpp"
+
+namespace edp::topo {
+
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+
+  sim::Scheduler& scheduler() { return sched_; }
+
+  /// Create a switch; returns its index.
+  std::size_t add_switch(core::EventSwitchConfig config);
+
+  /// Create a host; returns its index.
+  std::size_t add_host(Host::Config config);
+
+  /// Connect host `h` to switch `s` port `port`; returns the link index.
+  std::size_t connect_host(std::size_t h, std::size_t s, std::uint16_t port,
+                           Link::Config link = {});
+
+  /// Connect switch `s1` port `p1` to switch `s2` port `p2`.
+  std::size_t connect_switches(std::size_t s1, std::uint16_t p1,
+                               std::size_t s2, std::uint16_t p2,
+                               Link::Config link = {});
+
+  core::EventSwitch& sw(std::size_t i) { return *switches_[i]; }
+  Host& host(std::size_t i) { return *hosts_[i]; }
+  Link& link(std::size_t i) { return *links_[i]; }
+
+  std::size_t num_switches() const { return switches_.size(); }
+  std::size_t num_hosts() const { return hosts_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  /// Tap link `l`: every packet delivered in either direction is appended
+  /// to a pcap file at `path` (tcpdump/Wireshark-readable). Returns false
+  /// if the file cannot be opened. The tap wraps the link's deliver
+  /// callbacks, so it must be attached AFTER the link is fully wired.
+  bool attach_pcap(std::size_t l, const std::string& path);
+
+  /// Run the simulation until `deadline`.
+  void run_until(sim::Time deadline) { sched_.run_until(deadline); }
+
+ private:
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<core::EventSwitch>> switches_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<net::PcapWriter>> taps_;
+};
+
+}  // namespace edp::topo

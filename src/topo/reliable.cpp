@@ -1,0 +1,144 @@
+#include "topo/reliable.hpp"
+
+#include <cassert>
+
+#include "net/flow.hpp"
+
+namespace edp::topo {
+namespace {
+
+constexpr std::uint8_t kData = 1;
+constexpr std::uint8_t kAck = 2;
+constexpr std::size_t kHeaders = net::EthernetHeader::kSize +
+                                 net::Ipv4Header::kSize +
+                                 net::UdpHeader::kSize;
+
+net::Packet make_segment(const ReliableConfig& c, std::uint8_t type,
+                         std::uint64_t seq) {
+  const std::size_t size =
+      type == kData ? c.segment_size : kHeaders + 9;  // ACKs are small
+  net::Packet p = net::make_udp_packet(
+      type == kData ? c.local : c.peer,
+      type == kData ? c.peer : c.local,
+      /*src_port=*/type == kData ? c.ack_port : c.data_port,
+      /*dst_port=*/type == kData ? c.data_port : c.ack_port, size);
+  p.set_u8(kHeaders, type);
+  p.set_u64(kHeaders + 1, seq);
+  return p;
+}
+
+/// Returns (type, seq) if `p` is a protocol packet for `dst_port`.
+bool decode(const net::Packet& p, std::uint16_t dst_port,
+            std::uint8_t& type, std::uint64_t& seq) {
+  if (p.size() < kHeaders + 9) {
+    return false;
+  }
+  const net::FiveTuple t = net::extract_five_tuple(p);
+  if (t.protocol != net::kIpProtoUdp || t.dst_port != dst_port) {
+    return false;
+  }
+  type = p.u8(kHeaders);
+  seq = p.u64(kHeaders + 1);
+  return true;
+}
+
+}  // namespace
+
+// ---- sender -------------------------------------------------------------------
+
+ReliableSender::ReliableSender(sim::Scheduler& sched, Host& host,
+                               ReliableConfig config)
+    : sched_(sched), host_(host), config_(config) {
+  assert(config_.segment_size >= kHeaders + 9);
+  assert(config_.window > 0);
+}
+
+void ReliableSender::start() { pump(); }
+
+void ReliableSender::pump() {
+  while (next_seq_ < base_ + config_.window &&
+         next_seq_ < config_.total_segments) {
+    send_segment(next_seq_);
+    ++next_seq_;
+  }
+  arm_timer();
+}
+
+void ReliableSender::send_segment(std::uint64_t seq) {
+  ++sent_;
+  host_.send(make_segment(config_, kData, seq));
+}
+
+void ReliableSender::arm_timer() {
+  if (base_ >= config_.total_segments) {
+    if (timer_armed_) {
+      sched_.cancel(timer_);
+      timer_armed_ = false;
+    }
+    return;
+  }
+  if (timer_armed_) {
+    sched_.cancel(timer_);
+  }
+  timer_ = sched_.after(config_.rto, [this] { on_timeout(); });
+  timer_armed_ = true;
+}
+
+void ReliableSender::on_timeout() {
+  timer_armed_ = false;
+  if (done()) {
+    return;
+  }
+  // Go-back-N: retransmit the whole outstanding window.
+  for (std::uint64_t seq = base_; seq < next_seq_; ++seq) {
+    ++retx_;
+    host_.send(make_segment(config_, kData, seq));
+  }
+  arm_timer();
+}
+
+bool ReliableSender::handle(const net::Packet& packet) {
+  std::uint8_t type = 0;
+  std::uint64_t seq = 0;
+  if (!decode(packet, config_.ack_port, type, seq) || type != kAck) {
+    return false;
+  }
+  if (seq > base_) {
+    base_ = seq;  // cumulative ACK slides the window
+    if (done()) {
+      completed_at_ = sched_.now();
+      arm_timer();  // cancels
+    } else {
+      pump();  // new window space + fresh RTO
+    }
+  }
+  return true;
+}
+
+// ---- receiver -----------------------------------------------------------------
+
+ReliableReceiver::ReliableReceiver(Host& host, ReliableConfig config)
+    : host_(host), config_(config) {}
+
+bool ReliableReceiver::handle(const net::Packet& packet) {
+  std::uint8_t type = 0;
+  std::uint64_t seq = 0;
+  if (!decode(packet, config_.data_port, type, seq) || type != kData) {
+    return false;
+  }
+  if (seq == expected_) {
+    ++expected_;  // in-order delivery
+  } else if (seq < expected_) {
+    ++dups_;  // retransmission of something already delivered
+  } else {
+    ++out_of_order_;  // gap: go-back-N receiver discards
+  }
+  send_ack();
+  return true;
+}
+
+void ReliableReceiver::send_ack() {
+  host_.send(make_segment(config_, kAck, expected_));
+}
+
+}  // namespace edp::topo

@@ -1,0 +1,97 @@
+// edp::topo — a reliable delivery protocol at the end hosts (paper §8).
+//
+// "If one looks at the protocols running in end-host software ... the
+// state machine for a simple reliable delivery protocol is driven by
+// packet arrivals, packet departures, and timeout events."
+//
+// A go-back-N sender and cumulative-ACK receiver over UDP, driven by
+// exactly those three event types on the simulation kernel. Used by the
+// integration tests to close the loop end-to-end: data-plane AQM drops
+// packets, the host protocol recovers, goodput is still exact.
+//
+// Wire format (UDP payload): type:u8 (1=DATA, 2=ACK) | seq:u64. DATA
+// segments are padded to the configured segment size; ACK carries the
+// next expected sequence number (cumulative).
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet_builder.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/host.hpp"
+
+namespace edp::topo {
+
+/// Shared by both endpoints, written from the SENDER's perspective
+/// (`local` = sender, `peer` = receiver); pass the identical struct to the
+/// ReliableReceiver.
+struct ReliableConfig {
+  net::Ipv4Address local;
+  net::Ipv4Address peer;
+  std::uint16_t data_port = 7001;  ///< UDP dst port of DATA segments
+  std::uint16_t ack_port = 7002;   ///< UDP dst port of ACKs
+  std::size_t segment_size = 1000; ///< total wire bytes per DATA segment
+  std::size_t window = 16;         ///< go-back-N window (segments)
+  sim::Time rto = sim::Time::millis(2);
+  std::uint64_t total_segments = 1000;
+};
+
+/// Go-back-N sender. Call `handle(packet)` from the host's receive hook so
+/// ACKs reach the state machine; `start()` begins transmission.
+class ReliableSender {
+ public:
+  ReliableSender(sim::Scheduler& sched, Host& host, ReliableConfig config);
+
+  void start();
+
+  /// Feed a received packet (filters for its own ACKs; returns true if
+  /// consumed).
+  bool handle(const net::Packet& packet);
+
+  bool done() const { return base_ >= config_.total_segments; }
+  sim::Time completed_at() const { return completed_at_; }
+  std::uint64_t segments_sent() const { return sent_; }
+  std::uint64_t retransmissions() const { return retx_; }
+  std::uint64_t acked() const { return base_; }
+
+ private:
+  void pump();                 ///< send while the window allows
+  void send_segment(std::uint64_t seq);
+  void arm_timer();
+  void on_timeout();
+
+  sim::Scheduler& sched_;
+  Host& host_;
+  ReliableConfig config_;
+  std::uint64_t base_ = 0;       ///< oldest unacked
+  std::uint64_t next_seq_ = 0;   ///< next never-sent
+  std::uint64_t sent_ = 0;
+  std::uint64_t retx_ = 0;
+  sim::EventId timer_ = 0;
+  bool timer_armed_ = false;
+  sim::Time completed_at_ = sim::Time::zero();
+};
+
+/// Cumulative-ACK receiver: delivers in order, ACKs every DATA arrival.
+class ReliableReceiver {
+ public:
+  ReliableReceiver(Host& host, ReliableConfig config);
+
+  /// Feed a received packet (filters for DATA; returns true if consumed).
+  bool handle(const net::Packet& packet);
+
+  std::uint64_t delivered() const { return expected_; }
+  std::uint64_t duplicates() const { return dups_; }
+  std::uint64_t out_of_order() const { return out_of_order_; }
+
+ private:
+  void send_ack();
+
+  Host& host_;
+  ReliableConfig config_;
+  std::uint64_t expected_ = 0;  ///< next in-order sequence wanted
+  std::uint64_t dups_ = 0;
+  std::uint64_t out_of_order_ = 0;
+};
+
+}  // namespace edp::topo

@@ -1,0 +1,63 @@
+#include "topo/routing.hpp"
+
+#include "net/flow.hpp"
+
+namespace edp::topo {
+
+L3Program::L3Program(std::size_t route_capacity)
+    : routes_("ipv4_lpm",
+              {pisa::MatchField{pisa::MatchKind::kLpm, 32, "ipv4.dst"}},
+              route_capacity) {
+  routes_.set_default_action(
+      "drop", [](pisa::Phv& phv, const pisa::ActionData&) {
+        phv.std_meta.drop = true;
+      });
+}
+
+void L3Program::add_route(net::Ipv4Address prefix, int prefix_len,
+                          std::uint16_t port) {
+  pisa::TableEntry e;
+  e.key = {pisa::KeyField{prefix.value(), prefix_len, ~0ULL}};
+  e.action_name = "set_egress";
+  e.data.args = {port};
+  e.action = [](pisa::Phv& phv, const pisa::ActionData& d) {
+    phv.std_meta.egress_port = static_cast<std::uint16_t>(d.arg(0));
+  };
+  routes_.insert(std::move(e));
+}
+
+bool L3Program::route(pisa::Phv& phv) {
+  if (!phv.ipv4) {
+    phv.std_meta.drop = true;
+    return false;
+  }
+  return routes_.apply(phv, [](const pisa::Phv& p) {
+    return std::vector<std::uint64_t>{p.ipv4->dst.value()};
+  });
+}
+
+void L3Program::on_ingress(pisa::Phv& phv, core::EventContext&) {
+  route(phv);
+}
+
+std::uint16_t ecmp_pick(const pisa::Phv& phv, std::uint16_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  net::FiveTuple t;
+  if (phv.ipv4) {
+    t.src = phv.ipv4->src;
+    t.dst = phv.ipv4->dst;
+    t.protocol = phv.ipv4->protocol;
+  }
+  if (phv.udp) {
+    t.src_port = phv.udp->src_port;
+    t.dst_port = phv.udp->dst_port;
+  } else if (phv.tcp) {
+    t.src_port = phv.tcp->src_port;
+    t.dst_port = phv.tcp->dst_port;
+  }
+  return static_cast<std::uint16_t>(net::flow_id_five_tuple(t) % n);
+}
+
+}  // namespace edp::topo

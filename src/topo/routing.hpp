@@ -1,0 +1,43 @@
+// edp::topo — basic L3 forwarding program.
+//
+// Most applications in this repository are "a router plus event logic", so
+// they extend `L3Program`: a data-plane program whose ingress stage does
+// longest-prefix-match routing on the IPv4 destination through a PISA
+// match-action table. Subclasses call `route(phv)` and then layer their
+// event handling on top — mirroring how real P4 programs compose a
+// baseline router with extra logic.
+#pragma once
+
+#include <cstdint>
+
+#include "core/event_program.hpp"
+#include "pisa/table.hpp"
+
+namespace edp::topo {
+
+class L3Program : public core::EventProgram {
+ public:
+  explicit L3Program(std::size_t route_capacity = 1024);
+
+  /// Control-plane API: route `prefix/len` out of `port`.
+  void add_route(net::Ipv4Address prefix, int prefix_len, std::uint16_t port);
+
+  /// Drop-in ingress: route and nothing else.
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+
+  const pisa::MatchActionTable& routes() const { return routes_; }
+
+ protected:
+  /// LPM on phv.ipv4->dst; sets egress_port on hit, drop on miss (or on a
+  /// non-IPv4 packet). Returns true on hit.
+  bool route(pisa::Phv& phv);
+
+ private:
+  pisa::MatchActionTable routes_;
+};
+
+/// ECMP helper: pick one of `n` ports by 5-tuple hash (deterministic per
+/// flow, as switch hardware does).
+std::uint16_t ecmp_pick(const pisa::Phv& phv, std::uint16_t n);
+
+}  // namespace edp::topo

@@ -1,0 +1,213 @@
+#include "topo/traffic_gen.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <string>
+
+namespace edp::topo {
+namespace {
+
+net::Packet make_packet(const FlowSpec& f) {
+  return net::make_udp_packet(f.src, f.dst, f.src_port, f.dst_port,
+                              f.packet_size);
+}
+
+}  // namespace
+
+// ---- CBR --------------------------------------------------------------------
+
+CbrGenerator::CbrGenerator(sim::Scheduler& sched, Host& host, Config config)
+    : sched_(sched), host_(host), config_(config) {
+  assert(config_.rate_bps > 0);
+  interval_ = sim::serialization_time(config_.flow.packet_size,
+                                      config_.rate_bps);
+  assert(interval_ > sim::Time::zero());
+}
+
+void CbrGenerator::start() {
+  sched_.at(config_.start, [this] { emit(); });
+}
+
+void CbrGenerator::emit() {
+  if (sched_.now() >= config_.stop) {
+    return;
+  }
+  host_.send(make_packet(config_.flow));
+  ++sent_;
+  sched_.after(interval_, [this] { emit(); });
+}
+
+// ---- Poisson ------------------------------------------------------------------
+
+PoissonGenerator::PoissonGenerator(sim::Scheduler& sched, Host& host,
+                                   Config config)
+    : sched_(sched), host_(host), config_(config), rng_(config.seed) {
+  assert(config_.mean_rate_bps > 0);
+  mean_interval_ = sim::serialization_time(config_.flow.packet_size,
+                                           config_.mean_rate_bps);
+}
+
+void PoissonGenerator::start() {
+  sched_.at(config_.start, [this] { emit(); });
+}
+
+void PoissonGenerator::emit() {
+  if (sched_.now() >= config_.stop) {
+    return;
+  }
+  host_.send(make_packet(config_.flow));
+  ++sent_;
+  const double gap_s = rng_.exponential(mean_interval_.as_seconds());
+  sched_.after(std::max(sim::Time::picos(1), sim::Time::from_seconds(gap_s)),
+               [this] { emit(); });
+}
+
+// ---- Bursts -------------------------------------------------------------------
+
+BurstGenerator::BurstGenerator(sim::Scheduler& sched, Host& host,
+                               Config config)
+    : sched_(sched), host_(host), config_(config), rng_(config.seed) {
+  assert(config_.burst_rate_bps > 0 && config_.burst_packets > 0);
+}
+
+void BurstGenerator::start() {
+  sched_.at(config_.start, [this] { start_burst(); });
+}
+
+void BurstGenerator::start_burst() {
+  if (sched_.now() >= config_.stop) {
+    return;
+  }
+  ++bursts_;
+  emit(config_.burst_packets);
+}
+
+void BurstGenerator::emit(std::size_t remaining) {
+  if (remaining == 0 || sched_.now() >= config_.stop) {
+    // Burst over: idle gap, then the next burst.
+    sim::Time gap = config_.gap;
+    if (config_.jitter_gap) {
+      const double factor = 0.5 + rng_.uniform01();  // 0.5x .. 1.5x
+      gap = sim::Time::from_seconds(gap.as_seconds() * factor);
+    }
+    sched_.after(gap, [this] { start_burst(); });
+    return;
+  }
+  host_.send(make_packet(config_.flow));
+  ++sent_;
+  const sim::Time spacing = sim::serialization_time(
+      config_.flow.packet_size, config_.burst_rate_bps);
+  sched_.after(spacing, [this, remaining] { emit(remaining - 1); });
+}
+
+// ---- trace replay ----------------------------------------------------------------
+
+TraceReplayGenerator::TraceReplayGenerator(sim::Scheduler& sched, Host& host,
+                                           std::vector<TraceEntry> trace)
+    : sched_(sched), host_(host), trace_(std::move(trace)) {}
+
+std::vector<TraceEntry> TraceReplayGenerator::parse_csv(
+    const std::string& text, std::size_t* parse_errors) {
+  std::vector<TraceEntry> out;
+  std::size_t errors = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    double time_us = 0;
+    char src[32] = {0};
+    char dst[32] = {0};
+    unsigned sport = 0, dport = 0, size = 0;
+    const int n = std::sscanf(line.c_str(), "%lf,%31[^,],%31[^,],%u,%u,%u",
+                              &time_us, src, dst, &sport, &dport, &size);
+    // Addresses are validated explicitly (Ipv4Address::parse is assert-
+    // based and asserts are off in release builds).
+    const auto valid_ip = [](const char* s, std::uint32_t& v) {
+      unsigned a, b, c, d;
+      char tail;
+      if (std::sscanf(s, "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+          a > 255 || b > 255 || c > 255 || d > 255) {
+        return false;
+      }
+      v = (a << 24) | (b << 16) | (c << 8) | d;
+      return true;
+    };
+    std::uint32_t src_v = 0, dst_v = 0;
+    if (n != 6 || sport > 65535 || dport > 65535 || size == 0 ||
+        size > 65535 || time_us < 0 || !valid_ip(src, src_v) ||
+        !valid_ip(dst, dst_v)) {
+      ++errors;
+      continue;
+    }
+    TraceEntry e;
+    e.at = sim::Time::from_seconds(time_us * 1e-6);
+    e.flow.src = net::Ipv4Address(src_v);
+    e.flow.dst = net::Ipv4Address(dst_v);
+    e.flow.src_port = static_cast<std::uint16_t>(sport);
+    e.flow.dst_port = static_cast<std::uint16_t>(dport);
+    e.flow.packet_size = size;
+    out.push_back(e);
+  }
+  if (parse_errors != nullptr) {
+    *parse_errors = errors;
+  }
+  return out;
+}
+
+void TraceReplayGenerator::start() {
+  for (const TraceEntry& e : trace_) {
+    sched_.at(e.at, [this, &e] {
+      host_.send(make_packet(e.flow));
+      ++sent_;
+    });
+  }
+}
+
+// ---- Zipf ---------------------------------------------------------------------
+
+ZipfGenerator::ZipfGenerator(sim::Scheduler& sched, Host& host, Config config)
+    : sched_(sched),
+      host_(host),
+      config_(config),
+      rng_(config.seed),
+      zipf_(config.num_flows, config.skew),
+      counts_(config.num_flows, 0) {
+  assert(config_.rate_bps > 0);
+  interval_ =
+      sim::serialization_time(config_.packet_size, config_.rate_bps);
+}
+
+net::Ipv4Address ZipfGenerator::flow_src(std::size_t i) {
+  // 10.x.y.z derived from the flow index; distinct per flow.
+  return net::Ipv4Address(0x0a000000U + static_cast<std::uint32_t>(i) + 1);
+}
+
+void ZipfGenerator::start() {
+  sched_.at(config_.start, [this] { emit(); });
+}
+
+void ZipfGenerator::emit() {
+  if (sched_.now() >= config_.stop) {
+    return;
+  }
+  const std::size_t flow = zipf_.sample(rng_);
+  ++counts_[flow];
+  FlowSpec f;
+  f.src = flow_src(flow);
+  f.dst = config_.dst;
+  f.src_port = static_cast<std::uint16_t>(10000 + flow % 50000);
+  f.dst_port = config_.dst_port;
+  f.packet_size = config_.packet_size;
+  host_.send(make_packet(f));
+  ++sent_;
+  sched_.after(interval_, [this] { emit(); });
+}
+
+}  // namespace edp::topo

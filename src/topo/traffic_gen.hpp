@@ -1,0 +1,189 @@
+// edp::topo — workload generators.
+//
+// Deterministic (seeded) traffic sources that drive the experiments:
+//   * CbrGenerator      — constant bit rate (background load, line-rate fill)
+//   * PoissonGenerator  — Poisson arrivals (smooth stochastic load)
+//   * BurstGenerator    — on/off microbursts (the §2 microburst workload)
+//   * ZipfGenerator     — skewed many-flow traffic (CMS / NetCache workloads)
+//
+// Each generator owns its schedule on the shared simulator and sends
+// through a Host (which paces at the NIC rate).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet_builder.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/host.hpp"
+
+namespace edp::topo {
+
+/// Shared flow parameters for generated packets.
+struct FlowSpec {
+  net::Ipv4Address src;
+  net::Ipv4Address dst;
+  std::uint16_t src_port = 10000;
+  std::uint16_t dst_port = 20000;
+  std::size_t packet_size = 1000;  ///< total wire bytes
+};
+
+/// Constant-bit-rate UDP source.
+class CbrGenerator {
+ public:
+  struct Config {
+    FlowSpec flow;
+    double rate_bps = 1e9;
+    sim::Time start = sim::Time::zero();
+    sim::Time stop = sim::Time::seconds(1);  ///< no packets at/after stop
+  };
+
+  CbrGenerator(sim::Scheduler& sched, Host& host, Config config);
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  void emit();
+
+  sim::Scheduler& sched_;
+  Host& host_;
+  Config config_;
+  sim::Time interval_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Poisson arrivals at a mean rate.
+class PoissonGenerator {
+ public:
+  struct Config {
+    FlowSpec flow;
+    double mean_rate_bps = 1e9;
+    sim::Time start = sim::Time::zero();
+    sim::Time stop = sim::Time::seconds(1);
+    std::uint64_t seed = 1;
+  };
+
+  PoissonGenerator(sim::Scheduler& sched, Host& host, Config config);
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  void emit();
+
+  sim::Scheduler& sched_;
+  Host& host_;
+  Config config_;
+  sim::Random rng_;
+  sim::Time mean_interval_;
+  std::uint64_t sent_ = 0;
+};
+
+/// On/off burst source: bursts of `burst_packets` back-to-back at the burst
+/// rate, separated by idle gaps — the microburst workload of paper §2.
+class BurstGenerator {
+ public:
+  struct Config {
+    FlowSpec flow;
+    double burst_rate_bps = 10e9;
+    std::size_t burst_packets = 64;
+    sim::Time gap = sim::Time::millis(1);  ///< idle time between bursts
+    sim::Time start = sim::Time::zero();
+    sim::Time stop = sim::Time::seconds(1);
+    bool jitter_gap = false;  ///< randomize gaps +-50%
+    std::uint64_t seed = 2;
+  };
+
+  BurstGenerator(sim::Scheduler& sched, Host& host, Config config);
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t bursts() const { return bursts_; }
+
+ private:
+  void start_burst();
+  void emit(std::size_t remaining);
+
+  sim::Scheduler& sched_;
+  Host& host_;
+  Config config_;
+  sim::Random rng_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+/// One packet of a replayed trace.
+struct TraceEntry {
+  sim::Time at = sim::Time::zero();
+  FlowSpec flow;
+};
+
+/// Replays an explicit (time, flow, size) trace through a host — the
+/// substitute for production packet traces (see DESIGN.md §2): captured
+/// workloads can be exported to the simple CSV format and re-run
+/// deterministically.
+class TraceReplayGenerator {
+ public:
+  TraceReplayGenerator(sim::Scheduler& sched, Host& host,
+                       std::vector<TraceEntry> trace);
+
+  /// Parse CSV text: one entry per line,
+  ///   time_us,src_ip,dst_ip,src_port,dst_port,size_bytes
+  /// Blank lines and lines starting with '#' are skipped. Malformed lines
+  /// are dropped (count reported via parse_errors).
+  static std::vector<TraceEntry> parse_csv(const std::string& text,
+                                           std::size_t* parse_errors = nullptr);
+
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+  std::size_t size() const { return trace_.size(); }
+
+ private:
+  sim::Scheduler& sched_;
+  Host& host_;
+  std::vector<TraceEntry> trace_;
+  std::uint64_t sent_ = 0;
+};
+
+/// Many-flow source with Zipf-distributed flow popularity; flow i maps to
+/// distinct src/dst addresses so switch-side hashing sees real diversity.
+class ZipfGenerator {
+ public:
+  struct Config {
+    std::size_t num_flows = 1000;
+    double skew = 1.1;
+    double rate_bps = 1e9;     ///< aggregate packet rate
+    std::size_t packet_size = 256;
+    std::uint16_t dst_port = 20000;
+    net::Ipv4Address dst;      ///< common destination (e.g. the sink host)
+    sim::Time start = sim::Time::zero();
+    sim::Time stop = sim::Time::seconds(1);
+    std::uint64_t seed = 3;
+  };
+
+  ZipfGenerator(sim::Scheduler& sched, Host& host, Config config);
+  void start();
+
+  std::uint64_t sent() const { return sent_; }
+  /// Ground-truth packet count per flow index (for sketch accuracy checks).
+  const std::vector<std::uint64_t>& true_counts() const { return counts_; }
+  /// The source address used for flow `i`.
+  static net::Ipv4Address flow_src(std::size_t i);
+
+ private:
+  void emit();
+
+  sim::Scheduler& sched_;
+  Host& host_;
+  Config config_;
+  sim::Random rng_;
+  sim::ZipfSampler zipf_;
+  sim::Time interval_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace edp::topo

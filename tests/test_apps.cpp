@@ -1,0 +1,1408 @@
+// Unit tests for edp::apps — each application program exercised on a real
+// EventSwitch (and, where relevant, its baseline counterpart).
+#include <gtest/gtest.h>
+
+#include "apps/aqm.hpp"
+#include "apps/chain_replication.hpp"
+#include "apps/cms_monitor.hpp"
+#include "apps/fast_reroute.hpp"
+#include "apps/hula.hpp"
+#include "apps/int_aggregator.hpp"
+#include "apps/liveness.hpp"
+#include "apps/microburst.hpp"
+#include "apps/ndp_trim.hpp"
+#include "apps/netcache.hpp"
+#include "apps/policer.hpp"
+#include "apps/rate_measurement.hpp"
+#include "apps/snappy_baseline.hpp"
+#include "apps/swing_state.hpp"
+#include "apps/wfq.hpp"
+#include "apps/ecn_marking.hpp"
+#include "core/baseline_switch.hpp"
+#include "net/flow.hpp"
+#include "net/packet_builder.hpp"
+
+namespace edp::apps {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+core::EventSwitchConfig basic_cfg(std::uint16_t ports = 2,
+                                  double rate = 10e9) {
+  core::EventSwitchConfig c;
+  c.num_ports = ports;
+  c.port_rate_bps = rate;
+  c.merger.cycle_time = sim::Time::nanos(5);
+  c.timer_resolution = sim::Time::micros(1);
+  return c;
+}
+
+net::Packet flow_packet(Ipv4Address src, Ipv4Address dst,
+                        std::size_t size = 1000) {
+  return net::make_udp_packet(src, dst, 1111, 2222, size);
+}
+
+// ---- microburst (paper §2 example) ---------------------------------------------
+
+class MicroburstFixture : public ::testing::TestWithParam<StateModel> {};
+
+TEST_P(MicroburstFixture, OccupancyTracksEnqueueDequeue) {
+  sim::Scheduler sched;
+  // Slow egress so the buffer actually builds.
+  core::EventSwitch sw(sched, basic_cfg(2, 1e9));
+  MicroburstConfig mc;
+  mc.flow_thresh = 1 << 30;  // no detections in this test
+  mc.state = GetParam();
+  MicroburstProgram prog(mc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  if (prog.aggregated() != nullptr) {
+    sw.register_aggregated(*prog.aggregated());
+  }
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 1);
+  const std::uint32_t flow = net::flow_id_src_dst(src, dst);
+  for (int i = 0; i < 10; ++i) {
+    sw.receive(0, flow_packet(src, dst, 1000));
+  }
+  // Mid-flight: some bytes buffered; settle pending events first.
+  sched.run_until(sim::Time::micros(4));
+  sw.settle();
+  EXPECT_GT(prog.occupancy(flow), 0);
+  // After the queue drains completely, occupancy returns to zero.
+  sched.run_until(sim::Time::millis(1));
+  sw.settle();
+  EXPECT_EQ(prog.occupancy(flow), 0);
+}
+
+TEST_P(MicroburstFixture, DetectsCulpritAtIngress) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg(2, 1e9));  // 1 Gb/s egress
+  MicroburstConfig mc;
+  mc.flow_thresh = 8 * 1000;  // 8 KB
+  mc.state = GetParam();
+  MicroburstProgram prog(mc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  if (prog.aggregated() != nullptr) {
+    sw.register_aggregated(*prog.aggregated());
+  }
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  // 30 x 1000B nearly back-to-back into a 1G port: definite microburst.
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 1);
+  for (int i = 0; i < 30; ++i) {
+    sched.at(sim::Time::nanos(800 * i),
+             [&sw, src, dst] { sw.receive(0, flow_packet(src, dst)); });
+  }
+  sched.run_until(sim::Time::millis(1));
+  ASSERT_GE(prog.detections().size(), 1u);
+  const auto& d = prog.detections().front();
+  EXPECT_TRUE(d.at_ingress);
+  EXPECT_GT(d.occupancy, mc.flow_thresh);
+  EXPECT_EQ(d.flow_id, net::flow_id_src_dst(src, dst));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStateModels, MicroburstFixture,
+                         ::testing::Values(StateModel::kShared,
+                                           StateModel::kAggregated),
+                         [](const auto& info) {
+                           return info.param == StateModel::kShared
+                                      ? "SharedRegister"
+                                      : "AggregatedRegister";
+                         });
+
+TEST(Microburst, InnocentFlowsNotFlagged) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg(2, 1e9));
+  MicroburstConfig mc;
+  mc.flow_thresh = 8 * 1000;
+  MicroburstProgram prog(mc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.register_aggregated(*prog.aggregated());
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  // Burst flow A + slow flow B: only A may be flagged.
+  const Ipv4Address a(10, 0, 0, 1), b(10, 0, 0, 2), dst(10, 0, 1, 1);
+  for (int i = 0; i < 30; ++i) {
+    sched.at(sim::Time::nanos(800 * i),
+             [&sw, a, dst] { sw.receive(0, flow_packet(a, dst)); });
+  }
+  for (int i = 0; i < 5; ++i) {
+    sched.at(sim::Time::micros(50 * (i + 1)),
+             [&sw, b, dst] { sw.receive(0, flow_packet(b, dst, 200)); });
+  }
+  sched.run_until(sim::Time::millis(1));
+  const std::uint32_t flow_b = net::flow_id_src_dst(b, dst);
+  for (const auto& d : prog.detections()) {
+    EXPECT_NE(d.flow_id, flow_b);
+  }
+}
+
+TEST(Microburst, StateBytesShrinkVsSnappy) {
+  MicroburstConfig mc;
+  mc.num_regs = 1024;
+  mc.state = StateModel::kShared;
+  SnappyConfig sc;
+  sc.num_regs = 1024;
+  sc.num_snapshots = 8;
+  MicroburstProgram shared_prog(mc);
+  SnappyProgram snappy(sc);
+  // The paper claims >= 4x reduction: one shared register array vs
+  // Snappy's k snapshot arrays (k = 8 here).
+  EXPECT_GE(static_cast<double>(snappy.state_bytes()),
+            4.0 * static_cast<double>(shared_prog.state_bytes()));
+}
+
+// ---- Snappy baseline -------------------------------------------------------------
+
+TEST(Snappy, DetectsAtEgressOnly) {
+  sim::Scheduler sched;
+  core::BaselineSwitch bsw(sched, basic_cfg(2, 1e9));
+  SnappyConfig sc;
+  sc.flow_thresh = 8 * 1000;
+  sc.rotation = sim::Time::micros(20);
+  SnappyProgram prog(sc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  bsw.set_program(&prog);
+  bsw.connect_tx(1, [](net::Packet) {});
+
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 1);
+  for (int i = 0; i < 40; ++i) {
+    sched.at(sim::Time::nanos(800 * i),
+             [&bsw, src, dst] { bsw.receive(0, flow_packet(src, dst)); });
+  }
+  sched.run_until(sim::Time::millis(1));
+  ASSERT_GE(prog.detections().size(), 1u);
+  EXPECT_FALSE(prog.detections().front().at_ingress);
+  // Baseline facilities were sufficient: no refused operations.
+  EXPECT_EQ(bsw.counters().refused_ops, 0u);
+}
+
+// ---- CMS monitor -------------------------------------------------------------------
+
+TEST(CmsMonitor, TimerResetsInDataPlane) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  CmsMonitorConfig cc;
+  cc.reset_period = sim::Time::millis(1);
+  CmsMonitorProgram prog(cc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 1);
+  sw.receive(0, flow_packet(src, dst, 100));
+  sched.run_until(sim::Time::micros(100));
+  EXPECT_GE(prog.estimate(net::flow_id_src_dst(src, dst)), 1u);
+  sched.run_until(sim::Time::millis(10) + sim::Time::micros(50));
+  EXPECT_EQ(prog.resets(), 10u);
+  EXPECT_EQ(prog.estimate(net::flow_id_src_dst(src, dst)), 0u);
+  // Data-plane resets are quartz-precise: jitter bounded by the timer
+  // resolution, not by a control-plane round trip.
+  EXPECT_LE(prog.reset_jitter_us().max(), 2.0);
+}
+
+TEST(CmsMonitor, BaselineRefusesTimerNeedsCp) {
+  sim::Scheduler sched;
+  core::BaselineSwitch bsw(sched, basic_cfg());
+  CmsMonitorProgram prog(CmsMonitorConfig{});
+  bsw.set_program(&prog);
+  EXPECT_EQ(bsw.counters().refused_ops, 1u);  // the on_attach timer request
+  // A CP-driven reset still works, via the explicit entry point.
+  prog.control_reset(sim::Time::millis(3));
+  EXPECT_EQ(prog.resets(), 1u);
+}
+
+// ---- AQM ---------------------------------------------------------------------------
+
+TEST(RedAqm, DropsProbabilisticallyAboveMinThresh) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(2, 1e8);  // slow egress: 100 Mb/s
+  cfg.queue_limits.max_bytes = 1 << 20;
+  cfg.queue_limits.max_packets = 4096;
+  core::EventSwitch sw(sched, cfg);
+  topo::L3Program router;
+  router.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&router);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  RedAqm::Config rc;
+  rc.min_thresh_bytes = 5'000;
+  rc.max_thresh_bytes = 20'000;
+  rc.max_p = 0.5;
+  rc.weight = 0.2;
+  RedAqm red(rc);
+  red.install(sw.traffic_manager());
+
+  for (int i = 0; i < 300; ++i) {
+    sched.at(sim::Time::micros(2 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(50));
+  EXPECT_GT(red.early_drops(), 0u);
+  EXPECT_GT(red.avg_queue(), 0.0);
+}
+
+TEST(FairAqm, ThrottlesHogWithFairnessDrops) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(2, 1e8);  // 100 Mb/s bottleneck
+  cfg.queue_limits.max_bytes = 1 << 20;
+  cfg.queue_limits.max_packets = 4096;
+  core::EventSwitch sw(sched, cfg);
+  FairAqmConfig fc;
+  fc.engage_bytes = 4'000;
+  fc.share_factor = 1.5;
+  FairAqmProgram prog(fc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  int tx = 0;
+  sw.connect_tx(1, [&](net::Packet) { ++tx; });
+
+  const Ipv4Address hog(10, 0, 0, 1), mouse(10, 0, 0, 2), dst(10, 0, 1, 1);
+  // Hog: 1000B every 2us (4 Gb/s offered); mouse: 1000B every 100us.
+  for (int i = 0; i < 500; ++i) {
+    sched.at(sim::Time::micros(2 * i),
+             [&sw, hog, dst] { sw.receive(0, flow_packet(hog, dst)); });
+  }
+  for (int i = 0; i < 10; ++i) {
+    sched.at(sim::Time::micros(100 * i),
+             [&sw, mouse, dst] { sw.receive(0, flow_packet(mouse, dst)); });
+  }
+  sched.run_until(sim::Time::millis(100));
+  EXPECT_GT(prog.fairness_drops(), 0u);
+  EXPECT_EQ(prog.active_flows(), 0u);  // everything drained by now
+  EXPECT_GT(tx, 10);                   // mouse + surviving hog packets
+}
+
+TEST(FairAqm, TimerReportsFlowToMonitorPort) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg(3, 1e9));
+  FairAqmConfig fc;
+  fc.send_reports = true;
+  fc.sample_period = sim::Time::millis(1);
+  fc.report_port = 2;
+  fc.monitor_ip = Ipv4Address(10, 0, 2, 2);
+  fc.self_ip = Ipv4Address(10, 0, 254, 1);
+  FairAqmProgram prog(fc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  int reports = 0;
+  sw.connect_tx(2, [&](net::Packet p) {
+    ++reports;
+    const auto phv = pisa::Parser::standard().parse(std::move(p));
+    ASSERT_TRUE(phv.int_report.has_value());
+  });
+  sw.connect_tx(1, [](net::Packet) {});
+  sched.run_until(sim::Time::millis(5) + sim::Time::micros(10));
+  EXPECT_EQ(reports, 5);
+  EXPECT_EQ(prog.reports_sent(), 5u);
+}
+
+TEST(PieAqm, DropProbabilityRisesWithDelay) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(2, 1e8);
+  cfg.queue_limits.max_bytes = 1 << 20;
+  cfg.queue_limits.max_packets = 4096;
+  core::EventSwitch sw(sched, cfg);
+  PieConfig pc;
+  pc.target_delay = sim::Time::micros(50);
+  pc.update_period = sim::Time::millis(1);
+  PieAqmProgram prog(pc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  // Overload 4:1 -> queueing delay far above target.
+  for (int i = 0; i < 2000; ++i) {
+    sched.at(sim::Time::micros(2 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(4));
+  EXPECT_GT(prog.drop_probability(), 0.0);
+  sched.run_until(sim::Time::millis(100));
+  EXPECT_GT(prog.early_drops(), 0u);
+}
+
+// ---- policers -----------------------------------------------------------------------
+
+TEST(TimerTokenBucket, EnforcesConfiguredRate) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  TokenBucketConfig tc;
+  tc.rate_bytes_per_sec = 1.25e6;  // 10 Mb/s
+  tc.burst_bytes = 5'000;
+  tc.refill_period = sim::Time::micros(100);
+  TimerTokenBucketProgram prog(tc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  int tx = 0;
+  sw.connect_tx(1, [&](net::Packet) { ++tx; });
+
+  // Offer 100 Mb/s for 10 ms: 10x the committed rate.
+  for (int i = 0; i < 125; ++i) {
+    sched.at(sim::Time::micros(80 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(20));
+  // Conformant bytes ~ burst (5KB) + rate x 10ms (12.5KB) = ~17.5KB.
+  EXPECT_NEAR(static_cast<double>(prog.conformant()), 17.0, 3.0);
+  EXPECT_EQ(prog.conformant() + prog.policed(), 125u);
+  EXPECT_EQ(static_cast<int>(prog.conformant()), tx);
+}
+
+TEST(TimerTokenBucket, BaselineCannotRefill) {
+  sim::Scheduler sched;
+  core::BaselineSwitch bsw(sched, basic_cfg());
+  TimerTokenBucketProgram prog(TokenBucketConfig{});
+  bsw.set_program(&prog);
+  // The refill timer was refused: the paper's point that baseline PISA
+  // cannot build token buckets from registers alone.
+  EXPECT_EQ(bsw.counters().refused_ops, 1u);
+}
+
+TEST(MeterPolicer, FixedFunctionComparator) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  pisa::Meter::Config mc;
+  mc.cir_bytes_per_sec = 1.25e6;
+  mc.cbs_bytes = 5'000;
+  mc.ebs_bytes = 0;
+  MeterPolicerProgram prog(64, mc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+  for (int i = 0; i < 125; ++i) {
+    sched.at(sim::Time::micros(80 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(20));
+  EXPECT_NEAR(static_cast<double>(prog.conformant()), 17.0, 3.0);
+}
+
+// ---- fast re-route --------------------------------------------------------------------
+
+TEST(FastReroute, SwitchesToBackupOnLinkDown) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg(3));
+  FrrProgram prog(3);
+  prog.add_route(FrrRoute{Ipv4Address(10, 0, 1, 0), 1, 2});
+  sw.set_program(&prog);
+  int tx1 = 0, tx2 = 0;
+  sw.connect_tx(1, [&](net::Packet) { ++tx1; });
+  sw.connect_tx(2, [&](net::Packet) { ++tx2; });
+
+  sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                            Ipv4Address(10, 0, 1, 1)));
+  sched.run_until(sim::Time::micros(100));
+  EXPECT_EQ(tx1, 1);
+
+  sw.set_link_status(1, false);
+  sched.run_until(sim::Time::micros(200));
+  sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                            Ipv4Address(10, 0, 1, 1)));
+  sched.run_until(sim::Time::micros(300));
+  EXPECT_EQ(tx1, 1);
+  EXPECT_EQ(tx2, 1);
+  EXPECT_EQ(prog.rerouted(), 1u);
+  EXPECT_TRUE(prog.port_down(1));
+  EXPECT_GT(prog.reroute_activated_at(), sim::Time::zero());
+}
+
+TEST(FastReroute, RecoveryRestoresPrimary) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg(3));
+  FrrProgram prog(3);
+  prog.add_route(FrrRoute{Ipv4Address(10, 0, 1, 0), 1, 2});
+  sw.set_program(&prog);
+  int tx1 = 0;
+  sw.connect_tx(1, [&](net::Packet) { ++tx1; });
+  sw.connect_tx(2, [](net::Packet) {});
+  sw.set_link_status(1, false);
+  sched.run_until(sim::Time::micros(10));
+  sw.set_link_status(1, true);
+  sched.run_until(sim::Time::micros(20));
+  sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                            Ipv4Address(10, 0, 1, 1)));
+  sched.run_until(sim::Time::micros(100));
+  EXPECT_EQ(tx1, 1);
+  EXPECT_FALSE(prog.port_down(1));
+}
+
+TEST(FastReroute, BaselineProgramNeverSeesLinkEvents) {
+  sim::Scheduler sched;
+  core::BaselineSwitch bsw(sched, basic_cfg(3));
+  FrrProgram prog(3);
+  prog.add_route(FrrRoute{Ipv4Address(10, 0, 1, 0), 1, 2});
+  bsw.set_program(&prog);
+  int tx1 = 0;
+  bsw.connect_tx(1, [&](net::Packet) { ++tx1; });
+  bsw.connect_tx(2, [](net::Packet) {});
+  bsw.set_link_status(1, false);  // hardware knows; the program does not
+  sched.run_until(sim::Time::micros(10));
+  EXPECT_FALSE(prog.port_down(1));  // the handler never ran
+  // Until the CP intervenes, traffic still heads to the dead port.
+  bsw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                             Ipv4Address(10, 0, 1, 1)));
+  sched.run_until(sim::Time::micros(100));
+  EXPECT_EQ(tx1, 0);  // stuck in the queue of the downed port
+  // CP eventually calls the control entry point.
+  prog.control_set_port_down(1, true);
+  bsw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                             Ipv4Address(10, 0, 1, 1)));
+  sched.run_until(sim::Time::micros(200));
+  EXPECT_EQ(prog.rerouted(), 1u);
+}
+
+// ---- liveness ---------------------------------------------------------------------------
+
+TEST(Liveness, DetectsNeighborFailure) {
+  sim::Scheduler sched;
+  // Two switches wired port1 <-> port1; both run liveness on port 1.
+  core::EventSwitch a(sched, basic_cfg(3));
+  core::EventSwitch b(sched, basic_cfg(3));
+  bool wire_up = true;
+  a.connect_tx(1, [&](net::Packet p) {
+    if (wire_up) {
+      b.receive(1, std::move(p));
+    }
+  });
+  b.connect_tx(1, [&](net::Packet p) {
+    if (wire_up) {
+      a.receive(1, std::move(p));
+    }
+  });
+  LivenessConfig lc;
+  lc.self_id = 1;
+  lc.monitored_ports = {1};
+  lc.probe_period = sim::Time::micros(200);
+  lc.check_period = sim::Time::micros(200);
+  lc.dead_after = sim::Time::micros(700);
+  lc.monitor_port = 2;
+  LivenessProgram pa(lc);
+  LivenessConfig lcb = lc;
+  lcb.self_id = 2;
+  LivenessProgram pb(lcb);
+  a.set_program(&pa);
+  b.set_program(&pb);
+  int notices = 0;
+  a.connect_tx(2, [&](net::Packet p) {
+    const auto phv = pisa::Parser::standard().parse(std::move(p));
+    ASSERT_TRUE(phv.liveness.has_value());
+    EXPECT_EQ(phv.liveness->kind, net::LivenessHeader::kFailureNotice);
+    ++notices;
+  });
+  b.connect_tx(2, [](net::Packet) {});
+
+  sched.run_until(sim::Time::millis(2));
+  EXPECT_TRUE(pa.neighbor_alive(0));
+  EXPECT_GT(pa.replies_received(), 5u);
+  EXPECT_GT(pa.rtt_us().count(), 0u);
+
+  // Cut the wire silently (no link-status event: pure liveness detection).
+  const sim::Time fail_time = sched.now();
+  wire_up = false;
+  sched.run_until(fail_time + sim::Time::millis(2));
+  EXPECT_FALSE(pa.neighbor_alive(0));
+  EXPECT_EQ(notices, 1);
+  const sim::Time detect_latency = pa.failure_detected_at(0) - fail_time;
+  EXPECT_LE(detect_latency, sim::Time::micros(1200));  // ~dead_after + check
+}
+
+TEST(Liveness, NoFalsePositivesWhileHealthy) {
+  sim::Scheduler sched;
+  core::EventSwitch a(sched, basic_cfg(3));
+  core::EventSwitch b(sched, basic_cfg(3));
+  a.connect_tx(1, [&](net::Packet p) { b.receive(1, std::move(p)); });
+  b.connect_tx(1, [&](net::Packet p) { a.receive(1, std::move(p)); });
+  LivenessConfig lc;
+  lc.monitored_ports = {1};
+  lc.monitor_port = 0xffff;  // notifications disabled
+  LivenessProgram pa(lc), pb(lc);
+  a.set_program(&pa);
+  b.set_program(&pb);
+  sched.run_until(sim::Time::millis(20));
+  EXPECT_TRUE(pa.neighbor_alive(0));
+  EXPECT_TRUE(pb.neighbor_alive(0));
+  EXPECT_EQ(pa.notices_sent(), 0u);
+}
+
+// ---- rate measurement ---------------------------------------------------------------------
+
+TEST(RateMeasure, WindowedRateTracksCbr) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  RateMeasureConfig rc;
+  rc.buckets = 8;
+  rc.bucket_width = sim::Time::micros(250);
+  RateMeasureProgram prog(rc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+
+  // 1000B every 10us = 800 Mb/s, for 5ms.
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 1);
+  for (int i = 0; i < 500; ++i) {
+    sched.at(sim::Time::micros(10 * i),
+             [&sw, src, dst] { sw.receive(0, flow_packet(src, dst)); });
+  }
+  sched.run_until(sim::Time::millis(5));
+  const double measured = prog.rate_bps(net::flow_id_src_dst(src, dst));
+  EXPECT_NEAR(measured, 800e6, 120e6);
+  EXPECT_GT(prog.ticks(), 15u);
+}
+
+TEST(RateMeasure, RateDecaysWhenFlowStops) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  RateMeasureProgram prog(RateMeasureConfig{});
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 1);
+  for (int i = 0; i < 100; ++i) {
+    sched.at(sim::Time::micros(10 * i),
+             [&sw, src, dst] { sw.receive(0, flow_packet(src, dst)); });
+  }
+  sched.run_until(sim::Time::millis(1) + sim::Time::micros(100));
+  EXPECT_GT(prog.rate_bps(net::flow_id_src_dst(src, dst)), 0.0);
+  // Flow stops; after a full window of timer ticks the rate reads zero —
+  // exactly what packet-clocked (baseline) windows cannot do.
+  sched.run_until(sim::Time::millis(10));
+  EXPECT_DOUBLE_EQ(prog.rate_bps(net::flow_id_src_dst(src, dst)), 0.0);
+}
+
+// ---- NetCache -------------------------------------------------------------------------------
+
+net::Packet kv_packet(std::uint8_t op, std::uint64_t key, std::uint64_t value,
+                      Ipv4Address src, Ipv4Address dst) {
+  net::KvHeader kv;
+  kv.op = op;
+  kv.key = key;
+  kv.value = value;
+  return net::PacketBuilder()
+      .ethernet(MacAddress::from_u64(0x02), MacAddress::from_u64(0x03))
+      .ipv4(src, dst, net::kIpProtoUdp)
+      .udp(40000, net::kPortKvCache)
+      .kv(kv)
+      .pad_to(64)
+      .build();
+}
+
+TEST(NetCache, HotKeyServedFromSwitch) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  NetCacheConfig nc;
+  nc.hot_thresh = 3;
+  nc.server_ip = Ipv4Address(10, 0, 9, 9);
+  NetCacheProgram prog(nc);
+  sw.set_program(&prog);
+
+  const Ipv4Address client(10, 0, 0, 1);
+  const Ipv4Address server = nc.server_ip;
+  int server_rx = 0, client_rx = 0;
+  std::uint64_t last_value = 0;
+  // Server at port 1: answers GETs with value = key * 2.
+  sw.connect_tx(1, [&](net::Packet p) {
+    ++server_rx;
+    auto phv = pisa::Parser::standard().parse(std::move(p));
+    ASSERT_TRUE(phv.kv.has_value());
+    sw.receive(1, kv_packet(net::KvHeader::kReply, phv.kv->key,
+                            phv.kv->key * 2, server, client));
+  });
+  sw.connect_tx(0, [&](net::Packet p) {
+    ++client_rx;
+    auto phv = pisa::Parser::standard().parse(std::move(p));
+    ASSERT_TRUE(phv.kv.has_value());
+    last_value = phv.kv->value;
+  });
+
+  // 6 GETs for key 5: misses go to the server; once hot + inserted, later
+  // GETs are answered by the switch.
+  for (int i = 0; i < 6; ++i) {
+    sched.at(sim::Time::micros(10 * (i + 1)), [&] {
+      sw.receive(0, kv_packet(net::KvHeader::kGet, 5, 0, client, server));
+    });
+  }
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(client_rx, 6);  // every GET answered
+  EXPECT_LT(server_rx, 6);  // some absorbed by the cache
+  EXPECT_GT(prog.cache_hits(), 0u);
+  EXPECT_TRUE(prog.cached(5));
+  EXPECT_EQ(last_value, 10u);
+}
+
+TEST(NetCache, SetUpdatesCachedValue) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  NetCacheConfig nc;
+  nc.hot_thresh = 1;
+  nc.server_ip = Ipv4Address(10, 0, 9, 9);
+  NetCacheProgram prog(nc);
+  sw.set_program(&prog);
+  const Ipv4Address client(10, 0, 0, 1);
+  const Ipv4Address server = nc.server_ip;
+  std::uint64_t last_value = 0;
+  sw.connect_tx(1, [&](net::Packet p) {
+    auto phv = pisa::Parser::standard().parse(std::move(p));
+    if (phv.kv && phv.kv->op == net::KvHeader::kGet) {
+      sw.receive(1, kv_packet(net::KvHeader::kReply, phv.kv->key, 111,
+                              server, client));
+    }
+  });
+  sw.connect_tx(0, [&](net::Packet p) {
+    auto phv = pisa::Parser::standard().parse(std::move(p));
+    if (phv.kv) {
+      last_value = phv.kv->value;
+    }
+  });
+  // Miss -> insert; then SET rewrites the cached value; next GET hits with
+  // the new value.
+  sched.at(sim::Time::micros(10), [&] {
+    sw.receive(0, kv_packet(net::KvHeader::kGet, 7, 0, client, server));
+  });
+  sched.at(sim::Time::micros(50), [&] {
+    sw.receive(0, kv_packet(net::KvHeader::kSet, 7, 222, client, server));
+  });
+  sched.at(sim::Time::micros(100), [&] {
+    sw.receive(0, kv_packet(net::KvHeader::kGet, 7, 0, client, server));
+  });
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(last_value, 222u);
+}
+
+TEST(NetCache, DecayMakesColdSlotsReplaceable) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  NetCacheConfig nc;
+  nc.cache_slots = 1;  // force contention for the single slot
+  nc.hot_thresh = 2;
+  nc.decay_period = sim::Time::micros(200);
+  nc.server_ip = Ipv4Address(10, 0, 9, 9);
+  NetCacheProgram prog(nc);
+  sw.set_program(&prog);
+  const Ipv4Address client(10, 0, 0, 1);
+  const Ipv4Address server = nc.server_ip;
+  sw.connect_tx(1, [&](net::Packet p) {
+    auto phv = pisa::Parser::standard().parse(std::move(p));
+    if (phv.kv && phv.kv->op == net::KvHeader::kGet) {
+      sw.receive(1, kv_packet(net::KvHeader::kReply, phv.kv->key, 1, server,
+                              client));
+    }
+  });
+  sw.connect_tx(0, [](net::Packet) {});
+
+  // Key 1 becomes hot and cached early.
+  for (int i = 0; i < 4; ++i) {
+    sched.at(sim::Time::micros(10 * (i + 1)), [&] {
+      sw.receive(0, kv_packet(net::KvHeader::kGet, 1, 0, client, server));
+    });
+  }
+  // Workload shifts to key 2; after decay zeroes key 1's hit counter the
+  // slot is handed over.
+  for (int i = 0; i < 8; ++i) {
+    sched.at(sim::Time::millis(1) + sim::Time::micros(50 * (i + 1)), [&] {
+      sw.receive(0, kv_packet(net::KvHeader::kGet, 2, 0, client, server));
+    });
+  }
+  sched.run_until(sim::Time::millis(5));
+  EXPECT_TRUE(prog.cached(2));
+  EXPECT_GT(prog.insertions(), 1u);
+}
+
+// ---- INT aggregator ---------------------------------------------------------------------------
+
+TEST(IntAggregator, SuppressesQuietReportsAnomalies) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(3, 1e8);  // slow: queues build
+  cfg.queue_limits.max_bytes = 256 * 1024;
+  cfg.queue_limits.max_packets = 4096;
+  core::EventSwitch sw(sched, cfg);
+  IntAggregatorConfig ic;
+  ic.num_ports = 3;
+  ic.report_period = sim::Time::millis(1);
+  ic.depth_thresh_bytes = 10'000;
+  ic.report_port = 2;
+  ic.monitor_ip = Ipv4Address(10, 0, 2, 2);
+  ic.self_ip = Ipv4Address(10, 0, 254, 1);
+  IntAggregatorProgram prog(ic);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  int reports = 0;
+  sw.connect_tx(1, [](net::Packet) {});
+  sw.connect_tx(2, [&](net::Packet) { ++reports; });
+
+  // Quiet first 3 ms: nothing anomalous, no reports.
+  sched.run_until(sim::Time::millis(3) + sim::Time::micros(10));
+  EXPECT_EQ(reports, 0);
+  EXPECT_GT(prog.reports_suppressed(), 0u);
+
+  // Now a burst that exceeds the depth threshold.
+  for (int i = 0; i < 100; ++i) {
+    sched.after(sim::Time::micros(2 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(6));
+  EXPECT_GT(reports, 0);
+  EXPECT_GT(prog.reports_sent(), 0u);
+  EXPECT_GT(prog.reduction_factor(), 5.0);
+  EXPECT_EQ(prog.naive_postcards(), 100u);
+}
+
+// ---- HULA -----------------------------------------------------------------------------------
+
+TEST(HulaTor, ProbesMeasureStalenessAndSteerTraffic) {
+  sim::Scheduler sched;
+  // Two ToRs wired back-to-back on both uplinks (the spine program is
+  // tested separately; direct wires suffice for the ToR logic).
+  core::EventSwitch tor0(sched, basic_cfg(3));
+  core::EventSwitch tor1(sched, basic_cfg(3));
+  HulaTorConfig c0;
+  c0.tor_id = 0;
+  c0.host_port = 0;
+  c0.uplink_ports = {1, 2};
+  c0.num_tors = 2;
+  c0.probe_period = sim::Time::micros(100);
+  c0.subnets = {{Ipv4Address(10, 0, 0, 0), 0}, {Ipv4Address(10, 0, 1, 0), 1}};
+  HulaTorConfig c1 = c0;
+  c1.tor_id = 1;
+  HulaTorProgram p0(c0), p1(c1);
+  tor0.set_program(&p0);
+  tor1.set_program(&p1);
+  tor0.connect_tx(1, [&](net::Packet p) { tor1.receive(1, std::move(p)); });
+  tor0.connect_tx(2, [&](net::Packet p) { tor1.receive(2, std::move(p)); });
+  tor1.connect_tx(1, [&](net::Packet p) { tor0.receive(1, std::move(p)); });
+  tor1.connect_tx(2, [&](net::Packet p) { tor0.receive(2, std::move(p)); });
+  int delivered = 0;
+  tor1.connect_tx(0, [&](net::Packet) { ++delivered; });
+  tor0.connect_tx(0, [](net::Packet) {});
+
+  sched.run_until(sim::Time::millis(2));
+  EXPECT_GT(p1.probes_received(), 10u);
+  EXPECT_GT(p0.probes_originated(), 10u);
+  // Staleness is tiny without CP involvement (well below the probe period).
+  EXPECT_LT(p1.probe_staleness_us().mean(), 100.0);
+  // Path utilization learned for ToR 0 on both uplinks.
+  EXPECT_LT(p1.path_util(0, 0), 0xffffffffU);
+  EXPECT_LT(p1.path_util(0, 1), 0xffffffffU);
+
+  // Data packet from host at tor0 to tor1's subnet is delivered.
+  tor0.receive(0, flow_packet(Ipv4Address(10, 0, 0, 5),
+                              Ipv4Address(10, 0, 1, 5)));
+  sched.run_until(sim::Time::millis(3));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GE(p0.data_forwarded(), 1u);
+}
+
+TEST(HulaSpine, RelaysProbesTowardOtherTor) {
+  sim::Scheduler sched;
+  core::EventSwitch spine(sched, basic_cfg(2));
+  HulaSpineConfig sc;
+  sc.num_tors = 2;
+  sc.tor_port = {0, 1};
+  sc.subnets = {{Ipv4Address(10, 0, 0, 0), 0}, {Ipv4Address(10, 0, 1, 0), 1}};
+  HulaSpineProgram prog(sc);
+  spine.set_program(&prog);
+  int to_tor1 = 0;
+  spine.connect_tx(1, [&](net::Packet p) {
+    const auto phv = pisa::Parser::standard().parse(std::move(p));
+    ASSERT_TRUE(phv.hula.has_value());
+    EXPECT_EQ(phv.hula->tor_id, 0u);
+    ++to_tor1;
+  });
+  spine.connect_tx(0, [](net::Packet) {});
+
+  net::HulaProbeHeader probe;
+  probe.tor_id = 0;  // advertising the path to ToR 0
+  probe.path_util_permille = 120;
+  probe.origin_ts_ps = 5;
+  net::Packet pkt = net::PacketBuilder()
+                        .ethernet(MacAddress::from_u64(0xa0),
+                                  MacAddress::from_u64(0),
+                                  net::kEtherTypeHula)
+                        .hula_probe(probe)
+                        .pad_to(64)
+                        .build();
+  spine.receive(0, std::move(pkt));  // arrives from ToR 0's port
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(to_tor1, 1);
+  EXPECT_EQ(prog.probes_relayed(), 1u);
+}
+
+// ---- NDP-style trimming -----------------------------------------------------------------
+
+TEST(NdpTrim, CongestionTrimsToHeadersAtHighPriority) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(2, 1e8);  // 100 Mb/s bottleneck
+  cfg.queues_per_port = 2;
+  cfg.tm_scheduler = tm_::SchedulerKind::kStrictPriority;
+  cfg.queue_limits.max_bytes = 1 << 20;
+  cfg.queue_limits.max_packets = 4096;
+  core::EventSwitch sw(sched, cfg);
+  NdpTrimConfig nc;
+  nc.num_ports = 2;
+  nc.trim_thresh_bytes = 8'000;
+  NdpTrimProgram prog(nc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+
+  std::uint64_t full = 0, trimmed_rx = 0;
+  constexpr std::size_t kHeaderOnly = net::EthernetHeader::kSize +
+                                      net::Ipv4Header::kSize +
+                                      net::UdpHeader::kSize;
+  sw.connect_tx(1, [&](net::Packet p) {
+    if (p.size() == kHeaderOnly) {
+      ++trimmed_rx;
+      // A trimmed packet is still a CONSISTENT packet: IPv4 length and
+      // checksum were recomputed by the deparser, ECN says CE.
+      const auto ip = net::Ipv4Header::decode(p, net::EthernetHeader::kSize);
+      EXPECT_TRUE(ip.checksum_ok());
+      EXPECT_EQ(ip.total_length,
+                net::Ipv4Header::kSize + net::UdpHeader::kSize);
+      EXPECT_EQ(ip.ecn, 3);
+    } else {
+      ++full;
+    }
+  });
+
+  // 4x overload: the queue crosses the trim threshold quickly.
+  for (int i = 0; i < 1000; ++i) {
+    sched.at(sim::Time::micros(2 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(120));
+  EXPECT_GT(prog.trimmed(), 0u);
+  EXPECT_EQ(trimmed_rx, prog.trimmed());
+  EXPECT_GT(full, 0u);
+  // NDP's guarantee in this setting: nothing is lost — every arriving
+  // packet leaves either whole or as a header.
+  EXPECT_EQ(full + trimmed_rx, 1000u);
+  EXPECT_EQ(sw.traffic_manager().drops_total(), 0u);
+}
+
+TEST(NdpTrim, NoTrimmingBelowThreshold) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(2, 10e9);  // no bottleneck
+  cfg.queues_per_port = 2;
+  core::EventSwitch sw(sched, cfg);
+  NdpTrimProgram prog(NdpTrimConfig{});
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  std::uint64_t shrunk = 0;
+  sw.connect_tx(1, [&](net::Packet p) { shrunk += p.size() < 1000; });
+  for (int i = 0; i < 50; ++i) {
+    sched.at(sim::Time::micros(10 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(5));
+  EXPECT_EQ(prog.trimmed(), 0u);
+  EXPECT_EQ(shrunk, 0u);
+}
+
+// ---- additional app edge cases --------------------------------------------------------
+
+TEST(CmsMonitor, HeavyHitterCrossingCountedOncePerPeriod) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  CmsMonitorConfig cc;
+  cc.heavy_thresh = 5;
+  cc.reset_period = sim::Time::millis(10);
+  CmsMonitorProgram prog(cc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+  const Ipv4Address src(10, 0, 0, 1), dst(10, 0, 1, 1);
+  // 20 packets of one flow within one period: crosses the threshold once.
+  for (int i = 0; i < 20; ++i) {
+    sched.at(sim::Time::micros(10 * i),
+             [&sw, src, dst] { sw.receive(0, flow_packet(src, dst, 100)); });
+  }
+  sched.run_until(sim::Time::millis(5));
+  EXPECT_EQ(prog.heavy_detections(), 1u);
+  // After the reset the same flow can cross (and be reported) again.
+  sched.run_until(sim::Time::millis(11));
+  for (int i = 0; i < 20; ++i) {
+    sched.after(sim::Time::micros(10 * i),
+                [&sw, src, dst] { sw.receive(0, flow_packet(src, dst, 100)); });
+  }
+  sched.run_until(sim::Time::millis(20));
+  EXPECT_EQ(prog.heavy_detections(), 2u);
+}
+
+TEST(Liveness, NeighborRecoveryReportsAliveAgain) {
+  sim::Scheduler sched;
+  core::EventSwitch a(sched, basic_cfg(3));
+  core::EventSwitch b(sched, basic_cfg(3));
+  bool wire_up = true;
+  a.connect_tx(1, [&](net::Packet p) {
+    if (wire_up) {
+      b.receive(1, std::move(p));
+    }
+  });
+  b.connect_tx(1, [&](net::Packet p) {
+    if (wire_up) {
+      a.receive(1, std::move(p));
+    }
+  });
+  LivenessConfig lc;
+  lc.monitored_ports = {1};
+  lc.probe_period = sim::Time::micros(200);
+  lc.check_period = sim::Time::micros(200);
+  lc.dead_after = sim::Time::micros(700);
+  lc.monitor_port = 0xffff;
+  LivenessProgram pa(lc), pb(lc);
+  a.set_program(&pa);
+  b.set_program(&pb);
+  sched.run_until(sim::Time::millis(2));
+  ASSERT_TRUE(pa.neighbor_alive(0));
+  wire_up = false;
+  sched.run_until(sim::Time::millis(5));
+  ASSERT_FALSE(pa.neighbor_alive(0));
+  // The wire heals: the next reply resurrects the neighbor.
+  wire_up = true;
+  sched.run_until(sim::Time::millis(8));
+  EXPECT_TRUE(pa.neighbor_alive(0));
+  EXPECT_EQ(pa.failure_detected_at(0), sim::Time::zero());  // cleared
+}
+
+TEST(FastReroute, RepeatedFlapsOnlyRecordFirstActivation) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg(3));
+  FrrProgram prog(3);
+  prog.add_route(FrrRoute{Ipv4Address(10, 0, 1, 0), 1, 2});
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+  sw.connect_tx(2, [](net::Packet) {});
+  sched.at(sim::Time::micros(100), [&] { sw.set_link_status(1, false); });
+  sched.at(sim::Time::micros(200), [&] { sw.set_link_status(1, true); });
+  sched.at(sim::Time::micros(300), [&] { sw.set_link_status(1, false); });
+  sched.run_until(sim::Time::millis(1));
+  // First activation timestamp is preserved across flaps.
+  EXPECT_GE(prog.reroute_activated_at(), sim::Time::micros(100));
+  EXPECT_LT(prog.reroute_activated_at(), sim::Time::micros(200));
+  EXPECT_TRUE(prog.port_down(1));
+}
+
+TEST(IntAggregator, DropsCountedPerIntervalThenCleared) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(3, 1e8);
+  cfg.queue_limits.max_packets = 4;  // force overflow drops
+  cfg.queue_limits.max_bytes = 6'000;
+  core::EventSwitch sw(sched, cfg);
+  IntAggregatorConfig ic;
+  ic.num_ports = 3;
+  ic.report_period = sim::Time::millis(1);
+  ic.depth_thresh_bytes = 1 << 30;  // only drops trigger anomalies
+  ic.report_port = 2;
+  ic.monitor_ip = Ipv4Address(10, 0, 2, 2);
+  ic.self_ip = Ipv4Address(10, 0, 254, 1);
+  IntAggregatorProgram prog(ic);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  std::vector<std::uint32_t> reported_drops;
+  sw.connect_tx(1, [](net::Packet) {});
+  sw.connect_tx(2, [&](net::Packet p) {
+    const auto phv = pisa::Parser::standard().parse(std::move(p));
+    ASSERT_TRUE(phv.int_report.has_value());
+    reported_drops.push_back(phv.int_report->drops);
+  });
+  // A short overflow burst in the first interval only.
+  for (int i = 0; i < 30; ++i) {
+    sched.at(sim::Time::micros(2 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(4));
+  ASSERT_GE(reported_drops.size(), 1u);
+  EXPECT_GT(reported_drops[0], 0u);  // the burst's drops, reported once
+  for (std::size_t i = 1; i < reported_drops.size(); ++i) {
+    EXPECT_EQ(reported_drops[i], 0u);  // cleared after each report
+  }
+}
+
+TEST(NetCache, NonKvTrafficRoutedNotCached) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg());
+  NetCacheConfig nc;
+  nc.server_ip = Ipv4Address(10, 0, 9, 9);
+  NetCacheProgram prog(nc);
+  sw.set_program(&prog);
+  int to_server = 0, to_client = 0;
+  sw.connect_tx(1, [&](net::Packet) { ++to_server; });
+  sw.connect_tx(0, [&](net::Packet) { ++to_client; });
+  // Plain UDP toward the server IP and back.
+  sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1), nc.server_ip, 200));
+  sw.receive(1, flow_packet(nc.server_ip, Ipv4Address(10, 0, 0, 1), 200));
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(to_server, 1);
+  EXPECT_EQ(to_client, 1);
+  EXPECT_EQ(prog.cache_hits() + prog.cache_misses(), 0u);
+}
+
+// ---- swing-state migration ---------------------------------------------------------
+
+TEST(SwingState, MigratesPerFlowStateOnLinkFailure) {
+  sim::Scheduler sched;
+  // holder: data out port 1 (monitored), migration via port 2 to `peer`.
+  core::EventSwitch holder(sched, basic_cfg(3));
+  core::EventSwitch peer(sched, basic_cfg(3));
+  SwingStateConfig hc;
+  hc.data_out_port = 1;
+  hc.monitored_port = 1;
+  hc.migration_port = 2;
+  SwingStateConfig pc = hc;  // peer uses same shape; its link 1 stays up
+  SwingStateProgram ph(hc), pp(pc);
+  holder.set_program(&ph);
+  peer.set_program(&pp);
+  holder.connect_tx(1, [](net::Packet) {});
+  holder.connect_tx(2, [&](net::Packet p) { peer.receive(2, std::move(p)); });
+  peer.connect_tx(1, [](net::Packet) {});
+  peer.connect_tx(2, [](net::Packet) {});
+
+  // Two flows accumulate state at the holder.
+  const Ipv4Address a(10, 0, 0, 1), b(10, 0, 0, 2), dst(10, 0, 9, 9);
+  for (int i = 0; i < 7; ++i) {
+    holder.receive(0, flow_packet(a, dst, 500));
+  }
+  for (int i = 0; i < 3; ++i) {
+    holder.receive(0, flow_packet(b, dst, 200));
+  }
+  sched.run_until(sim::Time::micros(100));
+  const std::uint32_t fa = net::flow_id_src_dst(a, dst);
+  const std::uint32_t fb = net::flow_id_src_dst(b, dst);
+  EXPECT_EQ(ph.flow_packets(fa), 7u);
+  EXPECT_EQ(ph.flow_bytes(fb), 600u);
+  EXPECT_EQ(pp.flow_packets(fa), 0u);
+
+  // The monitored link dies: state swings to the peer, data plane only.
+  holder.set_link_status(1, false);
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(ph.migrated_out(), 2u);  // two dirty slots
+  EXPECT_EQ(pp.migrated_in(), 2u);
+  EXPECT_EQ(pp.flow_packets(fa), 7u);
+  EXPECT_EQ(pp.flow_bytes(fa), 7u * 500u);
+  EXPECT_EQ(pp.flow_packets(fb), 3u);
+  EXPECT_GT(ph.migration_started_at(), sim::Time::zero());
+
+  // The peer keeps counting from the migrated values.
+  peer.receive(0, flow_packet(a, dst, 500));
+  sched.run_until(sim::Time::millis(2));
+  EXPECT_EQ(pp.flow_packets(fa), 8u);
+}
+
+TEST(SwingState, NoMigrationWithoutFailureAndNoDoubleMigration) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, basic_cfg(3));
+  SwingStateConfig sc;
+  SwingStateProgram prog(sc);
+  sw.set_program(&prog);
+  int carried = 0;
+  sw.connect_tx(1, [](net::Packet) {});
+  sw.connect_tx(2, [&](net::Packet) { ++carried; });
+  sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                            Ipv4Address(10, 0, 9, 9)));
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(carried, 0);  // healthy link: nothing migrates
+  sw.set_link_status(1, false);
+  sched.run_until(sim::Time::millis(2));
+  EXPECT_EQ(carried, 1);
+  // Flapping does not re-send (single migration guard).
+  sw.set_link_status(1, true);
+  sw.set_link_status(1, false);
+  sched.run_until(sim::Time::millis(3));
+  EXPECT_EQ(carried, 1);
+}
+
+// ---- chain replication ----------------------------------------------------------------
+
+namespace chain {
+
+net::Packet kv_req(std::uint8_t op, std::uint64_t key, std::uint64_t value) {
+  net::KvHeader kv;
+  kv.op = op;
+  kv.key = key;
+  kv.value = value;
+  return net::PacketBuilder()
+      .ethernet(MacAddress::from_u64(0xc1), MacAddress::from_u64(0xc2))
+      .ipv4(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 8, 8),
+            net::kIpProtoUdp)
+      .udp(45000, net::kPortKvCache)
+      .kv(kv)
+      .pad_to(64)
+      .build();
+}
+
+struct Chain {
+  explicit Chain(sim::Scheduler& sched)
+      : head(sched, cfg()), mid(sched, cfg()), tail(sched, cfg()) {
+    // head: client on 0; successors {1 -> mid, 2 -> tail (bypass)}.
+    ChainNodeConfig h;
+    h.client_port = 0;
+    h.successor_ports = {1, 2};
+    // mid: successor {1 -> tail}.
+    ChainNodeConfig m;
+    m.client_port = 0;
+    m.successor_ports = {1};
+    // tail: no successors; replies out port 0 (wired back to the client).
+    ChainNodeConfig t;
+    t.client_port = 0;
+    ph = std::make_unique<ChainNodeProgram>(h);
+    pm = std::make_unique<ChainNodeProgram>(m);
+    pt = std::make_unique<ChainNodeProgram>(t);
+    head.set_program(ph.get());
+    mid.set_program(pm.get());
+    tail.set_program(pt.get());
+    head.connect_tx(1, [this](net::Packet p) { mid.receive(0, std::move(p)); });
+    head.connect_tx(2,
+                    [this](net::Packet p) { tail.receive(2, std::move(p)); });
+    mid.connect_tx(1, [this](net::Packet p) { tail.receive(0, std::move(p)); });
+    tail.connect_tx(0, [this](net::Packet p) {
+      const auto phv = pisa::Parser::standard().parse(std::move(p));
+      if (phv.kv && phv.kv->op == net::KvHeader::kReply) {
+        ++client_replies;
+        last_value = phv.kv->value;
+      }
+    });
+    head.connect_tx(0, [](net::Packet) {});
+    mid.connect_tx(0, [](net::Packet) {});
+  }
+
+  static core::EventSwitchConfig cfg() { return basic_cfg(3); }
+
+  core::EventSwitch head, mid, tail;
+  std::unique_ptr<ChainNodeProgram> ph, pm, pt;
+  int client_replies = 0;
+  std::uint64_t last_value = 0;
+};
+
+}  // namespace chain
+
+TEST(ChainReplication, WritesReplicateAndTailAcks) {
+  sim::Scheduler sched;
+  chain::Chain c(sched);
+  c.head.receive(0, chain::kv_req(net::KvHeader::kSet, 7, 700));
+  sched.run_until(sim::Time::millis(1));
+  // Stored on every replica; exactly one client ack, from the tail.
+  EXPECT_EQ(c.ph->value(7), 700u);
+  EXPECT_EQ(c.pm->value(7), 700u);
+  EXPECT_EQ(c.pt->value(7), 700u);
+  EXPECT_EQ(c.client_replies, 1);
+  // Reads are served by the tail with the committed value.
+  c.head.receive(0, chain::kv_req(net::KvHeader::kGet, 7, 0));
+  sched.run_until(sim::Time::millis(2));
+  EXPECT_EQ(c.client_replies, 2);
+  EXPECT_EQ(c.last_value, 700u);
+  EXPECT_EQ(c.pt->reads_served(), 1u);
+}
+
+TEST(ChainReplication, LinkFailureRepairsChainInstantly) {
+  sim::Scheduler sched;
+  chain::Chain c(sched);
+  c.head.receive(0, chain::kv_req(net::KvHeader::kSet, 1, 100));
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(c.client_replies, 1);
+
+  // The head's link to mid dies; the very next write must bypass mid via
+  // the direct link to the tail, still committing and still acked.
+  c.head.set_link_status(1, false);
+  sched.run_until(sim::Time::millis(1) + sim::Time::micros(10));
+  EXPECT_EQ(c.ph->repairs(), 1u);
+  c.head.receive(0, chain::kv_req(net::KvHeader::kSet, 2, 200));
+  sched.run_until(sim::Time::millis(2));
+  EXPECT_EQ(c.client_replies, 2);
+  EXPECT_EQ(c.pt->value(2), 200u);
+  EXPECT_FALSE(c.pm->has(2));  // mid was bypassed
+  EXPECT_EQ(c.ph->live_successor(), 2);
+}
+
+TEST(ChainReplication, TailIsolationPromotesActingTail) {
+  sim::Scheduler sched;
+  chain::Chain c(sched);
+  int head_acks = 0;
+  // Re-wire head's client port to observe acks if the head becomes tail.
+  c.head.connect_tx(0, [&](net::Packet p) {
+    const auto phv = pisa::Parser::standard().parse(std::move(p));
+    if (phv.kv && phv.kv->op == net::KvHeader::kReply) {
+      ++head_acks;
+    }
+  });
+  // Both of the head's successor links die: it acts as the tail.
+  c.head.set_link_status(1, false);
+  c.head.set_link_status(2, false);
+  sched.run_until(sim::Time::micros(10));
+  EXPECT_TRUE(c.ph->acting_tail());
+  c.head.receive(0, chain::kv_req(net::KvHeader::kSet, 9, 900));
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(c.ph->value(9), 900u);
+  EXPECT_EQ(head_acks, 1);  // acked locally
+}
+
+// ---- WFQ over PIFO --------------------------------------------------------------
+
+TEST(Wfq, WeightedByteSharesOnBottleneck) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(2, 1e8);  // 100 Mb/s bottleneck
+  cfg.use_pifo = true;
+  cfg.queue_limits.max_bytes = 4 << 20;
+  cfg.queue_limits.max_packets = 1 << 14;
+  core::EventSwitch sw(sched, cfg);
+  WfqConfig wc;
+  WfqProgram prog(wc);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  const Ipv4Address heavy(10, 0, 0, 1), light(10, 0, 0, 2),
+      dst(10, 0, 1, 1);
+  prog.set_weight(net::flow_id_src_dst(heavy, dst), 3);
+  prog.set_weight(net::flow_id_src_dst(light, dst), 1);
+  sw.set_program(&prog);
+  std::uint64_t heavy_bytes = 0, light_bytes = 0;
+  sw.connect_tx(1, [&](net::Packet p) {
+    const auto t = net::extract_five_tuple(p);
+    (t.src == heavy ? heavy_bytes : light_bytes) += p.size();
+  });
+  // Both flows offer 400 Mb/s into the 100 Mb/s port: persistent backlog.
+  for (int i = 0; i < 1500; ++i) {
+    sched.at(sim::Time::micros(20 * i), [&sw, heavy, dst] {
+      sw.receive(0, flow_packet(heavy, dst));
+    });
+    sched.at(sim::Time::micros(20 * i), [&sw, light, dst] {
+      sw.receive(0, flow_packet(light, dst));
+    });
+  }
+  // Measure only while both flows are backlogged (first 25 ms of the
+  // 30 ms offered load).
+  sched.run_until(sim::Time::millis(25));
+  ASSERT_GT(light_bytes, 0u);
+  const double ratio = static_cast<double>(heavy_bytes) /
+                       static_cast<double>(light_bytes);
+  EXPECT_NEAR(ratio, 3.0, 0.4);
+}
+
+TEST(Wfq, VirtualClockAdvancesOnDequeue) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(2, 1e9);
+  cfg.use_pifo = true;
+  core::EventSwitch sw(sched, cfg);
+  WfqProgram prog(WfqConfig{});
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  sw.connect_tx(1, [](net::Packet) {});
+  EXPECT_EQ(prog.virtual_time(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 1, 1)));
+  }
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_GT(prog.virtual_time(), 0u);
+}
+
+// ---- multi-bit ECN marking ---------------------------------------------------------
+
+TEST(MultiBitEcn, MarksDscpWithQuantizedOccupancy) {
+  sim::Scheduler sched;
+  core::EventSwitchConfig cfg = basic_cfg(2, 1e8);  // queue builds
+  cfg.queue_limits.max_bytes = 1 << 20;
+  cfg.queue_limits.max_packets = 4096;
+  core::EventSwitch sw(sched, cfg);
+  EcnMarkConfig ec;
+  ec.num_ports = 2;
+  ec.quantum_bytes = 2048;
+  MultiBitEcnProgram prog(ec);
+  prog.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  sw.set_program(&prog);
+  std::uint8_t max_dscp_seen = 0;
+  sw.connect_tx(1, [&](net::Packet p) {
+    const auto ip = net::Ipv4Header::decode(p, net::EthernetHeader::kSize);
+    max_dscp_seen = std::max(max_dscp_seen, ip.dscp);
+  });
+  // Overload 4:1 for 2 ms.
+  for (int i = 0; i < 1000; ++i) {
+    sched.at(sim::Time::micros(2 * i), [&sw] {
+      sw.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(100));
+  EXPECT_GT(prog.packets_marked(), 0u);
+  // Multi-bit: more than one distinct congestion level must be usable.
+  EXPECT_GE(max_dscp_seen, 2);
+  EXPECT_LE(max_dscp_seen, 63);
+  EXPECT_EQ(prog.port_depth(1), 0);  // drained at the end
+}
+
+TEST(MultiBitEcn, MaxPropagatesAcrossHops) {
+  // Two switches in series; only the second is congested. The DSCP at the
+  // receiver must reflect the bottleneck (max along the path).
+  sim::Scheduler sched;
+  core::EventSwitchConfig fast = basic_cfg(2, 10e9);
+  core::EventSwitchConfig slow = basic_cfg(2, 1e8);
+  slow.queue_limits.max_bytes = 1 << 20;
+  slow.queue_limits.max_packets = 4096;
+  core::EventSwitch s0(sched, fast);
+  core::EventSwitch s1(sched, slow);
+  EcnMarkConfig ec;
+  ec.num_ports = 2;
+  MultiBitEcnProgram p0(ec), p1(ec);
+  p0.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  p1.add_route(Ipv4Address(10, 0, 1, 0), 24, 1);
+  s0.set_program(&p0);
+  s1.set_program(&p1);
+  s0.connect_tx(1, [&](net::Packet p) { s1.receive(0, std::move(p)); });
+  std::uint8_t max_dscp = 0;
+  s1.connect_tx(1, [&](net::Packet p) {
+    const auto ip = net::Ipv4Header::decode(p, net::EthernetHeader::kSize);
+    max_dscp = std::max(max_dscp, ip.dscp);
+  });
+  for (int i = 0; i < 500; ++i) {
+    sched.at(sim::Time::micros(2 * i), [&s0] {
+      s0.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                                Ipv4Address(10, 0, 1, 1)));
+    });
+  }
+  sched.run_until(sim::Time::millis(100));
+  // s0 is uncongested (marks ~0); the mark comes from s1's queue.
+  EXPECT_EQ(p0.packets_marked(), 0u);
+  EXPECT_GT(p1.packets_marked(), 0u);
+  EXPECT_GE(max_dscp, 2);
+}
+
+TEST(HulaSpine, RoutesDataBySubnet) {
+  sim::Scheduler sched;
+  core::EventSwitch spine(sched, basic_cfg(2));
+  HulaSpineConfig sc;
+  sc.num_tors = 2;
+  sc.tor_port = {0, 1};
+  sc.subnets = {{Ipv4Address(10, 0, 0, 0), 0}, {Ipv4Address(10, 0, 1, 0), 1}};
+  HulaSpineProgram prog(sc);
+  spine.set_program(&prog);
+  int to0 = 0, to1 = 0;
+  spine.connect_tx(0, [&](net::Packet) { ++to0; });
+  spine.connect_tx(1, [&](net::Packet) { ++to1; });
+  spine.receive(0, flow_packet(Ipv4Address(10, 0, 0, 1),
+                               Ipv4Address(10, 0, 1, 7)));
+  spine.receive(1, flow_packet(Ipv4Address(10, 0, 1, 7),
+                               Ipv4Address(10, 0, 0, 1)));
+  sched.run_until(sim::Time::millis(1));
+  EXPECT_EQ(to1, 1);
+  EXPECT_EQ(to0, 1);
+}
+
+}  // namespace
+}  // namespace edp::apps

@@ -1,0 +1,334 @@
+// Unit tests for edp::sim — time, randomness, and the discrete-event
+// scheduler that everything else rides on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace edp::sim {
+namespace {
+
+// ---- Time ---------------------------------------------------------------------
+
+TEST(Time, NamedConstructorsAgree) {
+  EXPECT_EQ(Time::nanos(1).ps(), 1'000);
+  EXPECT_EQ(Time::micros(1).ps(), 1'000'000);
+  EXPECT_EQ(Time::millis(1).ps(), 1'000'000'000);
+  EXPECT_EQ(Time::seconds(1).ps(), 1'000'000'000'000);
+  EXPECT_EQ(Time::micros(3), Time::nanos(3000));
+}
+
+TEST(Time, ArithmeticAndComparisons) {
+  const Time a = Time::micros(5);
+  const Time b = Time::micros(2);
+  EXPECT_EQ((a + b).ps(), Time::micros(7).ps());
+  EXPECT_EQ((a - b).ps(), Time::micros(3).ps());
+  EXPECT_EQ((a * 3).ps(), Time::micros(15).ps());
+  EXPECT_EQ((a / 5).ps(), Time::micros(1).ps());
+  EXPECT_EQ(a / b, 2);  // duration ratio truncates
+  EXPECT_EQ((a % b).ps(), Time::micros(1).ps());
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+}
+
+TEST(Time, FromSecondsRoundsToPicoseconds) {
+  EXPECT_EQ(Time::from_seconds(1e-6).ps(), 1'000'000);
+  EXPECT_EQ(Time::from_seconds(0.5).ps(), 500'000'000'000);
+}
+
+TEST(Time, ConversionsToFloating) {
+  const Time t = Time::micros(1500);
+  EXPECT_DOUBLE_EQ(t.as_micros(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.as_millis(), 1.5);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 0.0015);
+}
+
+TEST(Time, ToStringPicksUnits) {
+  EXPECT_EQ(Time::zero().to_string(), "0s");
+  EXPECT_EQ(Time::picos(500).to_string(), "500ps");
+  EXPECT_NE(Time::micros(12).to_string().find("us"), std::string::npos);
+  EXPECT_NE(Time::millis(3).to_string().find("ms"), std::string::npos);
+}
+
+TEST(Time, SerializationTime) {
+  // 1500 bytes at 10 Gb/s = 1.2 us.
+  EXPECT_EQ(serialization_time(1500, 10e9), Time::nanos(1200));
+  // 64 bytes at 10 Gb/s = 51.2 ns.
+  EXPECT_EQ(serialization_time(64, 10e9).ps(), 51'200);
+  EXPECT_EQ(serialization_time(1500, 0), Time::zero());
+}
+
+TEST(Time, RateBps) {
+  EXPECT_DOUBLE_EQ(rate_bps(1250, Time::micros(1)), 10e9);
+  EXPECT_DOUBLE_EQ(rate_bps(100, Time::zero()), 0.0);
+}
+
+// ---- Random -------------------------------------------------------------------
+
+TEST(Random, DeterministicForSeed) {
+  Random a(42), b(42), c(43);
+  std::vector<std::uint64_t> va, vb, vc;
+  for (int i = 0; i < 64; ++i) {
+    va.push_back(a.next_u64());
+    vb.push_back(b.next_u64());
+    vc.push_back(c.next_u64());
+  }
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Random, UniformRespectsBound) {
+  Random rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.uniform(13), 13u);
+  }
+  EXPECT_EQ(rng.uniform(0), 0u);
+  EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Random, UniformRangeInclusive) {
+  Random rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Random, Uniform01InHalfOpenInterval) {
+  Random rng(9);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Random, ChanceEdgeCases) {
+  Random rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_FALSE(rng.chance(-1.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_TRUE(rng.chance(2.0));
+  int heads = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    heads += rng.chance(0.25);
+  }
+  EXPECT_NEAR(heads / 100'000.0, 0.25, 0.01);
+}
+
+TEST(Random, ExponentialHasRequestedMean) {
+  Random rng(5);
+  double sum = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(3.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Random, ParetoBoundedBelowByXm) {
+  Random rng(6);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Random, ForkProducesIndependentStream) {
+  Random a(11);
+  Random b = a.fork();
+  // The forked stream must differ from the parent's continued stream.
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next_u64() != b.next_u64()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Random, PermutationIsValid) {
+  Random rng(3);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(ZipfSampler, SkewFavorsLowRanks) {
+  Random rng(12);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    ++counts[zipf.sample(rng)];
+  }
+  // Rank 0 must dominate rank 50 heavily under skew 1.2.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  // Every sample in range (vector indexing would have crashed otherwise).
+  int total = 0;
+  for (const int c : counts) {
+    total += c;
+  }
+  EXPECT_EQ(total, 100'000);
+}
+
+// ---- Scheduler -----------------------------------------------------------------
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(Time::micros(3), [&] { order.push_back(3); });
+  sched.at(Time::micros(1), [&] { order.push_back(1); });
+  sched.at(Time::micros(2), [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), Time::micros(3));
+}
+
+TEST(Scheduler, SameTimeIsFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.at(Time::micros(5), [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId id = sched.at(Time::micros(1), [&] { ++fired; });
+  sched.at(Time::micros(2), [&] { ++fired; });
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));       // double cancel
+  EXPECT_FALSE(sched.cancel(999'999));  // unknown id
+  sched.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, CancelAfterFireIsDetectedNoOp) {
+  Scheduler sched;
+  int fired = 0;
+  const EventId id = sched.at(Time::micros(1), [&] { ++fired; });
+  sched.at(Time::micros(5), [&] { ++fired; });
+  sched.run_until(Time::micros(2));  // first callback has fired
+  EXPECT_EQ(fired, 1);
+  // Cancelling the fired id must fail and must NOT disturb the pending
+  // accounting of the remaining event.
+  EXPECT_FALSE(sched.cancel(id));
+  EXPECT_FALSE(sched.empty());
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, RunUntilAdvancesClockEvenWhenIdle) {
+  Scheduler sched;
+  sched.run_until(Time::millis(5));
+  EXPECT_EQ(sched.now(), Time::millis(5));
+}
+
+TEST(Scheduler, RunUntilExecutesOnlyDueEvents) {
+  Scheduler sched;
+  int fired = 0;
+  sched.at(Time::micros(1), [&] { ++fired; });
+  sched.at(Time::micros(10), [&] { ++fired; });
+  sched.run_until(Time::micros(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sched.empty());
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, CallbacksMayScheduleMore) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      sched.after(Time::micros(1), chain);
+    }
+  };
+  sched.after(Time::micros(1), chain);
+  sched.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.now(), Time::micros(5));
+  EXPECT_EQ(sched.executed(), 5u);
+}
+
+TEST(Scheduler, MaxEventsGuardStopsRunawayLoops) {
+  Scheduler sched;
+  std::function<void()> forever = [&] { sched.after(Time::picos(1), forever); };
+  sched.after(Time::picos(1), forever);
+  const std::size_t executed = sched.run(1000);
+  EXPECT_EQ(executed, 1000u);
+  EXPECT_FALSE(sched.empty());
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Scheduler sched;
+  int fires = 0;
+  PeriodicTask task(sched, Time::micros(10), [&] { ++fires; });
+  task.start();
+  sched.run_until(Time::micros(95));
+  EXPECT_EQ(fires, 9);  // t=10..90
+  EXPECT_TRUE(task.running());
+}
+
+TEST(PeriodicTask, StopHaltsFiring) {
+  Scheduler sched;
+  int fires = 0;
+  PeriodicTask task(sched, Time::micros(10), [&] { ++fires; });
+  task.start();
+  sched.run_until(Time::micros(35));
+  task.stop();
+  sched.run_until(Time::micros(200));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, CallbackMayStopItself) {
+  Scheduler sched;
+  int fires = 0;
+  PeriodicTask task(sched, Time::micros(1), [&] {
+    if (++fires == 4) {
+      task.stop();
+    }
+  });
+  task.start();
+  sched.run_until(Time::millis(1));
+  EXPECT_EQ(fires, 4);
+}
+
+TEST(PeriodicTask, StartAtAbsoluteTime) {
+  Scheduler sched;
+  std::vector<Time> fire_times;
+  PeriodicTask task(sched, Time::micros(10),
+                    [&] { fire_times.push_back(sched.now()); });
+  task.start_at(Time::micros(100));
+  sched.run_until(Time::micros(125));
+  ASSERT_EQ(fire_times.size(), 3u);
+  EXPECT_EQ(fire_times[0], Time::micros(100));
+  EXPECT_EQ(fire_times[1], Time::micros(110));
+  EXPECT_EQ(fire_times[2], Time::micros(120));
+}
+
+}  // namespace
+}  // namespace edp::sim

@@ -1,0 +1,231 @@
+// Unit tests for edp::stats — sketches, estimators, windows, trackers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+#include "stats/active_flows.hpp"
+#include "stats/count_min_sketch.hpp"
+#include "stats/ewma.hpp"
+#include "stats/histogram.hpp"
+#include "stats/rate_estimator.hpp"
+#include "stats/sliding_window.hpp"
+
+namespace edp::stats {
+namespace {
+
+// ---- Count-Min Sketch --------------------------------------------------------
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch cms(64, 3);
+  sim::Random rng(1);
+  std::vector<std::uint64_t> truth(200, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t key = rng.uniform(200);
+    cms.update(key);
+    ++truth[key];
+  }
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_GE(cms.estimate(k), truth[k]) << "key " << k;
+  }
+}
+
+TEST(CountMinSketch, ExactWhenNoCollisions) {
+  CountMinSketch cms(4096, 4);
+  cms.update(7, 5);
+  cms.update(9, 2);
+  EXPECT_EQ(cms.estimate(7), 5u);
+  EXPECT_EQ(cms.estimate(9), 2u);
+  EXPECT_EQ(cms.estimate(1234567), 0u);
+  EXPECT_EQ(cms.total(), 7u);
+}
+
+TEST(CountMinSketch, ResetClears) {
+  CountMinSketch cms(64, 2);
+  cms.update(1, 100);
+  cms.reset();
+  EXPECT_EQ(cms.estimate(1), 0u);
+  EXPECT_EQ(cms.total(), 0u);
+}
+
+TEST(CountMinSketch, FromErrorBoundsDimensions) {
+  const auto cms = CountMinSketch::from_error_bounds(0.01, 0.01);
+  EXPECT_GE(cms.width(), 271u);  // ceil(e/0.01)
+  EXPECT_GE(cms.depth(), 5u);    // ceil(ln 100)
+}
+
+TEST(CountMinSketch, FootprintReporting) {
+  CountMinSketch cms(128, 4);
+  EXPECT_EQ(cms.bytes(), 128 * 4 * sizeof(std::uint32_t));
+}
+
+// ---- EWMA / decaying rate ------------------------------------------------------
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.1);
+  EXPECT_FALSE(e.initialized());
+  e.observe(100);
+  EXPECT_DOUBLE_EQ(e.value(), 100.0);
+  e.observe(0);
+  EXPECT_DOUBLE_EQ(e.value(), 90.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) {
+    e.observe(42);
+  }
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(DecayingRate, SteadyStreamConvergesToTrueRate) {
+  DecayingRate r(sim::Time::micros(100));
+  // 1000 bytes every 10 us = 100 MB/s.
+  sim::Time t = sim::Time::zero();
+  for (int i = 0; i < 300; ++i) {
+    t += sim::Time::micros(10);
+    r.observe(1000, t);
+  }
+  EXPECT_NEAR(r.bytes_per_sec(t), 1e8, 1e7);
+}
+
+TEST(DecayingRate, DecaysWhenIdle) {
+  DecayingRate r(sim::Time::micros(100));
+  sim::Time t = sim::Time::zero();
+  for (int i = 0; i < 100; ++i) {
+    t += sim::Time::micros(10);
+    r.observe(1000, t);
+  }
+  const double busy = r.bytes_per_sec(t);
+  const double later = r.bytes_per_sec(t + sim::Time::micros(300));
+  EXPECT_LT(later, busy * 0.1);  // e^-3 ~ 0.05
+}
+
+// ---- windowed aggregates ----------------------------------------------------------
+
+TEST(WindowedAggregate, SumOverWindow) {
+  WindowedAggregate w(4, sim::Time::micros(10));
+  w.observe(10);
+  w.advance();
+  w.observe(20);
+  w.advance();
+  w.observe(30);
+  EXPECT_EQ(w.window_sum(), 60u);
+  EXPECT_EQ(w.window_max(), 30u);
+  EXPECT_EQ(w.window_span(), sim::Time::micros(40));
+}
+
+TEST(WindowedAggregate, MeanPerBucket) {
+  WindowedAggregate w(4, sim::Time::micros(10));
+  w.observe(40);
+  w.advance();
+  w.observe(20);
+  // (40 + 20 + 0 + 0) / 4 buckets
+  EXPECT_DOUBLE_EQ(w.window_mean_per_bucket(), 15.0);
+}
+
+TEST(WindowedAggregate, OldBucketsExpire) {
+  WindowedAggregate w(3, sim::Time::micros(10));
+  w.observe(100);
+  w.advance();
+  w.advance();
+  EXPECT_EQ(w.window_sum(), 100u);
+  w.advance();  // the 100 falls out of the 3-bucket window
+  EXPECT_EQ(w.window_sum(), 0u);
+}
+
+// ---- flow rate table ----------------------------------------------------------------
+
+TEST(FlowRateTable, MeasuresSteadyRate) {
+  // 8 buckets x 250 us window = 2 ms.
+  FlowRateTable table(16, 8, sim::Time::micros(250));
+  // Flow deposits 2500 bytes per 250 us bucket = 80 Mb/s. Fill all eight
+  // buckets (seven shifts) so the whole window carries the steady rate.
+  for (int tick = 0; tick < 8; ++tick) {
+    table.observe(5, 1250);
+    table.observe(5, 1250);
+    if (tick < 7) {
+      table.tick();
+    }
+  }
+  // 20000 B / 2 ms = 10 MB/s = 80 Mb/s.
+  EXPECT_NEAR(table.rate_bps(5), 80e6, 1e3);
+}
+
+TEST(FlowRateTable, FlowsAreIndependentSlots) {
+  FlowRateTable table(16, 4, sim::Time::micros(100));
+  table.observe(1, 4000);
+  EXPECT_GT(table.rate_bps(1), 0.0);
+  EXPECT_DOUBLE_EQ(table.rate_bps(2), 0.0);
+}
+
+TEST(FlowRateTable, StateFootprint) {
+  FlowRateTable table(128, 8, sim::Time::micros(100));
+  EXPECT_EQ(table.bytes(), 128u * 8u * sizeof(std::uint64_t));
+}
+
+// ---- active flows ---------------------------------------------------------------------
+
+TEST(ActiveFlowTracker, CountsDistinctBufferedFlows) {
+  ActiveFlowTracker t(64);
+  EXPECT_EQ(t.active_flows(), 0u);
+  t.on_enqueue(1);
+  t.on_enqueue(1);
+  t.on_enqueue(2);
+  EXPECT_EQ(t.active_flows(), 2u);
+  t.on_dequeue(1);
+  EXPECT_EQ(t.active_flows(), 2u);  // flow 1 still has one packet
+  t.on_dequeue(1);
+  EXPECT_EQ(t.active_flows(), 1u);
+  t.on_dequeue(2);
+  EXPECT_EQ(t.active_flows(), 0u);
+}
+
+TEST(ActiveFlowTracker, SpuriousDequeueIsIgnored) {
+  ActiveFlowTracker t(8);
+  t.on_dequeue(3);
+  EXPECT_EQ(t.active_flows(), 0u);
+  EXPECT_EQ(t.flow_packets(3), 0u);
+}
+
+TEST(ActiveFlowTracker, HashIndexWraps) {
+  ActiveFlowTracker t(8);
+  t.on_enqueue(1);
+  t.on_enqueue(9);  // same slot as 1
+  EXPECT_EQ(t.active_flows(), 1u);
+  EXPECT_EQ(t.flow_packets(1), 2u);
+}
+
+// ---- summary -----------------------------------------------------------------------------
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(i);
+  }
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+  EXPECT_DOUBLE_EQ(s.max(), 100);
+  EXPECT_NEAR(s.percentile(50), 50, 1);
+  EXPECT_NEAR(s.percentile(99), 99, 1);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0);
+}
+
+TEST(Summary, StddevOfConstantIsZero) {
+  Summary s;
+  s.add(5);
+  s.add(5);
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0);
+}
+
+}  // namespace
+}  // namespace edp::stats

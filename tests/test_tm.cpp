@@ -1,0 +1,313 @@
+// Unit tests for edp::tm_ — queues, PIFO, schedulers, buffer pool, and the
+// traffic manager's event emission.
+#include <gtest/gtest.h>
+
+#include "net/packet_builder.hpp"
+#include "tm/buffer_pool.hpp"
+#include "tm/pifo.hpp"
+#include "tm/queue.hpp"
+#include "tm/scheduler.hpp"
+#include "tm/traffic_manager.hpp"
+
+namespace edp::tm_ {
+namespace {
+
+QueuedPacket qp_of(std::size_t size, std::uint64_t rank = 0) {
+  QueuedPacket qp;
+  qp.packet = net::Packet(size);
+  qp.rank = rank;
+  return qp;
+}
+
+// ---- FIFO queue -----------------------------------------------------------------
+
+TEST(FifoQueue, FifoOrderAndByteAccounting) {
+  FifoQueue q(QueueLimits{10, 10'000});
+  ASSERT_TRUE(q.push(qp_of(100)));
+  ASSERT_TRUE(q.push(qp_of(200)));
+  EXPECT_EQ(q.bytes(), 300u);
+  EXPECT_EQ(q.packets(), 2u);
+  EXPECT_EQ(q.front_size(), 100u);
+  auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->packet.size(), 100u);
+  EXPECT_EQ(q.bytes(), 200u);
+}
+
+TEST(FifoQueue, PacketLimitTailDrop) {
+  FifoQueue q(QueueLimits{2, 10'000});
+  EXPECT_TRUE(q.push(qp_of(10)));
+  EXPECT_TRUE(q.push(qp_of(10)));
+  EXPECT_FALSE(q.push(qp_of(10)));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.stats().enqueued, 2u);
+}
+
+TEST(FifoQueue, ByteLimitTailDrop) {
+  FifoQueue q(QueueLimits{100, 250});
+  EXPECT_TRUE(q.push(qp_of(200)));
+  EXPECT_FALSE(q.push(qp_of(100)));  // 300 > 250
+  EXPECT_TRUE(q.push(qp_of(50)));
+  EXPECT_EQ(q.bytes(), 250u);
+}
+
+TEST(FifoQueue, PopEmptyReturnsNullopt) {
+  FifoQueue q(QueueLimits{});
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FifoQueue, MaxDepthTracked) {
+  FifoQueue q(QueueLimits{100, 100'000});
+  q.push(qp_of(500));
+  q.push(qp_of(500));
+  q.pop();
+  q.push(qp_of(100));
+  EXPECT_EQ(q.stats().max_depth_bytes, 1000u);
+  EXPECT_EQ(q.stats().max_depth_packets, 2u);
+}
+
+// ---- PIFO -------------------------------------------------------------------------
+
+TEST(PifoQueue, DequeuesInRankOrder) {
+  PifoQueue q(QueueLimits{100, 100'000});
+  q.push(qp_of(10, 30));
+  q.push(qp_of(11, 10));
+  q.push(qp_of(12, 20));
+  EXPECT_EQ(q.front_rank(), 10u);
+  EXPECT_EQ(q.pop()->rank, 10u);
+  EXPECT_EQ(q.pop()->rank, 20u);
+  EXPECT_EQ(q.pop()->rank, 30u);
+}
+
+TEST(PifoQueue, TiesBreakFifo) {
+  PifoQueue q(QueueLimits{100, 100'000});
+  q.push(qp_of(64, 5));
+  q.push(qp_of(65, 5));
+  q.push(qp_of(66, 5));
+  EXPECT_EQ(q.pop()->packet.size(), 64u);
+  EXPECT_EQ(q.pop()->packet.size(), 65u);
+  EXPECT_EQ(q.pop()->packet.size(), 66u);
+}
+
+TEST(PifoQueue, PushAfterPopKeepsOrder) {
+  PifoQueue q(QueueLimits{100, 100'000});
+  q.push(qp_of(10, 50));
+  q.push(qp_of(11, 10));
+  q.pop();  // rank 10
+  q.push(qp_of(12, 5));
+  EXPECT_EQ(q.pop()->rank, 5u);
+  EXPECT_EQ(q.pop()->rank, 50u);
+}
+
+// ---- schedulers ----------------------------------------------------------------------
+
+std::vector<std::unique_ptr<PacketQueue>> make_queues(std::size_t n) {
+  std::vector<std::unique_ptr<PacketQueue>> qs;
+  for (std::size_t i = 0; i < n; ++i) {
+    qs.push_back(std::make_unique<FifoQueue>(QueueLimits{100, 100'000}));
+  }
+  return qs;
+}
+
+TEST(RoundRobinScheduler, CyclesAcrossNonEmpty) {
+  auto qs = make_queues(3);
+  qs[0]->push(qp_of(10));
+  qs[0]->push(qp_of(10));
+  qs[2]->push(qp_of(10));
+  RoundRobinScheduler rr;
+  EXPECT_EQ(rr.select(qs), 0);
+  qs[0]->pop();
+  EXPECT_EQ(rr.select(qs), 2);
+  qs[2]->pop();
+  EXPECT_EQ(rr.select(qs), 0);
+  qs[0]->pop();
+  EXPECT_EQ(rr.select(qs), -1);
+}
+
+TEST(StrictPriorityScheduler, LowestQidFirst) {
+  auto qs = make_queues(3);
+  qs[2]->push(qp_of(10));
+  StrictPriorityScheduler sp;
+  EXPECT_EQ(sp.select(qs), 2);
+  qs[0]->push(qp_of(10));
+  EXPECT_EQ(sp.select(qs), 0);
+}
+
+TEST(DwrrScheduler, BytesFollowWeights) {
+  auto qs = make_queues(2);
+  // Keep both queues backlogged with 100-byte packets (within the queue
+  // packet limit so nothing tail-drops and both stay non-empty throughout).
+  for (int i = 0; i < 100; ++i) {
+    qs[0]->push(qp_of(100));
+    qs[1]->push(qp_of(100));
+  }
+  DwrrScheduler dwrr(2, {3, 1}, /*quantum=*/100);
+  std::size_t served[2] = {0, 0};
+  for (int i = 0; i < 100; ++i) {
+    const int q = dwrr.select(qs);
+    ASSERT_GE(q, 0);
+    const auto qu = static_cast<std::size_t>(q);
+    qs[qu]->pop();
+    dwrr.on_dequeued(q, 100);
+    ++served[qu];
+  }
+  // Expect roughly a 3:1 byte split.
+  const double ratio =
+      static_cast<double>(served[0]) / static_cast<double>(served[1]);
+  EXPECT_NEAR(ratio, 3.0, 0.5);
+}
+
+TEST(DwrrScheduler, EmptyQueuesForfeitCredit) {
+  auto qs = make_queues(2);
+  DwrrScheduler dwrr(2, {1, 1}, 100);
+  EXPECT_EQ(dwrr.select(qs), -1);
+  qs[1]->push(qp_of(100));
+  EXPECT_EQ(dwrr.select(qs), 1);
+}
+
+// ---- buffer pool -----------------------------------------------------------------------
+
+TEST(BufferPool, TotalCapacityEnforced) {
+  BufferPool pool({1000, 100, 1.0}, 2);
+  EXPECT_TRUE(pool.can_admit(0, 900));
+  pool.on_enqueue(0, 900);
+  EXPECT_FALSE(pool.can_admit(1, 200));
+  EXPECT_TRUE(pool.can_admit(1, 100));  // within reservation
+  pool.on_dequeue(0, 900);
+  EXPECT_TRUE(pool.can_admit(1, 200));
+}
+
+TEST(BufferPool, ReservationAlwaysAvailable) {
+  BufferPool pool({1000, 100, 0.0}, 2);  // alpha 0: no shared usage at all
+  EXPECT_TRUE(pool.can_admit(0, 100));
+  pool.on_enqueue(0, 100);
+  EXPECT_FALSE(pool.can_admit(0, 1));  // above reservation, alpha=0
+  EXPECT_TRUE(pool.can_admit(1, 100));
+}
+
+TEST(BufferPool, DynamicThresholdSharesFreeSpace) {
+  BufferPool pool({1000, 100, 1.0}, 2);
+  // Shared capacity = 1000 - 200 = 800; queue 0 may take its 100
+  // reservation + up to alpha * free_shared.
+  pool.on_enqueue(0, 100);
+  EXPECT_TRUE(pool.can_admit(0, 700));
+  pool.on_enqueue(0, 700);
+  EXPECT_EQ(pool.free_shared(), 100u);
+  // Queue 0 is already far above its dynamic threshold: further growth is
+  // denied (classic dynamic-threshold back-pressure on the hog queue).
+  EXPECT_FALSE(pool.can_admit(0, 150));
+  EXPECT_FALSE(pool.can_admit(0, 100));
+  // The other queue keeps its reservation plus its share of the free pool.
+  EXPECT_TRUE(pool.can_admit(1, 100));
+  EXPECT_TRUE(pool.can_admit(1, 200));   // 100 reserved + 100 shared
+  EXPECT_FALSE(pool.can_admit(1, 250));  // exceeds alpha * free_shared
+}
+
+// ---- traffic manager -------------------------------------------------------------------
+
+TmConfig small_tm() {
+  TmConfig c;
+  c.num_ports = 2;
+  c.queues_per_port = 2;
+  c.queue_limits = QueueLimits{8, 8000};
+  c.buffer = BufferPool::Config{64 * 1024, 1024, 1.0};
+  return c;
+}
+
+TEST(TrafficManager, EnqueueDequeueFiresEvents) {
+  TrafficManager tm(small_tm());
+  std::vector<EnqueueRecord> enqs;
+  std::vector<DequeueRecord> deqs;
+  tm.on_enqueue = [&](const EnqueueRecord& r) { enqs.push_back(r); };
+  tm.on_dequeue = [&](const DequeueRecord& r) { deqs.push_back(r); };
+
+  EventMetaWords meta{42, 1000, 0, 0};
+  QueuedPacket qp = qp_of(1000);
+  qp.deq_meta = meta;
+  ASSERT_TRUE(tm.enqueue(1, 0, std::move(qp), meta, sim::Time::micros(5)));
+  ASSERT_EQ(enqs.size(), 1u);
+  EXPECT_EQ(enqs[0].port, 1);
+  EXPECT_EQ(enqs[0].pkt_len, 1000u);
+  EXPECT_EQ(enqs[0].enq_meta[0], 42u);
+  EXPECT_EQ(enqs[0].depth_bytes, 1000u);
+
+  auto out = tm.dequeue(1, sim::Time::micros(9));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(deqs.size(), 1u);
+  EXPECT_EQ(deqs[0].deq_meta[0], 42u);
+  EXPECT_EQ(deqs[0].sojourn, sim::Time::micros(4));
+  EXPECT_EQ(deqs[0].depth_bytes, 0u);
+}
+
+TEST(TrafficManager, OverflowFiresDropEvent) {
+  TmConfig cfg = small_tm();
+  cfg.queue_limits = QueueLimits{1, 10'000};
+  TrafficManager tm(cfg);
+  std::vector<DropRecord> drops;
+  tm.on_drop = [&](const DropRecord& r) { drops.push_back(r); };
+  ASSERT_TRUE(tm.enqueue(0, 0, qp_of(100), {}, sim::Time::zero()));
+  ASSERT_FALSE(tm.enqueue(0, 0, qp_of(100), {}, sim::Time::zero()));
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].reason, DropReason::kQueueLimit);
+  EXPECT_EQ(tm.drops_total(), 1u);
+}
+
+TEST(TrafficManager, UnderflowFiresOnEmptyPort) {
+  TrafficManager tm(small_tm());
+  int underflows = 0;
+  tm.on_underflow = [&](const UnderflowRecord&) { ++underflows; };
+  EXPECT_FALSE(tm.dequeue(0, sim::Time::zero()).has_value());
+  EXPECT_EQ(underflows, 1);
+}
+
+TEST(TrafficManager, AdmissionHookDropsWithReason) {
+  TrafficManager tm(small_tm());
+  std::vector<DropRecord> drops;
+  tm.on_drop = [&](const DropRecord& r) { drops.push_back(r); };
+  tm.admit = [](const EnqueueRecord&, const QueuedPacket&) { return false; };
+  EXPECT_FALSE(tm.enqueue(0, 0, qp_of(100), {}, sim::Time::zero()));
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].reason, DropReason::kAdmission);
+}
+
+TEST(TrafficManager, OccupancyQueries) {
+  TrafficManager tm(small_tm());
+  tm.enqueue(0, 0, qp_of(100), {}, sim::Time::zero());
+  tm.enqueue(0, 1, qp_of(200), {}, sim::Time::zero());
+  tm.enqueue(1, 0, qp_of(300), {}, sim::Time::zero());
+  EXPECT_EQ(tm.queue_bytes(0, 0), 100u);
+  EXPECT_EQ(tm.queue_bytes(0, 1), 200u);
+  EXPECT_EQ(tm.port_bytes(0), 300u);
+  EXPECT_EQ(tm.total_bytes(), 600u);
+  EXPECT_FALSE(tm.port_empty(0));
+  EXPECT_EQ(tm.next_packet_size(0), 100u);
+}
+
+TEST(TrafficManager, PifoModeOrdersByRank) {
+  TmConfig cfg = small_tm();
+  cfg.use_pifo = true;
+  TrafficManager tm(cfg);
+  tm.enqueue(0, 0, qp_of(10, 9), {}, sim::Time::zero());
+  tm.enqueue(0, 0, qp_of(11, 1), {}, sim::Time::zero());
+  tm.enqueue(0, 0, qp_of(12, 5), {}, sim::Time::zero());
+  EXPECT_EQ(tm.dequeue(0, sim::Time::zero())->rank, 1u);
+  EXPECT_EQ(tm.dequeue(0, sim::Time::zero())->rank, 5u);
+  EXPECT_EQ(tm.dequeue(0, sim::Time::zero())->rank, 9u);
+}
+
+TEST(TrafficManager, BufferPoolExhaustionReason) {
+  TmConfig cfg = small_tm();
+  cfg.buffer = BufferPool::Config{2000, 100, 1.0};
+  cfg.queue_limits = QueueLimits{100, 1'000'000};
+  TrafficManager tm(cfg);
+  std::vector<DropRecord> drops;
+  tm.on_drop = [&](const DropRecord& r) { drops.push_back(r); };
+  ASSERT_TRUE(tm.enqueue(0, 0, qp_of(1500), {}, sim::Time::zero()));
+  ASSERT_FALSE(tm.enqueue(0, 0, qp_of(1500), {}, sim::Time::zero()));
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].reason, DropReason::kBufferPool);
+}
+
+}  // namespace
+}  // namespace edp::tm_
