@@ -1,0 +1,250 @@
+// Scaling harness for the sharded parallel runtime (docs/RUNTIME.md).
+//
+// Workload: an 8-switch leaf-spine fabric (4 leaves x 4 spines), 8 hosts,
+// all-to-all Poisson traffic. The same topo::Spec is executed with 1, 2 and
+// 4 workers; for each worker count we report wall time and aggregate
+// events/sec, and we verify the result digest is bit-identical to the
+// 1-worker run (the determinism guarantee the runtime is built around —
+// see tests/test_runtime.cpp for the seed-sweep property test).
+//
+// Results are also written as JSON (default ./BENCH_runtime.json, or
+// argv[1]) to start the perf trajectory across PRs. The harness exits
+// nonzero only on a determinism violation: speedup depends on the machine's
+// core count, so it is reported but not gated.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "runtime/parallel_runtime.hpp"
+#include "topo/routing.hpp"
+#include "topo/spec.hpp"
+#include "topo/traffic_gen.hpp"
+
+namespace {
+
+using namespace edp;
+using net::Ipv4Address;
+
+constexpr std::size_t kLeaves = 4;
+constexpr std::size_t kSpines = 4;
+constexpr std::size_t kHostsPerLeaf = 2;
+constexpr auto kSpan = sim::Time::millis(20);
+constexpr std::uint64_t kSeed = 42;
+
+topo::Spec make_spec() {
+  topo::Spec spec;
+  for (std::size_t l = 0; l < kLeaves; ++l) {
+    core::EventSwitchConfig c;
+    c.name = "leaf" + std::to_string(l);
+    c.num_ports = static_cast<std::uint16_t>(kHostsPerLeaf + kSpines);
+    spec.add_switch(c);
+  }
+  for (std::size_t s = 0; s < kSpines; ++s) {
+    core::EventSwitchConfig c;
+    c.name = "spine" + std::to_string(s);
+    c.num_ports = static_cast<std::uint16_t>(kLeaves);
+    spec.add_switch(c);
+  }
+  topo::Link::Config host_link;
+  host_link.delay = sim::Time::nanos(500);
+  topo::Link::Config fabric_link;
+  fabric_link.delay = sim::Time::micros(2);
+  for (std::size_t l = 0; l < kLeaves; ++l) {
+    for (std::size_t k = 0; k < kHostsPerLeaf; ++k) {
+      topo::Host::Config hc;
+      hc.name = "h" + std::to_string(l * kHostsPerLeaf + k);
+      hc.ip = Ipv4Address(10, 0, static_cast<std::uint8_t>(l),
+                          static_cast<std::uint8_t>(1 + k));
+      hc.mac = net::MacAddress::from_u64(0x020000000000ULL + hc.ip.value());
+      const auto h = spec.add_host(hc);
+      spec.connect_host(h, l, static_cast<std::uint16_t>(k), host_link);
+    }
+  }
+  for (std::size_t l = 0; l < kLeaves; ++l) {
+    for (std::size_t s = 0; s < kSpines; ++s) {
+      spec.connect_switches(l, static_cast<std::uint16_t>(kHostsPerLeaf + s),
+                            kLeaves + s, static_cast<std::uint16_t>(l),
+                            fabric_link);
+    }
+  }
+  return spec;
+}
+
+std::vector<std::unique_ptr<topo::L3Program>> make_programs() {
+  std::vector<std::unique_ptr<topo::L3Program>> progs;
+  for (std::size_t l = 0; l < kLeaves; ++l) {
+    auto p = std::make_unique<topo::L3Program>();
+    for (std::size_t m = 0; m < kLeaves; ++m) {
+      for (std::size_t k = 0; k < kHostsPerLeaf; ++k) {
+        const Ipv4Address ip(10, 0, static_cast<std::uint8_t>(m),
+                             static_cast<std::uint8_t>(1 + k));
+        if (m == l) {
+          p->add_route(ip, 32, static_cast<std::uint16_t>(k));
+        } else {
+          // Deterministic spine choice per destination leaf.
+          p->add_route(ip, 32,
+                       static_cast<std::uint16_t>(kHostsPerLeaf + m % kSpines));
+        }
+      }
+    }
+    progs.push_back(std::move(p));
+  }
+  for (std::size_t s = 0; s < kSpines; ++s) {
+    auto p = std::make_unique<topo::L3Program>();
+    for (std::size_t m = 0; m < kLeaves; ++m) {
+      p->add_route(Ipv4Address(10, 0, static_cast<std::uint8_t>(m), 0), 24,
+                   static_cast<std::uint16_t>(m));
+    }
+    progs.push_back(std::move(p));
+  }
+  return progs;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Result {
+  std::size_t workers = 0;
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  std::uint64_t cross_shard = 0;
+  std::uint64_t digest = 0;
+};
+
+Result run(std::size_t workers) {
+  const topo::Spec spec = make_spec();
+  runtime::ParallelRuntime rt(spec, topo::plan_shards(spec, workers));
+  auto progs = make_programs();
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    rt.sw(i).set_program(progs[i].get());
+  }
+  const std::size_t num_hosts = spec.num_hosts();
+  std::vector<std::unique_ptr<topo::PoissonGenerator>> gens;
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    topo::PoissonGenerator::Config c;
+    c.flow.src = rt.host(h).ip();
+    c.flow.dst = rt.host((h + 3) % num_hosts).ip();  // mostly cross-leaf
+    c.flow.src_port = static_cast<std::uint16_t>(10000 + h);
+    c.flow.dst_port = static_cast<std::uint16_t>(20000 + h);
+    c.flow.packet_size = 1000;
+    c.mean_rate_bps = 500e6;
+    c.stop = sim::Time::millis(16);
+    c.seed = kSeed * 1000 + h;
+    gens.push_back(std::make_unique<topo::PoissonGenerator>(
+        rt.scheduler_of_host(h), rt.host(h), c));
+    gens.back()->start();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run_until(kSpan);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Result r;
+  r.workers = workers;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.events = rt.total_executed();
+  r.cross_shard = rt.cross_shard_messages();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    const auto& c = rt.sw(i).counters();
+    for (std::uint64_t v : {c.rx_packets, c.tx_packets, c.tx_bytes,
+                            c.program_drops, c.bad_port_drops}) {
+      h = fnv_mix(h, v);
+    }
+  }
+  for (std::size_t i = 0; i < num_hosts; ++i) {
+    h = fnv_mix(h, rt.host(i).rx_packets());
+    h = fnv_mix(h, rt.host(i).rx_bytes());
+  }
+  r.digest = h;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_runtime.json";
+  std::printf("bench_runtime_scale: %zu-switch leaf-spine, %zu hosts, "
+              "%lld ms simulated\n\n",
+              kLeaves + kSpines, kLeaves * kHostsPerLeaf,
+              static_cast<long long>(kSpan.ps() / 1'000'000'000));
+
+  std::vector<Result> results;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    results.push_back(run(workers));
+  }
+
+  const Result& base = results.front();
+  bool deterministic = true;
+  edp::bench::TextTable table(
+      {"workers", "wall ms", "events", "events/sec", "speedup", "cross-shard",
+       "digest match"});
+  for (const Result& r : results) {
+    const bool match = r.digest == base.digest;
+    deterministic = deterministic && match;
+    char buf[64];
+    std::vector<std::string> row;
+    row.push_back(std::to_string(r.workers));
+    std::snprintf(buf, sizeof buf, "%.1f", r.wall_ms);
+    row.push_back(buf);
+    row.push_back(std::to_string(r.events));
+    std::snprintf(buf, sizeof buf, "%.3g",
+                  static_cast<double>(r.events) / (r.wall_ms / 1e3));
+    row.push_back(buf);
+    std::snprintf(buf, sizeof buf, "%.2fx", base.wall_ms / r.wall_ms);
+    row.push_back(buf);
+    row.push_back(std::to_string(r.cross_shard));
+    row.push_back(match ? "yes" : "NO");
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"runtime_scale\",\n"
+       << "  \"topology\": \"" << kLeaves << "-leaf/" << kSpines
+       << "-spine\",\n"
+       << "  \"sim_millis\": " << (kSpan.ps() / 1'000'000'000) << ",\n"
+       << "  \"hw_threads\": "
+       << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
+       << "  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    json << "    {\"workers\": " << r.workers << ", \"wall_ms\": " << r.wall_ms
+         << ", \"events\": " << r.events << ", \"events_per_sec\": "
+         << static_cast<std::uint64_t>(static_cast<double>(r.events) /
+                                       (r.wall_ms / 1e3))
+         << ", \"speedup\": " << (base.wall_ms / r.wall_ms)
+         << ", \"cross_shard_messages\": " << r.cross_shard << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.flush();
+  if (!json) {
+    std::printf("\nERROR: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (!deterministic) {
+    std::printf("FAIL: parallel digests diverge from the 1-worker run\n");
+    return 1;
+  }
+  const double speedup4 = base.wall_ms / results.back().wall_ms;
+  if (std::thread::hardware_concurrency() < 4 && speedup4 < 2.0) {
+    std::printf("note: <4 hardware threads available; speedup is "
+                "reported, not gated\n");
+  }
+  std::printf("OK: all worker counts bit-identical\n");
+  return 0;
+}

@@ -5,9 +5,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+JOBS="$(nproc)"
+
+# Reuse an already-configured build tree with whatever generator it has;
+# prefer Ninja for fresh configures.
+if [[ -f build/CMakeCache.txt ]]; then
+  cmake -B build -S .
+else
+  cmake -B build -S . -G Ninja
+fi
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 for b in build/bench/*; do
   if [[ -x "$b" && ! -d "$b" ]]; then

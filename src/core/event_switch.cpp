@@ -259,7 +259,7 @@ std::string EventSwitch::describe() const {
   std::string out = config_.name + " (" +
                     (config_.event_architecture ? "event-driven"
                                                 : "baseline PISA") +
-                    ")\n";
+                    ", shard " + std::to_string(config_.shard_id) + ")\n";
   std::snprintf(buf, sizeof buf,
                 "  packets: rx=%llu tx=%llu (%.3f MB) drops: parse=%llu "
                 "program=%llu bad_port=%llu tm=%llu\n",

@@ -49,6 +49,10 @@ inline constexpr std::uint16_t kPortInvalid = 0xffff;
 struct EventSwitchConfig {
   std::string name = "sw0";
   std::uint32_t switch_id = 0;
+  /// Owning shard in a runtime::ParallelRuntime partition (0 in sequential
+  /// runs). Purely a tracing/diagnostics tag: no switch behavior depends on
+  /// it, which is what keeps sharded and sequential runs bit-identical.
+  std::uint32_t shard_id = 0;
   std::uint16_t num_ports = 4;
   double port_rate_bps = 10e9;
 
@@ -174,6 +178,7 @@ class EventSwitch final : public EventContext {
   // ---- introspection ----------------------------------------------------------
 
   const EventSwitchConfig& config() const { return config_; }
+  std::uint32_t shard_id() const { return config_.shard_id; }
   const SwitchCounters& counters() const { return counters_; }
   const EventMerger& merger() const { return merger_; }
   tm_::TrafficManager& traffic_manager() { return tm_; }

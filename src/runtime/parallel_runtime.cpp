@@ -1,0 +1,289 @@
+#include "runtime/parallel_runtime.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cassert>
+#include <thread>
+
+namespace edp::runtime {
+
+namespace {
+constexpr std::size_t kNpos = topo::ShardPlan::npos;
+}  // namespace
+
+ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
+                                 RuntimeOptions options)
+    : plan_(std::move(plan)), options_(options) {
+  const std::size_t n = plan_.num_shards;
+  assert(n >= 1);
+  assert(plan_.switch_shard.size() == spec.num_switches());
+  assert(plan_.host_shard.size() == spec.num_hosts());
+
+  shards_.resize(n);
+  channels_.resize(n * n);
+  for (auto& sh : shards_) {
+    sh.sched = std::make_unique<sim::Scheduler>();
+    sh.net = std::make_unique<topo::Network>(*sh.sched);
+    sh.switch_local.assign(spec.num_switches(), kNpos);
+    sh.host_local.assign(spec.num_hosts(), kNpos);
+    sh.link_local.assign(spec.num_links(), kNpos);
+  }
+
+  // Nodes first (links reference them), in spec order so the sequential and
+  // sharded builds enumerate identically.
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    const std::size_t s = plan_.switch_shard[i];
+    core::EventSwitchConfig cfg = spec.switch_config(i);
+    cfg.shard_id = static_cast<std::uint32_t>(s);
+    shards_[s].switch_local[i] = shards_[s].net->add_switch(std::move(cfg));
+  }
+  for (std::size_t i = 0; i < spec.num_hosts(); ++i) {
+    const std::size_t s = plan_.host_shard[i];
+    shards_[s].host_local[i] = shards_[s].net->add_host(spec.host_config(i));
+  }
+
+  // Channels exist for every directed shard pair joined by at least one cut
+  // link (both directions: links are full duplex).
+  for (std::size_t l : plan_.cut_links) {
+    const auto& ls = spec.link_spec(l);
+    const std::size_t sa =
+        ls.host_side ? plan_.host_shard[ls.a] : plan_.switch_shard[ls.a];
+    const std::size_t sb = plan_.switch_shard[ls.b];
+    for (auto [src, dst] : {std::pair{sa, sb}, std::pair{sb, sa}}) {
+      auto& ch = channels_[src * n + dst];
+      if (!ch) {
+        ch = std::make_unique<Channel>(options_.ring_capacity);
+      }
+    }
+  }
+
+  for (std::size_t l = 0; l < spec.num_links(); ++l) {
+    const auto& ls = spec.link_spec(l);
+    const std::size_t sa =
+        ls.host_side ? plan_.host_shard[ls.a] : plan_.switch_shard[ls.a];
+    const std::size_t sb = plan_.switch_shard[ls.b];
+
+    if (sa == sb) {
+      Shard& sh = shards_[sa];
+      const std::size_t local =
+          ls.host_side
+              ? sh.net->connect_host(sh.host_local[ls.a],
+                                     sh.switch_local[ls.b], ls.pb, ls.config)
+              : sh.net->connect_switches(sh.switch_local[ls.a], ls.pa,
+                                         sh.switch_local[ls.b], ls.pb,
+                                         ls.config);
+      sh.link_local[l] = local;
+      continue;
+    }
+
+    // Cut link: each side transmits into the directed channel toward the
+    // peer's shard; deliveries are injected at the window barrier. The
+    // producer stamps the absolute arrival time (its now() + link delay).
+    const sim::Time delay = ls.config.delay;
+    Channel* a_to_b = channels_[sa * n + sb].get();
+    Channel* b_to_a = channels_[sb * n + sa].get();
+    assert(a_to_b && b_to_a);
+
+    // B side is always a switch.
+    core::EventSwitch& swb =
+        shards_[sb].net->sw(shards_[sb].switch_local[ls.b]);
+    sim::Scheduler* sched_a = shards_[sa].sched.get();
+    sim::Scheduler* sched_b = shards_[sb].sched.get();
+    const auto b_local = static_cast<std::uint32_t>(shards_[sb].switch_local[ls.b]);
+    const std::uint16_t pb = ls.pb;
+
+    if (ls.host_side) {
+      topo::Host& ha = shards_[sa].net->host(shards_[sa].host_local[ls.a]);
+      const auto a_local =
+          static_cast<std::uint32_t>(shards_[sa].host_local[ls.a]);
+      ha.connect_tx([this, a_to_b, sched_a, delay, b_local, pb](net::Packet p) {
+        push(*a_to_b, Msg{sched_a->now() + delay, /*to_host=*/false, b_local,
+                          pb, std::move(p)});
+      });
+      swb.connect_tx(pb, [this, b_to_a, sched_b, delay, a_local](net::Packet p) {
+        push(*b_to_a, Msg{sched_b->now() + delay, /*to_host=*/true, a_local, 0,
+                          std::move(p)});
+      });
+    } else {
+      core::EventSwitch& swa =
+          shards_[sa].net->sw(shards_[sa].switch_local[ls.a]);
+      const auto a_local =
+          static_cast<std::uint32_t>(shards_[sa].switch_local[ls.a]);
+      const std::uint16_t pa = ls.pa;
+      swa.connect_tx(pa, [this, a_to_b, sched_a, delay, b_local, pb](net::Packet p) {
+        push(*a_to_b, Msg{sched_a->now() + delay, /*to_host=*/false, b_local,
+                          pb, std::move(p)});
+      });
+      swb.connect_tx(pb, [this, b_to_a, sched_b, delay, a_local, pa](net::Packet p) {
+        push(*b_to_a, Msg{sched_b->now() + delay, /*to_host=*/false, a_local,
+                          pa, std::move(p)});
+      });
+    }
+  }
+}
+
+ParallelRuntime::~ParallelRuntime() = default;
+
+core::EventSwitch& ParallelRuntime::sw(std::size_t spec_index) {
+  Shard& sh = shards_[plan_.switch_shard[spec_index]];
+  assert(sh.switch_local[spec_index] != kNpos);
+  return sh.net->sw(sh.switch_local[spec_index]);
+}
+
+topo::Host& ParallelRuntime::host(std::size_t spec_index) {
+  Shard& sh = shards_[plan_.host_shard[spec_index]];
+  assert(sh.host_local[spec_index] != kNpos);
+  return sh.net->host(sh.host_local[spec_index]);
+}
+
+topo::Link& ParallelRuntime::link(std::size_t spec_index) {
+  for (auto& sh : shards_) {
+    if (sh.link_local[spec_index] != kNpos) {
+      return sh.net->link(sh.link_local[spec_index]);
+    }
+  }
+  assert(false && "cut links have no Link object");
+  return shards_[0].net->link(0);  // unreachable
+}
+
+sim::Scheduler& ParallelRuntime::scheduler_of_switch(std::size_t spec_index) {
+  return *shards_[plan_.switch_shard[spec_index]].sched;
+}
+
+sim::Scheduler& ParallelRuntime::scheduler_of_host(std::size_t spec_index) {
+  return *shards_[plan_.host_shard[spec_index]].sched;
+}
+
+sim::Scheduler& ParallelRuntime::shard_scheduler(std::size_t shard) {
+  return *shards_[shard].sched;
+}
+
+sim::Time ParallelRuntime::now() const { return shards_[0].sched->now(); }
+
+std::uint64_t ParallelRuntime::total_executed() const {
+  std::uint64_t sum = 0;
+  for (const auto& sh : shards_) {
+    sum += sh.sched->executed();
+  }
+  return sum;
+}
+
+std::uint64_t ParallelRuntime::cross_shard_messages() const {
+  std::uint64_t sum = 0;
+  for (const auto& ch : channels_) {
+    if (ch) {
+      sum += ch->pushed;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t ParallelRuntime::overflow_messages() const {
+  std::uint64_t sum = 0;
+  for (const auto& ch : channels_) {
+    if (ch) {
+      sum += ch->overflowed;
+    }
+  }
+  return sum;
+}
+
+void ParallelRuntime::push(Channel& ch, Msg&& m) {
+  ++ch.pushed;
+  // Once the ring has filled inside a window it cannot drain until the
+  // barrier (the consumer is busy running its own window), so after the
+  // first failed push every subsequent message must ALSO take the overflow
+  // path or FIFO order would break when the drain replays ring-then-overflow.
+  if (!ch.overflow.empty() || !ch.ring.try_push(std::move(m))) {
+    std::lock_guard<std::mutex> lock(ch.overflow_mu);
+    ch.overflow.push_back(std::move(m));
+    ++ch.overflowed;
+  }
+}
+
+void ParallelRuntime::drain_inbound(std::size_t shard) {
+  // Fixed source-shard order + per-ring FIFO makes the injection sequence —
+  // and therefore the destination scheduler's tie-breaking ids — a pure
+  // function of the plan, independent of thread timing.
+  Shard& sh = shards_[shard];
+  const std::size_t n = plan_.num_shards;
+  for (std::size_t src = 0; src < n; ++src) {
+    Channel* ch = channels_[src * n + shard].get();
+    if (!ch) {
+      continue;
+    }
+    auto inject = [&sh](Msg&& m) {
+      assert(m.deliver >= sh.sched->now());
+      if (m.to_host) {
+        topo::Host* h = &sh.net->host(m.local_index);
+        sh.sched->inject(m.deliver, [h, pkt = std::move(m.pkt)]() mutable {
+          h->receive(std::move(pkt));
+        });
+      } else {
+        core::EventSwitch* s = &sh.net->sw(m.local_index);
+        const std::uint16_t port = m.port;
+        sh.sched->inject(m.deliver,
+                         [s, port, pkt = std::move(m.pkt)]() mutable {
+                           s->receive(port, std::move(pkt));
+                         });
+      }
+    };
+    Msg m;
+    while (ch->ring.try_pop(m)) {
+      inject(std::move(m));
+    }
+    if (!ch->overflow.empty()) {
+      std::lock_guard<std::mutex> lock(ch->overflow_mu);
+      for (auto& om : ch->overflow) {
+        inject(std::move(om));
+      }
+      ch->overflow.clear();
+    }
+  }
+}
+
+void ParallelRuntime::worker_loop(std::size_t shard, sim::Time start,
+                                  sim::Time deadline, sim::Time window,
+                                  std::barrier<>& bar) {
+  sim::Scheduler& sched = *shards_[shard].sched;
+  sim::Time t = start;
+  while (t < deadline) {
+    const sim::Time wend = std::min(t + window, deadline);
+    sched.run_until(wend);
+    bar.arrive_and_wait();  // every shard finished (t, wend]; rings quiescent
+    drain_inbound(shard);
+    bar.arrive_and_wait();  // every drain done; safe to produce again
+    if (shard == 0) {
+      ++windows_;
+    }
+    t = wend;
+  }
+}
+
+void ParallelRuntime::run_until(sim::Time deadline) {
+  const sim::Time start = shards_[0].sched->now();
+  if (deadline <= start) {
+    return;
+  }
+  if (plan_.num_shards == 1 && options_.inline_single_shard) {
+    shards_[0].sched->run_until(deadline);
+    ++windows_;
+    return;
+  }
+  const sim::Time window =
+      plan_.lookahead ? *plan_.lookahead : (deadline - start);
+  std::barrier<> bar(static_cast<std::ptrdiff_t>(plan_.num_shards));
+  std::vector<std::thread> workers;
+  workers.reserve(plan_.num_shards);
+  for (std::size_t s = 0; s < plan_.num_shards; ++s) {
+    workers.emplace_back(
+        [this, s, start, deadline, window, &bar] {
+          worker_loop(s, start, deadline, window, bar);
+        });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+}
+
+}  // namespace edp::runtime

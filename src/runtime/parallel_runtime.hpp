@@ -1,0 +1,161 @@
+// edp::runtime — sharded parallel simulation runtime.
+//
+// Partitions a topo::Spec into shards (one sim::Scheduler + one
+// topo::Network of owned switches/hosts per shard), runs each shard on its
+// own worker thread, and exchanges cross-shard packet deliveries through
+// bounded lock-free SPSC rings (spsc_ring.hpp).
+//
+// Synchronization is conservative time-windowed execution. Let L be the
+// *lookahead*: the minimum propagation delay over cut links (links whose
+// endpoints live in different shards, see topo::plan_shards). A packet sent
+// across a cut at local time t cannot arrive before t + L, so every shard
+// may execute its local events for the window (T, T+L] without observing
+// any input produced inside that window by another shard. The window loop:
+//
+//   1. each worker runs its scheduler up to the window end (events with
+//      time <= T+L fire; cross-shard sends are pushed into rings tagged
+//      with their absolute delivery time);
+//   2. barrier — all workers are parked, all rings quiescent;
+//   3. each worker drains its inbound rings in fixed source-shard order and
+//      injects the deliveries into its scheduler at their delivery times
+//      (all >= T+L, i.e. strictly inside a later window);
+//   4. barrier — no worker starts the next window until every drain is done
+//      (otherwise a fast producer's next-window pushes could race a slow
+//      consumer's drain and make the injection order timing-dependent).
+//
+// Determinism: shard construction, window boundaries, ring drain order, and
+// per-ring FIFO order are all functions of (spec, plan, seed) only — never
+// of thread timing — so a parallel run is bit-reproducible, and it matches
+// the sequential scheduler exactly as long as the workload does not contain
+// cross-switch same-picosecond ties (see docs/RUNTIME.md for the precise
+// statement). The determinism property test in tests/test_runtime.cpp
+// checks parallel-vs-sequential equality across seeds and shard counts.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/network.hpp"
+#include "topo/spec.hpp"
+
+namespace edp::runtime {
+
+struct RuntimeOptions {
+  /// Per-channel SPSC ring capacity (rounded up to a power of two). When a
+  /// ring fills mid-window the producer falls back to a mutex-protected
+  /// overflow vector — correctness and FIFO order are preserved, only the
+  /// lock-free fast path is lost (counted in overflow_messages()).
+  std::size_t ring_capacity = 4096;
+  /// Run single-shard plans inline on the caller's thread (no worker).
+  bool inline_single_shard = true;
+};
+
+class ParallelRuntime {
+ public:
+  /// Builds one Network per shard from `spec`/`plan`. Switch configs get
+  /// their `shard_id` tag filled in. Cut links become ring endpoints; the
+  /// runtime does not support failing a cut link (intra-shard links keep
+  /// full failure injection through link()).
+  ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
+                  RuntimeOptions options = {});
+  ~ParallelRuntime();
+
+  ParallelRuntime(const ParallelRuntime&) = delete;
+  ParallelRuntime& operator=(const ParallelRuntime&) = delete;
+
+  // ---- topology access (spec/global indices) --------------------------------
+  // Valid before and after run_until(), not during (workers own the shards
+  // while running).
+
+  core::EventSwitch& sw(std::size_t spec_index);
+  topo::Host& host(std::size_t spec_index);
+  /// The shard-local Link for an intra-shard spec link. Cut links have no
+  /// Link object; asserts on a cut index.
+  topo::Link& link(std::size_t spec_index);
+
+  std::size_t shard_of_switch(std::size_t spec_index) const {
+    return plan_.switch_shard[spec_index];
+  }
+  std::size_t shard_of_host(std::size_t spec_index) const {
+    return plan_.host_shard[spec_index];
+  }
+
+  /// The scheduler that owns a node — traffic generators and timers driving
+  /// that node must be created on it.
+  sim::Scheduler& scheduler_of_switch(std::size_t spec_index);
+  sim::Scheduler& scheduler_of_host(std::size_t spec_index);
+  sim::Scheduler& shard_scheduler(std::size_t shard);
+
+  // ---- execution ------------------------------------------------------------
+
+  /// Advance every shard to `deadline` using windowed parallel execution.
+  /// Callable repeatedly; shards always share a common time at return.
+  void run_until(sim::Time deadline);
+
+  // ---- introspection --------------------------------------------------------
+
+  std::size_t num_shards() const { return plan_.num_shards; }
+  const topo::ShardPlan& plan() const { return plan_; }
+  /// Conservative window length (nullopt = no cut links, one window).
+  std::optional<sim::Time> lookahead() const { return plan_.lookahead; }
+  sim::Time now() const;
+
+  /// Total callbacks executed across all shard schedulers.
+  std::uint64_t total_executed() const;
+  /// Cross-shard packets exchanged / of those, ones that hit a full ring.
+  std::uint64_t cross_shard_messages() const;
+  std::uint64_t overflow_messages() const;
+  /// Barrier windows executed by the last run_until() calls (cumulative).
+  std::uint64_t windows() const { return windows_; }
+
+ private:
+  /// One enqueued cross-shard delivery. `deliver` is absolute simulated
+  /// time; the destination is pre-resolved to a shard-local node.
+  struct Msg {
+    sim::Time deliver;
+    bool to_host = false;
+    std::uint32_t local_index = 0;  ///< shard-local switch/host index
+    std::uint16_t port = 0;         ///< switch receive port (unused for hosts)
+    net::Packet pkt;
+  };
+
+  /// Directed shard-pair transport: SPSC ring + FIFO overflow fallback.
+  struct Channel {
+    explicit Channel(std::size_t cap) : ring(cap) {}
+    SpscRing<Msg> ring;
+    std::mutex overflow_mu;
+    std::vector<Msg> overflow;  ///< used only after the ring fills
+    std::uint64_t pushed = 0;       ///< producer-side count
+    std::uint64_t overflowed = 0;   ///< producer-side count
+  };
+
+  struct Shard {
+    std::unique_ptr<sim::Scheduler> sched;
+    std::unique_ptr<topo::Network> net;
+    // spec index -> shard-local index (ShardPlan::npos when not local)
+    std::vector<std::size_t> switch_local;
+    std::vector<std::size_t> host_local;
+    std::vector<std::size_t> link_local;
+  };
+
+  void push(Channel& ch, Msg&& m);
+  void drain_inbound(std::size_t shard);
+  void worker_loop(std::size_t shard, sim::Time start, sim::Time deadline,
+                   sim::Time window, std::barrier<>& bar);
+
+  topo::ShardPlan plan_;
+  RuntimeOptions options_;
+  std::vector<Shard> shards_;
+  /// channels_[src * num_shards + dst]; null on the diagonal and for pairs
+  /// with no cut link between them.
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace edp::runtime

@@ -45,13 +45,28 @@ void Scheduler::step() {
   e.fn();
 }
 
-void Scheduler::run_until(Time deadline) {
+std::size_t Scheduler::run_until(Time deadline) {
+  const std::uint64_t before = executed_;
   while (!queue_.empty() && queue_.top().when <= deadline) {
     step();
   }
   if (now_ < deadline) {
     now_ = deadline;
   }
+  return static_cast<std::size_t>(executed_ - before);
+}
+
+std::optional<Time> Scheduler::next_event_time() {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    return top.when;
+  }
+  return std::nullopt;
 }
 
 std::size_t Scheduler::run(std::size_t max_events) {

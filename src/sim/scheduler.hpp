@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -39,12 +40,27 @@ class Scheduler {
   /// Schedule `fn` after a relative delay (>= 0).
   EventId after(Time delay, std::function<void()> fn);
 
+  /// External event injection (runtime/ cross-shard deliveries): identical
+  /// to at(), but documents the contract — the caller must be externally
+  /// synchronized with this scheduler (the shard barrier guarantees the
+  /// owning worker is parked), and `when` may equal now() exactly, in which
+  /// case the callback fires in the *next* execution window.
+  EventId inject(Time when, std::function<void()> fn) {
+    return at(when, std::move(fn));
+  }
+
   /// Cancel a pending callback. Cancelling an already-fired or unknown id is
   /// a harmless no-op (returns false).
   bool cancel(EventId id);
 
   /// Run every event with time <= `deadline`; leaves now() == deadline.
-  void run_until(Time deadline);
+  /// Returns the number of callbacks executed (bounded-horizon execution:
+  /// the parallel runtime calls this once per conservative time window).
+  std::size_t run_until(Time deadline);
+
+  /// Earliest pending (uncancelled) event time, or nullopt when drained.
+  /// Lazily discards cancelled entries encountered at the queue head.
+  std::optional<Time> next_event_time();
 
   /// Run until the queue drains (or `max_events` fire, as a runaway guard).
   /// Returns the number of events executed.

@@ -1,0 +1,101 @@
+#include "topo/spec.hpp"
+
+#include <cassert>
+
+namespace edp::topo {
+
+std::size_t Spec::connect_host(std::size_t h, std::size_t s,
+                               std::uint16_t port, Link::Config link) {
+  assert(h < hosts_.size() && s < switches_.size());
+  links_.push_back(LinkSpec{/*host_side=*/true, h, 0, s, port, link});
+  return links_.size() - 1;
+}
+
+std::size_t Spec::connect_switches(std::size_t s1, std::uint16_t p1,
+                                   std::size_t s2, std::uint16_t p2,
+                                   Link::Config link) {
+  assert(s1 < switches_.size() && s2 < switches_.size());
+  links_.push_back(LinkSpec{/*host_side=*/false, s1, p1, s2, p2, link});
+  return links_.size() - 1;
+}
+
+void Spec::instantiate(Network& net) const {
+  for (const auto& sc : switches_) {
+    net.add_switch(sc);
+  }
+  for (const auto& hc : hosts_) {
+    net.add_host(hc);
+  }
+  for (const auto& l : links_) {
+    if (l.host_side) {
+      net.connect_host(l.a, l.b, l.pb, l.config);
+    } else {
+      net.connect_switches(l.a, l.pa, l.b, l.pb, l.config);
+    }
+  }
+}
+
+ShardPlan plan_shards(const Spec& spec, std::size_t num_shards,
+                      std::vector<std::size_t> switch_shard,
+                      std::vector<std::size_t> host_shard) {
+  assert(num_shards >= 1);
+  assert(switch_shard.size() == spec.num_switches());
+
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.switch_shard = std::move(switch_shard);
+  plan.host_shard = std::move(host_shard);
+  plan.host_shard.resize(spec.num_hosts(), ShardPlan::npos);
+
+  for (std::size_t s : plan.switch_shard) {
+    assert(s < num_shards);
+    (void)s;
+  }
+
+  // Hosts without an explicit shard follow the first switch they attach to.
+  for (std::size_t l = 0; l < spec.num_links(); ++l) {
+    const auto& ls = spec.link_spec(l);
+    if (ls.host_side && plan.host_shard[ls.a] == ShardPlan::npos) {
+      plan.host_shard[ls.a] = plan.switch_shard[ls.b];
+    }
+  }
+  // Unattached hosts: deterministic round-robin.
+  for (std::size_t h = 0; h < plan.host_shard.size(); ++h) {
+    if (plan.host_shard[h] == ShardPlan::npos) {
+      plan.host_shard[h] = h % num_shards;
+    }
+    assert(plan.host_shard[h] < num_shards);
+  }
+
+  for (std::size_t l = 0; l < spec.num_links(); ++l) {
+    const auto& ls = spec.link_spec(l);
+    const std::size_t sa =
+        ls.host_side ? plan.host_shard[ls.a] : plan.switch_shard[ls.a];
+    const std::size_t sb = plan.switch_shard[ls.b];
+    if (sa == sb) {
+      continue;
+    }
+    // The conservative window rule requires every cross-shard hop to carry
+    // at least one lookahead of delay; a zero-delay cut link would force a
+    // zero-length window (no parallelism, livelock).
+    assert(ls.config.delay > sim::Time::zero() &&
+           "cut links must have positive delay");
+    plan.cut_links.push_back(l);
+    if (!plan.lookahead || ls.config.delay < *plan.lookahead) {
+      plan.lookahead = ls.config.delay;
+    }
+  }
+  return plan;
+}
+
+ShardPlan plan_shards(const Spec& spec, std::size_t num_shards) {
+  std::vector<std::size_t> switch_shard(spec.num_switches(), 0);
+  if (spec.num_switches() > 0) {
+    for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+      switch_shard[i] = i * num_shards / spec.num_switches();
+    }
+  }
+  return plan_shards(spec, num_shards, std::move(switch_shard));
+}
+
+}  // namespace edp::topo

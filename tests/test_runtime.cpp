@@ -1,0 +1,397 @@
+// runtime/ tests: the SPSC cross-shard ring, shard planning over a Spec,
+// and the headline property of the parallel runtime — bit-identical results
+// versus the sequential scheduler for every (seed, shard count) pair.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel_runtime.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "topo/network.hpp"
+#include "topo/routing.hpp"
+#include "topo/spec.hpp"
+#include "topo/traffic_gen.hpp"
+
+namespace edp {
+namespace {
+
+using net::Ipv4Address;
+using net::MacAddress;
+
+// ---- SpscRing --------------------------------------------------------------------
+
+TEST(SpscRing, PushPopFifoOrder) {
+  runtime::SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.try_push(int(i)));
+  }
+  EXPECT_FALSE(ring.try_push(99));  // full at capacity
+  int v = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));  // empty
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  runtime::SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  runtime::SpscRing<int> one(1);
+  EXPECT_EQ(one.capacity(), 1u);
+}
+
+TEST(SpscRing, WrapAroundManyTimes) {
+  runtime::SpscRing<int> ring(4);
+  int v = -1;
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(ring.try_push(int(round)));
+    EXPECT_TRUE(ring.try_push(int(round + 1000000)));
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, round);
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, round + 1000000);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  runtime::SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRing, TwoThreadStress) {
+  runtime::SpscRing<int> ring(64);
+  constexpr int kCount = 20000;
+  // Yield on full/empty so the test also passes quickly on one core.
+  std::thread producer([&ring] {
+    for (int i = 0; i < kCount;) {
+      if (ring.try_push(int(i))) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int expected = 0;
+  int v = -1;
+  while (expected < kCount) {
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+// ---- topology under test --------------------------------------------------------
+
+topo::Host::Config host_cfg(const std::string& name, Ipv4Address ip) {
+  topo::Host::Config c;
+  c.name = name;
+  c.mac = MacAddress::from_u64(0x020000000000ULL + ip.value());
+  c.ip = ip;
+  return c;
+}
+
+core::EventSwitchConfig sw_cfg(const std::string& name, std::uint16_t ports) {
+  core::EventSwitchConfig c;
+  c.name = name;
+  c.num_ports = ports;
+  c.port_rate_bps = 10e9;
+  return c;
+}
+
+constexpr std::size_t kLeaves = 4;
+constexpr std::size_t kSpines = 2;
+
+// Leaf-spine fabric: leaf l = switch l (port 0 host, port 1+s spine s),
+// spine s = switch kLeaves+s (port l -> leaf l), host l on leaf l with
+// ip 10.0.l.1. Host links 1us, fabric links 2us (the lookahead).
+topo::Spec make_spec() {
+  topo::Spec spec;
+  for (std::size_t l = 0; l < kLeaves; ++l) {
+    spec.add_switch(sw_cfg("leaf" + std::to_string(l),
+                           static_cast<std::uint16_t>(1 + kSpines)));
+  }
+  for (std::size_t s = 0; s < kSpines; ++s) {
+    spec.add_switch(sw_cfg("spine" + std::to_string(s),
+                           static_cast<std::uint16_t>(kLeaves)));
+  }
+  topo::Link::Config host_link;
+  host_link.delay = sim::Time::micros(1);
+  topo::Link::Config fabric_link;
+  fabric_link.delay = sim::Time::micros(2);
+  for (std::size_t l = 0; l < kLeaves; ++l) {
+    const auto h = spec.add_host(host_cfg(
+        "h" + std::to_string(l),
+        Ipv4Address(10, 0, static_cast<std::uint8_t>(l), 1)));
+    spec.connect_host(h, l, 0, host_link);
+  }
+  for (std::size_t l = 0; l < kLeaves; ++l) {
+    for (std::size_t s = 0; s < kSpines; ++s) {
+      spec.connect_switches(l, static_cast<std::uint16_t>(1 + s), kLeaves + s,
+                            static_cast<std::uint16_t>(l), fabric_link);
+    }
+  }
+  return spec;
+}
+
+// One L3Program per switch; uplink spine chosen by destination leaf parity
+// so paths are deterministic without ECMP.
+std::vector<std::unique_ptr<topo::L3Program>> make_programs() {
+  std::vector<std::unique_ptr<topo::L3Program>> progs;
+  for (std::size_t l = 0; l < kLeaves; ++l) {
+    auto p = std::make_unique<topo::L3Program>();
+    for (std::size_t m = 0; m < kLeaves; ++m) {
+      const Ipv4Address prefix(10, 0, static_cast<std::uint8_t>(m), 0);
+      if (m == l) {
+        p->add_route(prefix, 24, 0);
+      } else {
+        p->add_route(prefix, 24, static_cast<std::uint16_t>(1 + (m % kSpines)));
+      }
+    }
+    progs.push_back(std::move(p));
+  }
+  for (std::size_t s = 0; s < kSpines; ++s) {
+    auto p = std::make_unique<topo::L3Program>();
+    for (std::size_t m = 0; m < kLeaves; ++m) {
+      p->add_route(Ipv4Address(10, 0, static_cast<std::uint8_t>(m), 0), 24,
+                   static_cast<std::uint16_t>(m));
+    }
+    progs.push_back(std::move(p));
+  }
+  return progs;
+}
+
+topo::PoissonGenerator::Config gen_cfg(std::uint64_t seed, std::size_t host,
+                                       Ipv4Address src, Ipv4Address dst,
+                                       double rate_bps) {
+  topo::PoissonGenerator::Config c;
+  c.flow.src = src;
+  c.flow.dst = dst;
+  c.flow.src_port = static_cast<std::uint16_t>(10000 + host);
+  c.flow.dst_port = static_cast<std::uint16_t>(20000 + host);
+  c.flow.packet_size = 1000;
+  c.mean_rate_bps = rate_bps;
+  c.start = sim::Time::zero();
+  c.stop = sim::Time::millis(4);
+  c.seed = seed * 1000 + host;
+  return c;
+}
+
+constexpr auto kRunSpan = sim::Time::millis(6);
+
+// FNV-1a over every observable the workload can perturb: switch counters,
+// per-kind event observations, host rx/tx statistics.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix_switch(const core::EventSwitch& sw) {
+    const auto& c = sw.counters();
+    for (std::uint64_t v :
+         {c.rx_packets, c.tx_packets, c.tx_bytes, c.parse_drops,
+          c.program_drops, c.bad_port_drops, c.recirculated,
+          c.recirc_loop_drops, c.generated, c.punts, c.refused_ops}) {
+      mix(v);
+    }
+    for (std::uint64_t v : c.observed) {
+      mix(v);
+    }
+  }
+  void mix_host(const topo::Host& host, std::size_t sender) {
+    mix(host.tx_packets());
+    mix(host.rx_packets());
+    mix(host.rx_bytes());
+    // Host (sender+1) receives sender's flow on dst_port 20000+sender.
+    mix(host.rx_on_port(static_cast<std::uint16_t>(20000 + sender)));
+  }
+};
+
+struct RunStats {
+  std::uint64_t digest = 0;
+  std::uint64_t cross_shard = 0;
+  std::uint64_t overflows = 0;
+};
+
+std::uint64_t run_sequential(std::uint64_t seed, double rate_bps = 200e6) {
+  sim::Scheduler sched;
+  topo::Network net(sched);
+  const topo::Spec spec = make_spec();
+  spec.instantiate(net);
+  auto progs = make_programs();
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    net.sw(i).set_program(progs[i].get());
+  }
+  std::vector<std::unique_ptr<topo::PoissonGenerator>> gens;
+  for (std::size_t h = 0; h < spec.num_hosts(); ++h) {
+    const auto dst = net.host((h + 1) % spec.num_hosts()).ip();
+    gens.push_back(std::make_unique<topo::PoissonGenerator>(
+        sched, net.host(h), gen_cfg(seed, h, net.host(h).ip(), dst, rate_bps)));
+    gens.back()->start();
+  }
+  net.run_until(kRunSpan);
+  Digest d;
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    d.mix_switch(net.sw(i));
+  }
+  for (std::size_t h = 0; h < spec.num_hosts(); ++h) {
+    d.mix_host(net.host((h + 1) % spec.num_hosts()), h);
+  }
+  return d.h;
+}
+
+RunStats run_parallel(std::uint64_t seed, std::size_t shards,
+                      runtime::RuntimeOptions options = {},
+                      bool split_run = false, double rate_bps = 200e6) {
+  const topo::Spec spec = make_spec();
+  runtime::ParallelRuntime rt(spec, topo::plan_shards(spec, shards), options);
+  auto progs = make_programs();
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    rt.sw(i).set_program(progs[i].get());
+  }
+  std::vector<std::unique_ptr<topo::PoissonGenerator>> gens;
+  for (std::size_t h = 0; h < spec.num_hosts(); ++h) {
+    const auto dst = rt.host((h + 1) % spec.num_hosts()).ip();
+    gens.push_back(std::make_unique<topo::PoissonGenerator>(
+        rt.scheduler_of_host(h), rt.host(h),
+        gen_cfg(seed, h, rt.host(h).ip(), dst, rate_bps)));
+    gens.back()->start();
+  }
+  if (split_run) {
+    rt.run_until(kRunSpan / 3);
+    rt.run_until(kRunSpan);
+  } else {
+    rt.run_until(kRunSpan);
+  }
+  Digest d;
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    d.mix_switch(rt.sw(i));
+  }
+  for (std::size_t h = 0; h < spec.num_hosts(); ++h) {
+    d.mix_host(rt.host((h + 1) % spec.num_hosts()), h);
+  }
+  return RunStats{d.h, rt.cross_shard_messages(), rt.overflow_messages()};
+}
+
+// ---- shard planning --------------------------------------------------------------
+
+TEST(ShardPlan, BlockPartitionAndCutDetection) {
+  const topo::Spec spec = make_spec();
+  const auto plan = topo::plan_shards(spec, 2);
+  ASSERT_EQ(plan.switch_shard.size(), kLeaves + kSpines);
+  // Block partition: first half of the switch list -> shard 0.
+  EXPECT_EQ(plan.switch_shard.front(), 0u);
+  EXPECT_EQ(plan.switch_shard.back(), 1u);
+  // Hosts follow their leaf.
+  for (std::size_t h = 0; h < spec.num_hosts(); ++h) {
+    EXPECT_EQ(plan.host_shard[h], plan.switch_shard[h]);
+  }
+  // Every leaf<->spine link whose ends differ is a cut; lookahead is the
+  // fabric delay.
+  EXPECT_FALSE(plan.cut_links.empty());
+  ASSERT_TRUE(plan.lookahead.has_value());
+  EXPECT_EQ(*plan.lookahead, sim::Time::micros(2));
+  for (std::size_t c : plan.cut_links) {
+    const auto& ls = spec.link_spec(c);
+    EXPECT_FALSE(ls.host_side);  // host links are never cut under auto-plan
+  }
+}
+
+TEST(ShardPlan, ExplicitAssignmentAndNoCuts) {
+  const topo::Spec spec = make_spec();
+  // Everything in shard 0 of 2: no cut links, no lookahead bound.
+  std::vector<std::size_t> all_zero(spec.num_switches(), 0);
+  const auto plan = topo::plan_shards(spec, 2, all_zero);
+  EXPECT_TRUE(plan.cut_links.empty());
+  EXPECT_FALSE(plan.lookahead.has_value());
+}
+
+TEST(ShardPlan, SingleShardHasNoCuts) {
+  const topo::Spec spec = make_spec();
+  const auto plan = topo::plan_shards(spec, 1);
+  EXPECT_TRUE(plan.cut_links.empty());
+  EXPECT_FALSE(plan.lookahead.has_value());
+}
+
+// ---- parallel runtime ------------------------------------------------------------
+
+TEST(ParallelRuntime, CrossShardTrafficIsDelivered) {
+  const topo::Spec spec = make_spec();
+  runtime::ParallelRuntime rt(spec, topo::plan_shards(spec, 2));
+  auto progs = make_programs();
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    rt.sw(i).set_program(progs[i].get());
+  }
+  // Host 0 (shard 0) -> host 3 (shard 1): every packet crosses the cut.
+  topo::CbrGenerator::Config gc;
+  gc.flow.src = rt.host(0).ip();
+  gc.flow.dst = rt.host(3).ip();
+  gc.flow.packet_size = 500;
+  gc.rate_bps = 100e6;
+  gc.stop = sim::Time::millis(2);
+  topo::CbrGenerator gen(rt.scheduler_of_host(0), rt.host(0), gc);
+  gen.start();
+
+  rt.run_until(sim::Time::millis(4));
+  EXPECT_GT(gen.sent(), 40u);
+  EXPECT_EQ(rt.host(3).rx_packets(), gen.sent());
+  EXPECT_GE(rt.cross_shard_messages(), gen.sent());
+  EXPECT_GT(rt.windows(), 100u);  // 4ms span / 2us lookahead windows
+}
+
+TEST(ParallelRuntime, DeterminismAcrossSeedsAndShardCounts) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::uint64_t reference = run_sequential(seed);
+    for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      const RunStats par = run_parallel(seed, shards);
+      EXPECT_EQ(par.digest, reference)
+          << "seed " << seed << ", " << shards << " shards";
+      if (shards > 1) {
+        EXPECT_GT(par.cross_shard, 0u);
+      }
+    }
+  }
+}
+
+TEST(ParallelRuntime, RepeatedRunUntilMatchesSingleRun) {
+  const RunStats one_shot = run_parallel(7, 2);
+  const RunStats split = run_parallel(7, 2, {}, /*split_run=*/true);
+  EXPECT_EQ(split.digest, one_shot.digest);
+  EXPECT_EQ(one_shot.digest, run_sequential(7));
+}
+
+TEST(ParallelRuntime, RingOverflowFallbackStaysDeterministic) {
+  runtime::RuntimeOptions tiny;
+  tiny.ring_capacity = 1;  // force the mutex-protected overflow path
+  const double heavy = 2e9;  // enough load that >1 packet crosses per window
+  const RunStats par =
+      run_parallel(3, 2, tiny, /*split_run=*/false, heavy);
+  EXPECT_GT(par.overflows, 0u);
+  EXPECT_EQ(par.digest, run_sequential(3, heavy));
+}
+
+TEST(ParallelRuntime, ShardIdTagIsApplied) {
+  const topo::Spec spec = make_spec();
+  runtime::ParallelRuntime rt(spec, topo::plan_shards(spec, 2));
+  for (std::size_t i = 0; i < spec.num_switches(); ++i) {
+    EXPECT_EQ(rt.sw(i).shard_id(), rt.shard_of_switch(i));
+  }
+}
+
+}  // namespace
+}  // namespace edp
