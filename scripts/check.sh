@@ -2,6 +2,10 @@
 # Full verification: configure, build, run every test and every experiment
 # harness. Exits nonzero if anything fails (bench binaries return nonzero
 # when their reproduced shape checks are violated).
+#
+# Tests run in the default configuration (asserts on); benches run from a
+# separate Release (-O2 -DNDEBUG) tree, the configuration the committed
+# BENCH_*.json numbers and the perf gates assume.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,7 +21,14 @@ fi
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
-for b in build/bench/*; do
+if [[ -f build-release/CMakeCache.txt ]]; then
+  cmake -B build-release -S .
+else
+  cmake --preset release
+fi
+cmake --build build-release -j "${JOBS}"
+
+for b in build-release/bench/*; do
   if [[ -x "$b" && ! -d "$b" ]]; then
     echo "=== $(basename "$b") ==="
     "$b"

@@ -6,8 +6,15 @@
 namespace edp::core {
 
 EventMerger::EventMerger(sim::Scheduler& sched, MergerConfig config)
-    : sched_(sched), config_(config) {
+    : sched_(sched),
+      config_(config),
+      event_vectors_(/*max_idle=*/64,
+                     [](std::vector<Event>& v) { v.clear(); }) {
   assert(config_.cycle_time > sim::Time::zero());
+  packets_.reserve(config_.packet_fifo_depth);
+  for (auto& fifo : fifos_) {
+    fifo.reserve(config_.event_fifo_depth);
+  }
 }
 
 bool EventMerger::submit_packet(net::Packet packet, PacketOrigin origin) {
@@ -71,6 +78,7 @@ void EventMerger::run_slot() {
   }
 
   SlotWork work;
+  work.events = event_vectors_.acquire();  // recycled capacity, cleared
   work.time = sched_.now();
   work.cycle = cycle_at(work.time);
 
@@ -135,6 +143,8 @@ void EventMerger::run_slot() {
 
   if (on_slot) {
     on_slot(std::move(work));
+  } else {
+    recycle(std::move(work));
   }
   pump();  // more work -> next slot
 }

@@ -21,13 +21,14 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/event.hpp"
 #include "net/packet.hpp"
+#include "sim/object_pool.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/scheduler.hpp"
 
 namespace edp::core {
@@ -99,6 +100,18 @@ class EventMerger {
   /// full — a genuinely dropped event, as in hardware.
   bool submit_event(Event event);
 
+  /// Return a consumed slot's event vector to the merger's pool so the next
+  /// slot reuses its capacity instead of allocating. Consumers call this
+  /// once they are done with the SlotWork they received via on_slot.
+  void recycle(SlotWork&& work) {
+    event_vectors_.release(std::move(work.events));
+  }
+
+  /// Allocator-traffic statistics for the slot event-vector pool.
+  const sim::PoolStats& event_vector_pool_stats() const {
+    return event_vectors_.stats();
+  }
+
   // ---- cycle bookkeeping ----------------------------------------------------
 
   /// Clock cycle index corresponding to `t` on this merger's grid.
@@ -140,8 +153,11 @@ class EventMerger {
 
   sim::Scheduler& sched_;
   MergerConfig config_;
-  std::deque<PendingPacket> packets_;
-  std::array<std::deque<Event>, kNumEventKinds> fifos_;
+  sim::RingQueue<PendingPacket> packets_;
+  std::array<sim::RingQueue<Event>, kNumEventKinds> fifos_;
+  /// Recycled SlotWork::events vectors (filled by run_slot, returned by the
+  /// consumer via recycle()); capacity is retained across slots.
+  sim::ObjectPool<std::vector<Event>> event_vectors_;
   std::array<EventKindStats, kNumEventKinds> stats_{};
 
   sim::Time next_slot_time_ = sim::Time::zero();

@@ -340,22 +340,27 @@ void EventSwitch::process_slot(SlotWork&& work) {
     }
   }
 
-  // Deliver the slot's events to the program's handlers.
+  // Deliver the slot's events to the program's handlers, then hand the
+  // slot's event vector back to the merger for reuse. The packet (if any)
+  // is detached first: the SlotWork shell is dead after recycle().
+  std::optional<net::Packet> packet = std::move(work.packet);
+  const PacketOrigin origin = work.origin;
   for (const Event& ev : work.events) {
     dispatch_event(ev);
   }
+  merger_.recycle(std::move(work));
 
   // Process the slot's packet through the P4 pipeline.
-  if (!work.packet) {
+  if (!packet) {
     return;
   }
-  pisa::Phv phv = parser_.parse(std::move(*work.packet));
+  pisa::Phv phv = parser_.parse(std::move(*packet));
   if (phv.parse_error) {
     ++counters_.parse_drops;
     return;
   }
   if (program_ != nullptr) {
-    switch (work.origin) {
+    switch (origin) {
       case PacketOrigin::kIngress:
         program_->on_ingress(phv, *this);
         break;

@@ -178,7 +178,8 @@ void TimerBlock::arm() {
 
 void TimerBlock::wake() {
   wakeup_armed_ = false;
-  std::vector<TimingWheel::Expired> expired;
+  std::vector<TimingWheel::Expired>& expired = expired_scratch_;
+  expired.clear();  // capacity retained: wakes allocate only at high-water
   wheel_.advance_to(to_tick(sched_.now()), expired);
   for (const auto& e : expired) {
     // Wheel cookies hold the public id; resolve to the timer record.

@@ -132,6 +132,8 @@ class TimerBlock {
   sim::EventId wakeup_ = 0;
   bool wakeup_armed_ = false;
   std::uint64_t fired_ = 0;
+  /// Reused by wake() so per-wake expiry collection does not allocate.
+  std::vector<TimingWheel::Expired> expired_scratch_;
 };
 
 }  // namespace edp::core

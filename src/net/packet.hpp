@@ -10,9 +10,17 @@
 #include <span>
 #include <vector>
 
+#include "sim/object_pool.hpp"
 #include "sim/time.hpp"
 
 namespace edp::net {
+
+/// Process-wide counters for the pooled packet payload buffers (see
+/// packet.cpp). `allocated` is the number of acquires the pool could not
+/// serve from a recycled buffer — i.e. real allocator traffic. Benches
+/// sample this before/after a timed phase to assert the steady state runs
+/// at zero allocations per event.
+sim::PoolStats packet_buffer_pool_stats();
 
 /// Intrinsic (non-programmable) packet metadata, set by the device.
 struct PacketMeta {
@@ -24,12 +32,25 @@ struct PacketMeta {
 
 /// An owned, mutable packet. Cheap to move; copying duplicates the payload
 /// (used for multicast/broadcast and control-plane punts).
+///
+/// Payload buffers are pooled: the sized constructor draws a recycled
+/// buffer and the destructor returns it, so in steady state packet churn
+/// performs no heap allocation. Moves are noexcept (required by the
+/// scheduler's InlineCallback slots, which relocate on growth).
 class Packet {
  public:
   Packet() = default;
   explicit Packet(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
   /// An all-zero packet of `size` bytes (e.g. padding, carrier frames).
-  explicit Packet(std::size_t size) : bytes_(size, 0) {}
+  /// Draws its buffer from the process-wide pool.
+  explicit Packet(std::size_t size);
+
+  Packet(const Packet& o);
+  Packet& operator=(const Packet& o);
+  Packet(Packet&& o) noexcept
+      : bytes_(std::move(o.bytes_)), meta_(o.meta_) {}
+  Packet& operator=(Packet&& o) noexcept;
+  ~Packet();
 
   std::size_t size() const { return bytes_.size(); }
   bool empty() const { return bytes_.empty(); }

@@ -16,7 +16,9 @@ std::size_t extend(Packet& p, std::size_t bytes) {
 }  // namespace
 
 PacketBuilder::PacketBuilder()
-    : ipv4_off_(SIZE_MAX), udp_off_(SIZE_MAX) {}
+    // Start from a pooled zero-size buffer so layer-by-layer growth runs in
+    // recycled capacity instead of allocating per packet.
+    : pkt_(std::size_t{0}), ipv4_off_(SIZE_MAX), udp_off_(SIZE_MAX) {}
 
 PacketBuilder& PacketBuilder::ethernet(MacAddress src, MacAddress dst,
                                        std::uint16_t ether_type) {
@@ -134,7 +136,7 @@ Packet PacketBuilder::build() {
     udp.encode(pkt_, udp_off_);
   }
   Packet out = std::move(pkt_);
-  pkt_ = Packet{};
+  pkt_ = Packet{std::size_t{0}};
   ipv4_off_ = udp_off_ = SIZE_MAX;
   min_size_ = 0;
   return out;

@@ -3,7 +3,9 @@
 namespace edp::pisa {
 
 net::Packet Deparser::deparse(const Phv& phv) const {
-  net::Packet out;
+  // Pooled zero-size buffer: the per-layer growth below stays inside the
+  // recycled capacity, so re-emitting a packet does not allocate.
+  net::Packet out(std::size_t{0});
 
   // Emit headers outermost-first by growing the buffer per layer.
   const auto grow = [&out](std::size_t n) {

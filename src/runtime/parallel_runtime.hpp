@@ -127,7 +127,7 @@ class ParallelRuntime {
 
   /// Directed shard-pair transport: SPSC ring + FIFO overflow fallback.
   struct Channel {
-    explicit Channel(std::size_t cap) : ring(cap) {}
+    explicit Channel(std::size_t cap) : ring(cap) { overflow.reserve(cap); }
     SpscRing<Msg> ring;
     std::mutex overflow_mu;
     std::vector<Msg> overflow;  ///< used only after the ring fills

@@ -1,0 +1,86 @@
+// edp::sim — growable power-of-two ring buffer FIFO.
+//
+// Replaces std::deque on per-event paths (merger FIFOs, traffic-manager
+// queues, host transmit queues). A deque allocates and frees a map node
+// roughly every page's worth of elements even when its size oscillates
+// around a constant — a steady drip of allocator traffic per packet. The
+// ring reaches its high-water capacity once and then never touches the
+// allocator again; head/tail are monotonically increasing counters masked
+// into the slot array (the same construction as runtime::SpscRing, minus
+// the atomics).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace edp::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  std::size_t size() const { return tail_ - head_; }
+  bool empty() const { return head_ == tail_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Grow the slot array so `n` elements fit without reallocation.
+  void reserve(std::size_t n) {
+    if (n > slots_.size()) {
+      grow(n);
+    }
+  }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_ & mask_];
+  }
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_ & mask_];
+  }
+
+  void push_back(T v) {
+    if (size() == slots_.size()) {
+      grow(slots_.size() * 2);
+    }
+    slots_[tail_ & mask_] = std::move(v);
+    ++tail_;
+  }
+
+  /// Pop the front slot. The slot keeps its moved-from element (and thus
+  /// any capacity the element type retains) until the ring laps back to it
+  /// — callers move `front()` out first.
+  void pop_front() {
+    assert(!empty());
+    ++head_;
+  }
+
+  void clear() { head_ = tail_ = 0; }
+
+ private:
+  void grow(std::size_t min_capacity) {
+    std::size_t cap = 8;
+    while (cap < min_capacity) {
+      cap <<= 1;
+    }
+    std::vector<T> next(cap);
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(next);
+    mask_ = cap - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace edp::sim

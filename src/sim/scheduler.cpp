@@ -1,54 +1,137 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace edp::sim {
 
-EventId Scheduler::at(Time when, std::function<void()> fn) {
-  assert(when >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  queue_.push(Entry{when, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+namespace {
+// Pre-sizing the slot/heap vectors puts the kernel in its zero-allocation
+// steady state immediately for all but the largest event populations.
+constexpr std::size_t kInitialCapacity = 1024;
+}  // namespace
+
+Scheduler::Scheduler() {
+  heap_.reserve(kInitialCapacity);
+  slots_.reserve(kInitialCapacity);
+  free_slots_.reserve(kInitialCapacity);
 }
 
-EventId Scheduler::after(Time delay, std::function<void()> fn) {
+EventId Scheduler::at(Time when, InlineCallback fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  assert(!s.live);
+  s.fn = std::move(fn);
+  s.live = true;
+  ++live_count_;
+  heap_push(HeapItem{when, next_seq_++, slot, s.gen});
+  return make_id(s.gen, slot);
+}
+
+EventId Scheduler::after(Time delay, InlineCallback fn) {
   assert(delay >= Time::zero());
   return at(now_ + delay, std::move(fn));
 }
 
 bool Scheduler::cancel(EventId id) {
-  // Only genuinely pending callbacks can be cancelled; fired, unknown, and
-  // doubly-cancelled ids are harmless no-ops.
-  if (live_.erase(id) == 0) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) {
     return false;
   }
-  // Lazy deletion: remember the id; skip it when popped.
-  cancelled_.insert(id);
+  Slot& s = slots_[slot];
+  // Only genuinely pending callbacks can be cancelled; fired, unknown, and
+  // doubly-cancelled ids all fail the generation/liveness check.
+  if (!s.live || s.gen != gen) {
+    return false;
+  }
+  s.fn.reset();
+  s.live = false;
+  s.gen = next_gen(s.gen);  // orphans the heap entry; discarded when popped
+  free_slots_.push_back(slot);
+  --live_count_;
   return true;
 }
 
-void Scheduler::step() {
-  // priority_queue has no non-const top() for moving; the const_cast is the
-  // standard idiom — the entry is popped immediately after the move.
-  Entry e = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-    cancelled_.erase(it);
-    return;
+void Scheduler::heap_push(HeapItem item) {
+  heap_.push_back(item);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
   }
-  live_.erase(e.id);
-  assert(e.when >= now_);
-  now_ = e.when;
+}
+
+Scheduler::HeapItem Scheduler::heap_pop() {
+  assert(!heap_.empty());
+  const HeapItem top = heap_[0];
+  const HeapItem last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift `last` down from the root. 4-ary: children of i are 4i+1..4i+4.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) {
+        break;
+      }
+      std::size_t best = first;
+      const std::size_t limit = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < limit; ++c) {
+        if (earlier(heap_[c], heap_[best])) {
+          best = c;
+        }
+      }
+      if (!earlier(heap_[best], last)) {
+        break;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+bool Scheduler::pop_head() {
+  const HeapItem top = heap_pop();
+  Slot& s = slots_[top.slot];
+  if (!s.live || s.gen != top.gen) {
+    return false;  // cancelled: the slot moved on to a newer generation
+  }
+  // Release the slot *before* invoking, so the callback observes its own id
+  // as already fired: cancel(own_id) from within is a detected no-op, and
+  // the slot is immediately reusable for anything the callback schedules.
+  InlineCallback fn = std::move(s.fn);
+  s.live = false;
+  s.gen = next_gen(s.gen);
+  free_slots_.push_back(top.slot);
+  --live_count_;
+  assert(top.when >= now_);
+  now_ = top.when;
   ++executed_;
-  e.fn();
+  fn();
+  return true;
 }
 
 std::size_t Scheduler::run_until(Time deadline) {
   const std::uint64_t before = executed_;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    step();
+  while (!heap_.empty() && heap_[0].when <= deadline) {
+    pop_head();
   }
   if (now_ < deadline) {
     now_ = deadline;
@@ -57,11 +140,11 @@ std::size_t Scheduler::run_until(Time deadline) {
 }
 
 std::optional<Time> Scheduler::next_event_time() {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapItem& top = heap_[0];
+    const Slot& s = slots_[top.slot];
+    if (!s.live || s.gen != top.gen) {
+      heap_pop();  // stale: collect and keep looking
       continue;
     }
     return top.when;
@@ -71,9 +154,10 @@ std::optional<Time> Scheduler::next_event_time() {
 
 std::size_t Scheduler::run(std::size_t max_events) {
   std::size_t n = 0;
-  while (!queue_.empty() && n < max_events) {
-    step();
-    ++n;
+  while (n < max_events && !heap_.empty()) {
+    if (pop_head()) {
+      ++n;
+    }
   }
   return n;
 }

@@ -1,30 +1,43 @@
 // edp::sim — deterministic discrete-event scheduler.
 //
-// The simulation kernel: a priority queue of (time, sequence, callback).
-// The sequence number makes ordering total and deterministic — two events
-// scheduled for the same instant fire in scheduling order, which is what
-// makes whole-network runs bit-reproducible for a given seed.
+// The simulation kernel: a 4-ary min-heap of (time, sequence) keys over
+// generation-tagged callback slots. The sequence number makes ordering total
+// and deterministic — two events scheduled for the same instant fire in
+// scheduling order, which is what makes whole-network runs bit-reproducible
+// for a given seed.
+//
+// Hot-path design (docs/PERFORMANCE.md):
+//  * Callbacks live in InlineCallback slots — fixed inline storage, no heap
+//    fallback — so scheduling an event never allocates once the slot and
+//    heap vectors have reached their high-water capacity.
+//  * An EventId is (generation << 32) | slot index. cancel() is two array
+//    reads and a generation bump — O(1), no hashing — and stale heap
+//    entries are discarded lazily when they surface at the head, by
+//    comparing their recorded generation against the slot's current one.
+//  * The heap is 4-ary over a contiguous vector: ~half the depth of a
+//    binary heap, with all four children of a node in one cache line.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_callback.hpp"
 #include "sim/time.hpp"
 
 namespace edp::sim {
 
-/// Handle to a scheduled callback; used to cancel it.
+/// Handle to a scheduled callback; used to cancel it. Packs
+/// (generation << 32) | slot. Generations start at 1 and skip 0 on
+/// wraparound, so 0 is never a valid id (callers use it as "none").
 using EventId = std::uint64_t;
 
 /// Discrete-event scheduler. Single-threaded by design: network simulation
 /// correctness comes from the global time order, not concurrency.
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler();
 
   // The scheduler owns pending closures that may capture references to it;
   // moving it would dangle them.
@@ -35,22 +48,22 @@ class Scheduler {
   Time now() const { return now_; }
 
   /// Schedule `fn` at absolute time `when` (must be >= now()).
-  EventId at(Time when, std::function<void()> fn);
+  EventId at(Time when, InlineCallback fn);
 
   /// Schedule `fn` after a relative delay (>= 0).
-  EventId after(Time delay, std::function<void()> fn);
+  EventId after(Time delay, InlineCallback fn);
 
   /// External event injection (runtime/ cross-shard deliveries): identical
   /// to at(), but documents the contract — the caller must be externally
   /// synchronized with this scheduler (the shard barrier guarantees the
   /// owning worker is parked), and `when` may equal now() exactly, in which
   /// case the callback fires in the *next* execution window.
-  EventId inject(Time when, std::function<void()> fn) {
+  EventId inject(Time when, InlineCallback fn) {
     return at(when, std::move(fn));
   }
 
-  /// Cancel a pending callback. Cancelling an already-fired or unknown id is
-  /// a harmless no-op (returns false).
+  /// Cancel a pending callback: O(1). Cancelling an already-fired or
+  /// unknown id is a harmless no-op (returns false).
   bool cancel(EventId id);
 
   /// Run every event with time <= `deadline`; leaves now() == deadline.
@@ -59,7 +72,7 @@ class Scheduler {
   std::size_t run_until(Time deadline);
 
   /// Earliest pending (uncancelled) event time, or nullopt when drained.
-  /// Lazily discards cancelled entries encountered at the queue head.
+  /// Lazily discards cancelled entries encountered at the heap head.
   std::optional<Time> next_event_time();
 
   /// Run until the queue drains (or `max_events` fire, as a runaway guard).
@@ -67,42 +80,63 @@ class Scheduler {
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
   /// True if no pending (uncancelled) events remain.
-  bool empty() const { return queue_.size() == cancelled_.size(); }
+  bool empty() const { return live_count_ == 0; }
 
-  /// Number of pending events (including not-yet-collected cancelled ones).
-  std::size_t pending() const { return queue_.size(); }
+  /// Number of pending events. Exact: cancelled events leave this count
+  /// immediately, not when their heap entry is lazily collected.
+  std::size_t pending() const { return live_count_; }
 
   /// Total callbacks executed since construction (diagnostics).
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Entry {
-    Time when;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.id > b.id;  // FIFO among same-time events
-    }
+  friend class SchedulerTestPeer;  // tests force generation wraparound
+
+  /// A callback slot, reused across events. `gen` tags the current
+  /// occupancy: an EventId or heap entry minted for an earlier occupancy
+  /// carries a stale generation and is recognisably dead in O(1).
+  struct Slot {
+    InlineCallback fn;
+    std::uint32_t gen = 1;
+    bool live = false;
   };
 
-  /// Pop and run the earliest event; advances now(). Pre: !empty().
-  void step();
+  /// Heap key + slot reference; 24-byte POD, moved by memcpy during sifts.
+  struct HeapItem {
+    Time when;
+    std::uint64_t seq;   ///< monotonic tie-break: FIFO among same-time events
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  static bool earlier(const HeapItem& a, const HeapItem& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    return a.seq < b.seq;
+  }
+  static std::uint32_t next_gen(std::uint32_t g) {
+    ++g;
+    return g == 0 ? 1 : g;  // skip 0 so an EventId is never 0
+  }
+  static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  void heap_push(HeapItem item);
+  HeapItem heap_pop();
+
+  /// Pop the heap head; fire it if live, discard it if stale.
+  /// Pre: !heap_.empty(). Returns true iff a callback executed.
+  bool pop_head();
 
   Time now_ = Time::zero();
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  /// Ids currently in queue_ and not cancelled. Keeping this set makes
-  /// cancel() exact: cancelling an already-fired (or already-cancelled) id
-  /// is a detectable no-op instead of silently corrupting the pending
-  /// accounting.
-  std::unordered_set<EventId> live_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_count_ = 0;
+  std::vector<HeapItem> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;  ///< LIFO: hottest slot reused first
 };
 
 /// Convenience: a repeating task bound to a scheduler. Owns its rescheduling

@@ -8,10 +8,10 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "net/packet.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/time.hpp"
 
 namespace edp::tm_ {
@@ -99,7 +99,9 @@ class FifoQueue final : public PacketQueue {
   std::optional<QueuedPacket> do_pop() override;
 
  private:
-  std::deque<QueuedPacket> q_;
+  // Ring, not deque: occupancy oscillating around a working level costs a
+  // deque one node allocation per few packets; the ring's slots are stable.
+  sim::RingQueue<QueuedPacket> q_;
 };
 
 }  // namespace edp::tm_

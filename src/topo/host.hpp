@@ -8,13 +8,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
 
 #include "net/headers.hpp"
 #include "net/packet.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/scheduler.hpp"
 
 namespace edp::topo {
@@ -62,7 +62,7 @@ class Host {
   sim::Scheduler& sched_;
   Config config_;
   std::function<void(net::Packet)> tx_;
-  std::deque<net::Packet> tx_queue_;
+  sim::RingQueue<net::Packet> tx_queue_;
   bool tx_busy_ = false;
 
   std::uint64_t tx_packets_ = 0;

@@ -2,6 +2,8 @@
 // flow identification, and the packet builder.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "net/address.hpp"
 #include "net/checksum.hpp"
 #include "net/flow.hpp"
@@ -400,6 +402,50 @@ TEST(PcapWriter, UnwritablePathReportsNotOk) {
   // Writing through a failed writer must be a safe no-op.
   pcap.write(net::Packet(64), sim::Time::zero());
   EXPECT_EQ(pcap.packets_written(), 0u);
+}
+
+// ---- packet buffer pool -----------------------------------------------------
+
+TEST(PacketBufferPool, RecyclesBuffersAcrossPacketLifetimes) {
+  // Warm the pool: these buffers return to the freelist at scope exit.
+  { net::Packet warm(1000); }
+  const sim::PoolStats before = packet_buffer_pool_stats();
+  for (int i = 0; i < 100; ++i) {
+    net::Packet p(1000);
+    EXPECT_EQ(p.size(), 1000u);
+  }
+  const sim::PoolStats after = packet_buffer_pool_stats();
+  EXPECT_EQ(after.acquired - before.acquired, 100u);
+  // Steady state: every sized construction was served from the freelist.
+  EXPECT_EQ(after.allocated, before.allocated);
+  EXPECT_EQ(after.reused - before.reused, 100u);
+  EXPECT_EQ(after.released - before.released, 100u);
+}
+
+TEST(PacketBufferPool, RecycledBuffersAreZeroFilled) {
+  {
+    net::Packet p(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      p.set_u8(i, 0xAB);
+    }
+  }
+  // The recycled buffer must come back as if freshly zero-constructed.
+  net::Packet q(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(q.u8(i), 0u) << "recycled byte leaked at offset " << i;
+  }
+}
+
+TEST(PacketBufferPool, CopyDuplicatesMoveSteals) {
+  net::Packet p(100);
+  p.set_u8(0, 0x42);
+  net::Packet copy = p;
+  EXPECT_EQ(copy.u8(0), 0x42);
+  copy.set_u8(0, 0x43);
+  EXPECT_EQ(p.u8(0), 0x42);  // copies do not share the buffer
+  net::Packet stolen = std::move(p);
+  EXPECT_EQ(stolen.u8(0), 0x42);
+  EXPECT_EQ(stolen.size(), 100u);
 }
 
 TEST(PacketBuilder, VlanRewritesEtherTypeChain) {
