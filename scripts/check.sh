@@ -21,6 +21,11 @@ fi
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+# Static feasibility analysis: every registered program must lint clean
+# (docs/ANALYSIS.md).
+echo "=== edp_lint ==="
+./build/tools/edp_lint
+
 if [[ -f build-release/CMakeCache.txt ]]; then
   cmake -B build-release -S .
 else

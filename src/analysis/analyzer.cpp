@@ -1,0 +1,51 @@
+#include "analysis/analyzer.hpp"
+
+#include <utility>
+
+namespace edp::analysis {
+
+Report analyze_program(const std::string& name, const ProgramFactory& factory,
+                       const AnalyzerOptions& options) {
+  Report report;
+  report.program = name;
+
+  // Phase 1: matrix extraction on the event architecture. The probe is
+  // process-global, so it is installed only while this instance runs.
+  RecordingContext::Config event_config;
+  event_config.event_architecture = true;
+  RecordingContext event_ctx(event_config);
+  DriveLog event_log;
+  {
+    const std::unique_ptr<core::EventProgram> program = factory();
+    MatrixProbe probe(event_ctx);
+    ProbeInstallation installed(&probe);
+    event_log = drive_all(*program, event_ctx);
+    report.matrix = probe.take_matrix();
+  }
+  report.graph = build_graph(event_ctx, event_log);
+
+  // Phase 2: chain simulation on a fresh instance (fresh guard state).
+  std::vector<ChainRun> chains;
+  {
+    const std::unique_ptr<core::EventProgram> program = factory();
+    RecordingContext chain_ctx(event_config);
+    chains = simulate_chains(*program, chain_ctx, options.max_chain_steps);
+  }
+
+  // Phase 3: baseline architecture, for the resource lint.
+  RecordingContext::Config baseline_config;
+  baseline_config.event_architecture = false;
+  RecordingContext baseline_ctx(baseline_config);
+  {
+    const std::unique_ptr<core::EventProgram> program = factory();
+    drive_all(*program, baseline_ctx);
+  }
+
+  port_budget_pass(report.matrix, report.findings);
+  amplification_pass(report.graph, chains, report.findings);
+  resource_lint_pass(event_ctx, event_log, baseline_ctx, report.matrix,
+                     options.lint, report.findings);
+  return report;
+}
+
+}  // namespace edp::analysis

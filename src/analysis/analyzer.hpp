@@ -1,0 +1,33 @@
+// edp::analysis — the `edp-verify` entry point.
+//
+// `analyze_program` takes a *factory*, not an instance: each phase drives a
+// fresh program so matrix extraction, chain simulation, and the baseline
+// resource lint never contaminate one another's state (a dedup window
+// primed by the matrix drives must not hide an amplification chain).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "analysis/passes.hpp"
+#include "analysis/report.hpp"
+#include "core/event_program.hpp"
+
+namespace edp::analysis {
+
+using ProgramFactory = std::function<std::unique_ptr<core::EventProgram>()>;
+
+struct AnalyzerOptions {
+  LintOverrides lint;
+  /// Chain-simulation step budget per seed stimulus; a chain still
+  /// spawning events at the budget is unguarded amplification.
+  std::size_t max_chain_steps = 64;
+};
+
+/// Run all passes over the program `factory` builds. `name` labels the
+/// report (typically the registry name).
+Report analyze_program(const std::string& name, const ProgramFactory& factory,
+                       const AnalyzerOptions& options = {});
+
+}  // namespace edp::analysis

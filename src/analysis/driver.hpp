@@ -1,0 +1,99 @@
+// edp::analysis — the handler driver.
+//
+// Extracts the access matrix and the recorded-action log by invoking every
+// handler of an EventProgram directly with synthetic stimuli (no network,
+// no scheduler): each protocol the standard parser knows contributes one
+// ingress/egress/recirculate packet; buffer events replay the enq/deq
+// metadata the program's own ingress wrote; timer and user events replay
+// what the program itself configured. A second entry point re-runs a fresh
+// program instance in *chain* mode, dynamically following the events each
+// handler spawns, to distinguish guarded from unguarded amplification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/recording_context.hpp"
+#include "analysis/report.hpp"
+#include "core/register_probe.hpp"
+
+namespace edp::analysis {
+
+/// Builds the AccessMatrix from probe callbacks, attributing each register
+/// access to the handler the RecordingContext is currently driving.
+class MatrixProbe : public core::RegisterProbe {
+ public:
+  explicit MatrixProbe(const RecordingContext& ctx) : ctx_(&ctx) {}
+
+  void on_register_access(const core::RegisterAccessEvent& e) override;
+
+  AccessMatrix take_matrix() { return std::move(matrix_); }
+
+ private:
+  const RecordingContext* ctx_;
+  AccessMatrix matrix_;
+  std::unordered_map<const void*, std::size_t> index_;
+};
+
+/// Installs a probe for the current scope, restoring the previous one.
+class ProbeInstallation {
+ public:
+  explicit ProbeInstallation(core::RegisterProbe* probe)
+      : previous_(core::exchange_register_probe(probe)) {}
+  ~ProbeInstallation() { core::exchange_register_probe(previous_); }
+
+  ProbeInstallation(const ProbeInstallation&) = delete;
+  ProbeInstallation& operator=(const ProbeInstallation&) = delete;
+
+ private:
+  core::RegisterProbe* previous_;
+};
+
+/// Postconditions of one packet-handler drive.
+struct PacketDrive {
+  Handler handler = Handler::kIngress;
+  std::string stimulus;
+  std::size_t drive = 0;  ///< RecordingContext drive index
+  bool parse_error = false;
+  bool drop = false;
+  bool recirculate = false;
+  bool recirc_clone = false;
+  /// Ingress-class handler let the packet proceed to the traffic manager.
+  bool forwarded = false;
+  /// Handler wrote phv.user[0..7] (the enq/deq meta words).
+  bool meta_written = false;
+  tm_::EventMetaWords enq_meta{};
+  tm_::EventMetaWords deq_meta{};
+  std::uint32_t pkt_len = 0;
+};
+
+struct DriveLog {
+  std::vector<PacketDrive> packet_drives;
+};
+
+/// One chain-mode run from one seed stimulus.
+struct ChainRun {
+  std::string seed;
+  std::size_t steps = 0;
+  /// The chain was still spawning events when the step budget ran out —
+  /// the dynamic signature of unguarded amplification.
+  bool limited = false;
+};
+
+/// Drive every handler once per stimulus (matrix mode; spawned events are
+/// recorded but followed at most one level, e.g. injected packets feed the
+/// on_generated drives). Facility calls accumulate in `ctx`.
+DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx);
+
+/// Chain mode: seed each ingress stimulus into a *fresh* program instance
+/// and keep driving the handlers its actions spawn, following only edges
+/// the architecture does not rate-bound. Stateful guards (TTLs, dedup
+/// windows, hop limits) terminate the chain; a run that exhausts
+/// `max_steps_per_seed` is dynamically unguarded.
+std::vector<ChainRun> simulate_chains(core::EventProgram& program,
+                                      RecordingContext& ctx,
+                                      std::size_t max_steps_per_seed = 64);
+
+}  // namespace edp::analysis

@@ -1,0 +1,382 @@
+#include "analysis/passes.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "core/event_program.hpp"
+
+namespace edp::analysis {
+namespace {
+
+std::string handler_list(const std::vector<Handler>& handlers) {
+  std::string out;
+  for (const Handler h : handlers) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += to_string(h);
+  }
+  return out;
+}
+
+std::string thread_list(const std::set<core::ThreadId>& threads) {
+  std::string out;
+  for (const core::ThreadId t : threads) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += to_string(t);
+  }
+  return out;
+}
+
+std::string cycle_string(const std::vector<Handler>& cycle) {
+  std::string out;
+  for (const Handler h : cycle) {
+    out += to_string(h);
+    out += " -> ";
+  }
+  out += to_string(cycle.front());
+  return out;
+}
+
+void add(std::vector<Finding>& findings, Severity severity, Pass pass,
+         std::string code, std::string subject, std::string message) {
+  findings.push_back(Finding{severity, pass, std::move(code),
+                             std::move(subject), std::move(message)});
+}
+
+}  // namespace
+
+// ---- graph --------------------------------------------------------------------
+
+EventGraph build_graph(const RecordingContext& ctx, const DriveLog& log) {
+  EventGraph g;
+
+  // Architecture edges: an admitted packet is eventually served (its
+  // dequeue event fires and the egress pipeline runs on it) and then
+  // transmitted. These are rate-preserving — one activation each — so
+  // cycles through them amplify only via a program action edge.
+  g.edges.push_back(GraphEdge{Handler::kEnqueue, Handler::kDequeue,
+                              ActionKind::kForward, false, "architecture"});
+  g.edges.push_back(GraphEdge{Handler::kDequeue, Handler::kEgress,
+                              ActionKind::kForward, false, "architecture"});
+  g.edges.push_back(GraphEdge{Handler::kEgress, Handler::kTransmit,
+                              ActionKind::kForward, false, "architecture"});
+
+  for (const PacketDrive& d : log.packet_drives) {
+    if (d.recirculate) {
+      g.edges.push_back(GraphEdge{d.handler, Handler::kRecirculate,
+                                  ActionKind::kRecirculate, false,
+                                  d.stimulus});
+    }
+    if (d.recirc_clone) {
+      g.edges.push_back(GraphEdge{d.handler, Handler::kRecirculate,
+                                  ActionKind::kRecircClone, false,
+                                  d.stimulus});
+    }
+    if (d.forwarded && d.handler != Handler::kEgress) {
+      g.edges.push_back(GraphEdge{d.handler, Handler::kEnqueue,
+                                  ActionKind::kForward, false, d.stimulus});
+    }
+  }
+
+  for (const RecordingContext::Call& c : ctx.calls()) {
+    if (!c.accepted) {
+      continue;
+    }
+    switch (c.kind) {
+      case ActionKind::kInjectPacket:
+        g.edges.push_back(GraphEdge{c.during, Handler::kGenerated,
+                                    ActionKind::kInjectPacket, false, ""});
+        break;
+      case ActionKind::kSendPacket:
+        g.edges.push_back(GraphEdge{c.during, Handler::kEnqueue,
+                                    ActionKind::kSendPacket, false, ""});
+        break;
+      case ActionKind::kRaiseUserEvent:
+        g.edges.push_back(GraphEdge{c.during, Handler::kUser,
+                                    ActionKind::kRaiseUserEvent, false, ""});
+        break;
+      case ActionKind::kSetTimer:
+        g.edges.push_back(GraphEdge{c.during, Handler::kTimer,
+                                    ActionKind::kSetTimer, c.rate_bounded,
+                                    ""});
+        break;
+      case ActionKind::kAddGenerator:
+        g.edges.push_back(GraphEdge{c.during, Handler::kGenerated,
+                                    ActionKind::kAddGenerator, c.rate_bounded,
+                                    ""});
+        break;
+      case ActionKind::kTriggerGenerator:
+        g.edges.push_back(GraphEdge{c.during, Handler::kGenerated,
+                                    ActionKind::kTriggerGenerator, false,
+                                    ""});
+        break;
+      default:
+        break;  // cancel/set_template/punt spawn nothing
+    }
+  }
+  return g;
+}
+
+// ---- port budget (§4) ---------------------------------------------------------
+
+namespace {
+
+void check_shared(const RegisterUsage& reg, std::vector<Finding>& findings) {
+  const std::vector<Handler> accessing = reg.accessing_handlers();
+  std::set<core::ThreadId> threads;
+  for (const Handler h : accessing) {
+    threads.insert(thread_of(h));
+  }
+
+  if (static_cast<int>(threads.size()) > reg.ports) {
+    std::ostringstream msg;
+    msg << "accessed from " << threads.size() << " event-processing threads ("
+        << thread_list(threads) << ": " << handler_list(accessing)
+        << ") but provisioned with only " << reg.ports
+        << " port(s) — not realizable on the declared memory";
+    add(findings, Severity::kError, Pass::kPortBudget, "port-overcommit",
+        reg.name, msg.str());
+  }
+
+  std::set<core::ThreadId> write_threads;
+  for (const Handler h : reg.writing_handlers()) {
+    write_threads.insert(thread_of(h));
+  }
+  if (write_threads.size() >= 2) {
+    std::ostringstream msg;
+    msg << "write set spans " << write_threads.size() << " threads ("
+        << thread_list(write_threads)
+        << "); on single-ported targets this register requires the "
+           "AggregatedRegister realization (paper §4)";
+    add(findings, Severity::kNote, Pass::kPortBudget, "needs-aggregation",
+        reg.name, msg.str());
+  }
+
+  // The per-access declared thread is what the port accountant charges; if
+  // it disagrees with the thread the handler actually runs on, the runtime
+  // budget check validates the wrong schedule.
+  for (std::size_t h = 1; h < kNumHandlers; ++h) {
+    const auto handler = static_cast<Handler>(h);
+    const std::uint8_t declared = reg.declared_threads[h];
+    const auto expected = static_cast<std::uint8_t>(
+        1u << static_cast<unsigned>(thread_of(handler)));
+    if (declared != 0 && (declared & ~expected) != 0) {
+      std::ostringstream msg;
+      msg << to_string(handler) << " declares a different ThreadId than the "
+          << to_string(thread_of(handler))
+          << " thread it runs on — port accounting is unsound";
+      add(findings, Severity::kWarning, Pass::kPortBudget,
+          "thread-attribution", reg.name, msg.str());
+    }
+  }
+}
+
+void check_aggregated(const RegisterUsage& reg,
+                      std::vector<Finding>& findings) {
+  for (std::size_t h = 1; h < kNumHandlers; ++h) {
+    const auto handler = static_cast<Handler>(h);
+    const auto& per = reg.counts[h];
+    const auto at = [&](core::RegisterRealization r) -> const AccessCounts& {
+      return per[static_cast<std::size_t>(r)];
+    };
+
+    // The main array's single port belongs to the merged packet pipeline;
+    // an event thread touching it directly steals packet-rate bandwidth.
+    if (at(core::RegisterRealization::kAggregatedMain).any() &&
+        !is_packet_handler(handler)) {
+      add(findings, Severity::kWarning, Pass::kPortBudget, "agg-main-misuse",
+          reg.name,
+          std::string(to_string(handler)) +
+              " accesses the main array directly; only the packet pipeline "
+              "owns its port — use enqueue_add/dequeue_add from event "
+              "threads");
+    }
+    if (at(core::RegisterRealization::kAggregatedEnq).any() &&
+        thread_of(handler) != core::ThreadId::kEnqueue) {
+      add(findings, Severity::kWarning, Pass::kPortBudget, "agg-array-misuse",
+          reg.name,
+          std::string(to_string(handler)) +
+              " updates the enqueue aggregation array, which is owned by "
+              "the enqueue thread");
+    }
+    if (at(core::RegisterRealization::kAggregatedDeq).any() &&
+        thread_of(handler) != core::ThreadId::kDequeue) {
+      add(findings, Severity::kWarning, Pass::kPortBudget, "agg-array-misuse",
+          reg.name,
+          std::string(to_string(handler)) +
+              " updates the dequeue aggregation array, which is owned by "
+              "the dequeue thread");
+    }
+  }
+}
+
+}  // namespace
+
+void port_budget_pass(const AccessMatrix& matrix,
+                      std::vector<Finding>& findings) {
+  for (const RegisterUsage& reg : matrix.registers) {
+    if (reg.aggregated) {
+      check_aggregated(reg, findings);
+    } else {
+      check_shared(reg, findings);
+    }
+  }
+}
+
+// ---- amplification ------------------------------------------------------------
+
+void amplification_pass(const EventGraph& graph,
+                        const std::vector<ChainRun>& chains,
+                        std::vector<Finding>& findings) {
+  const std::vector<std::vector<Handler>> cycles = graph.cycles();
+
+  std::string limited_seeds;
+  for (const ChainRun& run : chains) {
+    if (run.limited) {
+      if (!limited_seeds.empty()) {
+        limited_seeds += ", ";
+      }
+      limited_seeds += run.seed;
+    }
+  }
+
+  for (const auto& cycle : cycles) {
+    if (!limited_seeds.empty()) {
+      add(findings, Severity::kError, Pass::kAmplification, "unguarded-cycle",
+          cycle_string(cycle),
+          "event-generation cycle with no rate bound; chain simulation from "
+          "seed(s) [" +
+              limited_seeds +
+              "] was still spawning events when the step budget ran out — "
+              "one trigger amplifies without bound");
+    } else {
+      add(findings, Severity::kNote, Pass::kAmplification, "guarded-cycle",
+          cycle_string(cycle),
+          "event-generation cycle exists statically but every simulated "
+          "chain terminated — a stateful guard bounds it; verify the guard "
+          "holds under adversarial input");
+    }
+  }
+
+  // A chain that never converged with no static cycle means the graph
+  // under-approximated (e.g. payload-dependent generation); still report.
+  if (cycles.empty() && !limited_seeds.empty()) {
+    add(findings, Severity::kError, Pass::kAmplification, "runaway-chain",
+        limited_seeds,
+        "chain simulation exhausted its step budget although the event "
+        "graph shows no cycle — event generation is input-dependent and "
+        "unbounded");
+  }
+}
+
+// ---- resource lint ------------------------------------------------------------
+
+void resource_lint_pass(const RecordingContext& event_ctx,
+                        const DriveLog& event_log,
+                        const RecordingContext& baseline_ctx,
+                        const AccessMatrix& matrix,
+                        const LintOverrides& overrides,
+                        std::vector<Finding>& findings) {
+  // 1. Facilities requested on the baseline architecture and refused, with
+  //    no kOpFacilityUnavailable punt in the same handler invocation: the
+  //    program degrades silently where §6 requires explicit CP fallback.
+  std::set<std::pair<ActionKind, Handler>> reported;
+  for (const RecordingContext::Call& c : baseline_ctx.calls()) {
+    if (c.accepted ||
+        (c.kind != ActionKind::kSetTimer &&
+         c.kind != ActionKind::kAddGenerator)) {
+      continue;
+    }
+    const bool punted = std::any_of(
+        baseline_ctx.punts().begin(), baseline_ctx.punts().end(),
+        [&](const RecordingContext::Punt& p) {
+          return p.drive == c.drive &&
+                 p.opcode == core::kOpFacilityUnavailable;
+        });
+    if (punted || !reported.emplace(c.kind, c.during).second) {
+      continue;
+    }
+    add(findings, Severity::kWarning, Pass::kResourceLint,
+        "unchecked-facility", std::string(to_string(c.during)),
+        std::string(to_string(c.kind)) +
+            " is refused by the baseline architecture and the handler does "
+            "not punt kOpFacilityUnavailable — the program silently loses "
+            "this facility on non-event targets");
+  }
+
+  // 2. Id 0 is the refusal sentinel of every acquisition API; passing it
+  //    onward means an unchecked result.
+  std::set<std::pair<ActionKind, Handler>> zero_reported;
+  for (const RecordingContext* ctx : {&event_ctx, &baseline_ctx}) {
+    for (const RecordingContext::ZeroIdUse& z : ctx->zero_id_uses()) {
+      if (!zero_reported.emplace(z.kind, z.during).second) {
+        continue;
+      }
+      add(findings, Severity::kError, Pass::kResourceLint, "zero-id",
+          std::string(to_string(z.during)),
+          std::string(to_string(z.kind)) +
+              " called with id 0 — 0 is the refusal sentinel, so an "
+              "acquisition result was used without checking it");
+    }
+  }
+
+  // 3. Egress writes to the enq/deq meta words are dead: the traffic
+  //    manager extracted both at enqueue admission.
+  for (const PacketDrive& d : event_log.packet_drives) {
+    if (d.handler == Handler::kEgress && d.meta_written) {
+      add(findings, Severity::kWarning, Pass::kResourceLint,
+          "dead-meta-write", "on_egress",
+          "writes enq/deq meta words (phv.user[0.." +
+              std::to_string(core::kDeqMetaBase + 3) +
+              "]) in the egress pipeline; both metas were extracted at "
+              "enqueue admission, so these writes never reach a buffer "
+              "event (stimulus: " +
+              d.stimulus + ")");
+      break;  // one finding is enough
+    }
+  }
+
+  // 4. Ingress attaches metadata no buffer handler observably consumes.
+  if (!overrides.handles_buffer_events) {
+    const bool meta_written = std::any_of(
+        event_log.packet_drives.begin(), event_log.packet_drives.end(),
+        [](const PacketDrive& d) {
+          return d.handler != Handler::kEgress && d.meta_written;
+        });
+    const auto is_buffer = [](Handler h) {
+      return h == Handler::kEnqueue || h == Handler::kDequeue ||
+             h == Handler::kOverflow || h == Handler::kUnderflow;
+    };
+    bool buffer_observed = std::any_of(
+        event_ctx.calls().begin(), event_ctx.calls().end(),
+        [&](const RecordingContext::Call& c) { return is_buffer(c.during); });
+    buffer_observed =
+        buffer_observed ||
+        std::any_of(event_ctx.punts().begin(), event_ctx.punts().end(),
+                    [&](const RecordingContext::Punt& p) {
+                      return is_buffer(p.during);
+                    });
+    for (const RegisterUsage& reg : matrix.registers) {
+      for (std::size_t h = 1; h < kNumHandlers && !buffer_observed; ++h) {
+        buffer_observed = is_buffer(static_cast<Handler>(h)) &&
+                          reg.totals(static_cast<Handler>(h)).any();
+      }
+    }
+    if (meta_written && !buffer_observed) {
+      add(findings, Severity::kNote, Pass::kResourceLint, "unused-meta",
+          "on_ingress",
+          "attaches enq/deq metadata but no buffer-event handler observably "
+          "consumes it (no register access, facility call or punt from "
+          "on_enqueue/on_dequeue/on_overflow/on_underflow); drop the "
+          "metadata or set handles_buffer_events in the registry if state "
+          "is member-only");
+    }
+  }
+}
+
+}  // namespace edp::analysis

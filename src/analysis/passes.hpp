@@ -1,0 +1,47 @@
+// edp::analysis — the verification passes.
+//
+//   1. build_graph       — recorded actions -> event-generation graph
+//   2. port_budget_pass  — access matrix vs per-register port budgets (§4)
+//   3. amplification_pass— graph cycles × chain-simulation verdicts
+//   4. resource_lint_pass— facility misuse and metadata-convention lints
+//
+// Passes only append Findings; the analyzer (analyzer.hpp) sequences them
+// and assembles the Report.
+#pragma once
+
+#include <vector>
+
+#include "analysis/driver.hpp"
+#include "analysis/recording_context.hpp"
+#include "analysis/report.hpp"
+
+namespace edp::analysis {
+
+/// Per-program lint suppressions, declared in the program registry next to
+/// the factory (the analysis-side equivalent of a NOLINT comment).
+struct LintOverrides {
+  /// The program consumes buffer events through member state the probe
+  /// cannot observe (no registers, no facility calls in those handlers);
+  /// suppresses the unused-meta note.
+  bool handles_buffer_events = false;
+};
+
+/// Build the event-generation graph from the matrix-mode drive log and the
+/// facility calls recorded alongside it.
+EventGraph build_graph(const RecordingContext& ctx, const DriveLog& log);
+
+void port_budget_pass(const AccessMatrix& matrix,
+                      std::vector<Finding>& findings);
+
+void amplification_pass(const EventGraph& graph,
+                        const std::vector<ChainRun>& chains,
+                        std::vector<Finding>& findings);
+
+void resource_lint_pass(const RecordingContext& event_ctx,
+                        const DriveLog& event_log,
+                        const RecordingContext& baseline_ctx,
+                        const AccessMatrix& matrix,
+                        const LintOverrides& overrides,
+                        std::vector<Finding>& findings);
+
+}  // namespace edp::analysis

@@ -43,8 +43,13 @@ FairAqmProgram::FairAqmProgram(FairAqmConfig config)
       flows_(config_.flow_slots) {}
 
 void FairAqmProgram::on_attach(core::EventContext& ctx) {
-  if (config_.send_reports) {
-    ctx.set_periodic_timer(config_.sample_period, /*cookie=*/0xfa1);
+  if (config_.send_reports &&
+      ctx.set_periodic_timer(config_.sample_period, /*cookie=*/0xfa1) == 0) {
+    // Baseline target: punt so the control plane can emulate the timer.
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = 0xfa1;
+    ctx.notify_control_plane(punt);
   }
 }
 
@@ -139,7 +144,13 @@ PieAqmProgram::PieAqmProgram(PieConfig config)
     : config_(config), rng_(config.seed) {}
 
 void PieAqmProgram::on_attach(core::EventContext& ctx) {
-  ctx.set_periodic_timer(config_.update_period, /*cookie=*/0x91e);
+  if (ctx.set_periodic_timer(config_.update_period, /*cookie=*/0x91e) == 0) {
+    // Baseline target: punt so the control plane can drive the PIE update.
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = 0x91e;
+    ctx.notify_control_plane(punt);
+  }
 }
 
 void PieAqmProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {

@@ -12,7 +12,12 @@ CmsMonitorProgram::CmsMonitorProgram(CmsMonitorConfig config)
 void CmsMonitorProgram::on_attach(core::EventContext& ctx) {
   // Event-driven architectures grant this; baselines refuse (returns 0)
   // and the control plane must drive control_reset instead.
-  ctx.set_periodic_timer(config_.reset_period, /*cookie=*/0xc35);
+  if (ctx.set_periodic_timer(config_.reset_period, /*cookie=*/0xc35) == 0) {
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = 0xc35;
+    ctx.notify_control_plane(punt);
+  }
 }
 
 void CmsMonitorProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {

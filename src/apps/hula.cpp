@@ -52,13 +52,21 @@ net::Packet HulaTorProgram::make_probe(std::size_t uplink_index) const {
 
 void HulaTorProgram::on_attach(core::EventContext& ctx) {
   // One generator per uplink. On a baseline architecture these calls are
-  // refused (return 0) and the CP must inject probes instead.
+  // refused (return 0) and the CP must inject probes instead — punt once
+  // so it knows to.
+  bool refused = false;
   for (std::size_t i = 0; i < config_.uplink_ports.size(); ++i) {
     core::PacketGenerator::Config g;
     g.packet_template = make_probe(i);
     g.period = config_.probe_period;
     g.start_immediately = false;
-    ctx.add_generator(std::move(g));
+    refused = ctx.add_generator(std::move(g)) == 0 || refused;
+  }
+  if (refused) {
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = config_.tor_id;
+    ctx.notify_control_plane(punt);
   }
 }
 

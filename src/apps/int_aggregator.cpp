@@ -17,7 +17,13 @@ IntAggregatorProgram::IntAggregatorProgram(IntAggregatorConfig config)
       flows_(config.flow_slots) {}
 
 void IntAggregatorProgram::on_attach(core::EventContext& ctx) {
-  ctx.set_periodic_timer(config_.report_period, kReportCookie);
+  if (ctx.set_periodic_timer(config_.report_period, kReportCookie) == 0) {
+    // Baseline target: punt so the control plane can pull reports instead.
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = kReportCookie;
+    ctx.notify_control_plane(punt);
+  }
 }
 
 void IntAggregatorProgram::on_ingress(pisa::Phv& phv,

@@ -29,15 +29,24 @@ LivenessProgram::LivenessProgram(LivenessConfig config)
       failed_at_(config_.monitored_ports.size(), sim::Time::zero()) {}
 
 void LivenessProgram::on_attach(core::EventContext& ctx) {
+  bool refused = false;
   for (std::size_t i = 0; i < config_.monitored_ports.size(); ++i) {
     core::PacketGenerator::Config g;
     g.packet_template = make_echo(config_.self_id, i);
     g.period = config_.probe_period;
     g.start_immediately = true;
-    ctx.add_generator(std::move(g));
+    refused = ctx.add_generator(std::move(g)) == 0 || refused;
     last_seen_[i] = ctx.now();  // grace period from attach
   }
-  ctx.set_periodic_timer(config_.check_period, kCheckCookie);
+  refused = ctx.set_periodic_timer(config_.check_period, kCheckCookie) == 0 ||
+            refused;
+  if (refused) {
+    // Baseline target: probing and dead-port checks need CP emulation.
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = kCheckCookie;
+    ctx.notify_control_plane(punt);
+  }
 }
 
 int LivenessProgram::port_index(std::uint16_t port) const {

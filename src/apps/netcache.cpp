@@ -20,7 +20,13 @@ NetCacheProgram::NetCacheProgram(NetCacheConfig config)
       popularity_(1024, 3) {}
 
 void NetCacheProgram::on_attach(core::EventContext& ctx) {
-  ctx.set_periodic_timer(config_.decay_period, kDecayCookie);
+  if (ctx.set_periodic_timer(config_.decay_period, kDecayCookie) == 0) {
+    // Baseline target: punt so the control plane can decay popularity.
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = kDecayCookie;
+    ctx.notify_control_plane(punt);
+  }
 }
 
 std::size_t NetCacheProgram::slot_of(std::uint64_t key) const {

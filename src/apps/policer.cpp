@@ -16,7 +16,13 @@ TimerTokenBucketProgram::TimerTokenBucketProgram(TokenBucketConfig config)
 }
 
 void TimerTokenBucketProgram::on_attach(core::EventContext& ctx) {
-  ctx.set_periodic_timer(config_.refill_period, /*cookie=*/0x70c);
+  if (ctx.set_periodic_timer(config_.refill_period, /*cookie=*/0x70c) == 0) {
+    // Baseline target: punt so the control plane can drive refills.
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = 0x70c;
+    ctx.notify_control_plane(punt);
+  }
 }
 
 void TimerTokenBucketProgram::on_ingress(pisa::Phv& phv,

@@ -12,7 +12,13 @@ RateMeasureProgram::RateMeasureProgram(RateMeasureConfig config)
       table_(config.flow_slots, config.buckets, config.bucket_width) {}
 
 void RateMeasureProgram::on_attach(core::EventContext& ctx) {
-  ctx.set_periodic_timer(config_.bucket_width, kTickCookie);
+  if (ctx.set_periodic_timer(config_.bucket_width, kTickCookie) == 0) {
+    // Baseline target: punt so the control plane can advance buckets.
+    core::ControlEventData punt;
+    punt.opcode = core::kOpFacilityUnavailable;
+    punt.args[0] = kTickCookie;
+    ctx.notify_control_plane(punt);
+  }
 }
 
 void RateMeasureProgram::on_ingress(pisa::Phv& phv, core::EventContext&) {

@@ -1,0 +1,150 @@
+#include "apps/registry.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "apps/aqm.hpp"
+#include "apps/chain_replication.hpp"
+#include "apps/cms_monitor.hpp"
+#include "apps/ecn_marking.hpp"
+#include "apps/fast_reroute.hpp"
+#include "apps/hula.hpp"
+#include "apps/int_aggregator.hpp"
+#include "apps/liveness.hpp"
+#include "apps/microburst.hpp"
+#include "apps/ndp_trim.hpp"
+#include "apps/netcache.hpp"
+#include "apps/policer.hpp"
+#include "apps/rate_measurement.hpp"
+#include "apps/snappy_baseline.hpp"
+#include "apps/swing_state.hpp"
+#include "apps/wfq.hpp"
+
+namespace edp::apps {
+namespace {
+
+/// Factory for an L3Program-derived app: construct and install a default
+/// route so the analyzer's stimuli actually traverse the pipeline.
+template <typename Program, typename Config>
+analysis::ProgramFactory l3_factory(Config config) {
+  return [config]() -> std::unique_ptr<core::EventProgram> {
+    auto program = std::make_unique<Program>(config);
+    program->add_route(net::Ipv4Address(10, 0, 0, 0), 8, /*port=*/1);
+    return program;
+  };
+}
+
+std::vector<RegisteredProgram> build_registry() {
+  std::vector<RegisteredProgram> r;
+  analysis::LintOverrides none;
+  analysis::LintOverrides member_state_buffers;
+  // These programs consume buffer events into plain member state (no
+  // registers, no facility calls from those handlers), which the probe
+  // cannot observe; without the override the unused-meta note would fire.
+  member_state_buffers.handles_buffer_events = true;
+
+  {
+    ChainNodeConfig c;
+    c.successor_ports = {2, 3};
+    r.push_back({"chain-replication",
+                 [c]() { return std::make_unique<ChainNodeProgram>(c); },
+                 none});
+  }
+  r.push_back({"cms-monitor", l3_factory<CmsMonitorProgram>(CmsMonitorConfig{}),
+               none});
+  r.push_back({"ecn-marking", l3_factory<MultiBitEcnProgram>(EcnMarkConfig{}),
+               member_state_buffers});
+  {
+    FairAqmConfig c;
+    c.send_reports = true;
+    c.report_port = 3;
+    c.monitor_ip = net::Ipv4Address(10, 9, 9, 9);
+    c.self_ip = net::Ipv4Address(10, 0, 0, 254);
+    r.push_back({"fair-aqm", l3_factory<FairAqmProgram>(c),
+                 member_state_buffers});
+  }
+  r.push_back({"fast-reroute",
+               []() { return std::make_unique<FrrProgram>(4); }, none});
+  {
+    HulaSpineConfig c;
+    c.num_tors = 2;
+    c.tor_port = {1, 2};
+    r.push_back({"hula-spine",
+                 [c]() { return std::make_unique<HulaSpineProgram>(c); },
+                 none});
+  }
+  {
+    HulaTorConfig c;
+    c.tor_id = 1;
+    c.host_port = 0;
+    c.uplink_ports = {1, 2};
+    r.push_back({"hula-tor",
+                 [c]() { return std::make_unique<HulaTorProgram>(c); },
+                 member_state_buffers});
+  }
+  r.push_back({"int-aggregator",
+               l3_factory<IntAggregatorProgram>(IntAggregatorConfig{}),
+               member_state_buffers});
+  {
+    LivenessConfig c;
+    c.self_id = 1;
+    c.monitored_ports = {1, 2};
+    c.monitor_port = 3;
+    r.push_back({"liveness",
+                 [c]() { return std::make_unique<LivenessProgram>(c); },
+                 none});
+  }
+  {
+    MicroburstConfig c;
+    c.state = StateModel::kAggregated;
+    r.push_back({"microburst-aggregated", l3_factory<MicroburstProgram>(c),
+                 none});
+    c.state = StateModel::kShared;
+    r.push_back({"microburst-shared", l3_factory<MicroburstProgram>(c),
+                 none});
+  }
+  r.push_back({"meter-policer",
+               []() -> std::unique_ptr<core::EventProgram> {
+                 auto p = std::make_unique<MeterPolicerProgram>(
+                     /*flow_slots=*/256, pisa::Meter::Config{});
+                 p->add_route(net::Ipv4Address(10, 0, 0, 0), 8, 1);
+                 return p;
+               },
+               none});
+  r.push_back({"ndp-trim", l3_factory<NdpTrimProgram>(NdpTrimConfig{}),
+               member_state_buffers});
+  {
+    NetCacheConfig c;
+    c.client_port = 0;
+    c.server_port = 1;
+    c.server_ip = net::Ipv4Address(10, 0, 1, 2);
+    r.push_back({"netcache",
+                 [c]() { return std::make_unique<NetCacheProgram>(c); },
+                 none});
+  }
+  r.push_back({"pie-aqm", l3_factory<PieAqmProgram>(PieConfig{}), none});
+  r.push_back({"rate-measurement",
+               l3_factory<RateMeasureProgram>(RateMeasureConfig{}), none});
+  r.push_back({"snappy-baseline", l3_factory<SnappyProgram>(SnappyConfig{}),
+               none});
+  r.push_back({"swing-state",
+               []() {
+                 return std::make_unique<SwingStateProgram>(SwingStateConfig{});
+               },
+               none});
+  r.push_back({"timer-token-bucket",
+               l3_factory<TimerTokenBucketProgram>(TokenBucketConfig{}),
+               none});
+  r.push_back({"wfq", l3_factory<WfqProgram>(WfqConfig{}),
+               member_state_buffers});
+  return r;
+}
+
+}  // namespace
+
+const std::vector<RegisteredProgram>& program_registry() {
+  static const std::vector<RegisteredProgram> registry = build_registry();
+  return registry;
+}
+
+}  // namespace edp::apps

@@ -1,0 +1,25 @@
+// edp::apps — the program registry.
+//
+// One table of every shipped EventProgram, each with a factory that builds
+// an analysis-ready instance (routes installed, ports configured) and the
+// program's lint overrides. `edp_lint` and the analysis tests iterate this
+// table; a new app is registered by adding one entry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace edp::apps {
+
+struct RegisteredProgram {
+  std::string name;
+  analysis::ProgramFactory factory;
+  analysis::LintOverrides lint;
+};
+
+/// Every shipped program, in stable (alphabetical) order.
+const std::vector<RegisteredProgram>& program_registry();
+
+}  // namespace edp::apps

@@ -1,23 +1,46 @@
 #include "core/aggregated_register.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
 
 namespace edp::core {
+namespace {
+
+/// A zero-cell array would make every `idx % size` divide by zero.
+std::size_t checked_size(std::size_t size, const std::string& name) {
+  if (size == 0) {
+    throw std::invalid_argument("AggregatedRegister '" + name +
+                                "': size must be >= 1");
+  }
+  return size;
+}
+
+}  // namespace
 
 AggregatedRegister::AggregatedRegister(std::string name, std::size_t size,
                                        DrainPolicy policy)
     : name_(std::move(name)),
       policy_(policy),
-      main_(name_ + ".main", size, /*ports=*/1),
+      main_(name_ + ".main", checked_size(size, name_), /*ports=*/1),
       enq_(size),
-      deq_(size) {
-  assert(size > 0);
+      deq_(size) {}
+
+void AggregatedRegister::probe(RegisterRealization realization, RegisterOp op,
+                               std::size_t idx) const {
+  if (RegisterProbe* p = active_register_probe()) {
+    // The aggregation arrays are single-ported by construction; the caller
+    // does not declare a thread — the realization already fixes which
+    // logical pipeline owns the access.
+    p->on_register_access(RegisterAccessEvent{this, name_, realization, op,
+                                              ThreadId::kOther, idx,
+                                              main_.size(), /*ports=*/1});
+  }
 }
 
 std::int64_t AggregatedRegister::packet_read(std::size_t idx,
                                              std::uint64_t cycle) {
   main_.ports().try_acquire(cycle);
+  probe(RegisterRealization::kAggregatedMain, RegisterOp::kRead, idx);
   return main_.read(idx);
 }
 
@@ -25,11 +48,15 @@ std::int64_t AggregatedRegister::packet_add(std::size_t idx,
                                             std::int64_t delta,
                                             std::uint64_t cycle) {
   main_.ports().try_acquire(cycle);
+  probe(RegisterRealization::kAggregatedMain, RegisterOp::kRmw, idx);
   return main_.rmw(idx, [delta](std::int64_t v) { return v + delta; });
 }
 
 void AggregatedRegister::agg_add(AggArray& arr, std::size_t idx,
                                  std::int64_t delta, std::uint64_t cycle) {
+  probe(&arr == &enq_ ? RegisterRealization::kAggregatedEnq
+                      : RegisterRealization::kAggregatedDeq,
+        RegisterOp::kRmw, idx);
   const std::size_t i = idx % arr.delta.size();
   arr.ports.try_acquire(cycle);
   arr.delta[i] += delta;

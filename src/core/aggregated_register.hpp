@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/register_probe.hpp"
 #include "pisa/register.hpp"
 
 namespace edp::core {
@@ -138,6 +139,9 @@ class AggregatedRegister {
 
   void agg_add(AggArray& arr, std::size_t idx, std::int64_t delta,
                std::uint64_t cycle);
+  /// Report one access to the installed RegisterProbe, if any.
+  void probe(RegisterRealization realization, RegisterOp op,
+             std::size_t idx) const;
   /// Apply the oldest entry of `arr` to main; false if arr is clean.
   bool apply_one(AggArray& arr, std::uint64_t cycle);
   void note_backlog();

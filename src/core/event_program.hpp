@@ -77,6 +77,15 @@ class EventContext {
 inline constexpr std::size_t kEnqMetaBase = 0;  ///< user[0..3]
 inline constexpr std::size_t kDeqMetaBase = 4;  ///< user[4..7]
 
+/// Control-plane opcode convention: when a program needs a timer or packet
+/// generator and the architecture refuses (baseline PISA has neither), the
+/// handler punts this opcode so the control plane can emulate the facility
+/// (args[0] = a program-chosen facility cookie). The static analyzer
+/// (src/analysis/) warns about refused facility requests that are not
+/// followed by this punt — silent degradation is the bug class §6 of the
+/// paper works around by hand.
+inline constexpr std::uint32_t kOpFacilityUnavailable = 0xFA11;
+
 /// Base class for data-plane programs. Default handlers do nothing, so a
 /// program overrides exactly the events it cares about — the paper's
 /// "define custom event handling logic" per event.

@@ -1,0 +1,66 @@
+#include "core/register_probe.hpp"
+
+#include <atomic>
+
+namespace edp::core {
+namespace {
+
+// Relaxed everywhere: the probe is installed/removed only around
+// single-threaded analysis drives, never while worker threads run.
+std::atomic<RegisterProbe*> g_probe{nullptr};
+
+}  // namespace
+
+std::string_view to_string(ThreadId thread) {
+  switch (thread) {
+    case ThreadId::kIngress:
+      return "ingress";
+    case ThreadId::kEgress:
+      return "egress";
+    case ThreadId::kEnqueue:
+      return "enqueue";
+    case ThreadId::kDequeue:
+      return "dequeue";
+    case ThreadId::kTimer:
+      return "timer";
+    case ThreadId::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::string_view to_string(RegisterOp op) {
+  switch (op) {
+    case RegisterOp::kRead:
+      return "read";
+    case RegisterOp::kWrite:
+      return "write";
+    case RegisterOp::kRmw:
+      return "rmw";
+  }
+  return "?";
+}
+
+std::string_view to_string(RegisterRealization realization) {
+  switch (realization) {
+    case RegisterRealization::kShared:
+      return "shared";
+    case RegisterRealization::kAggregatedMain:
+      return "aggregated.main";
+    case RegisterRealization::kAggregatedEnq:
+      return "aggregated.enq";
+    case RegisterRealization::kAggregatedDeq:
+      return "aggregated.deq";
+  }
+  return "?";
+}
+
+RegisterProbe* exchange_register_probe(RegisterProbe* probe) {
+  return g_probe.exchange(probe, std::memory_order_relaxed);
+}
+
+RegisterProbe* active_register_probe() {
+  return g_probe.load(std::memory_order_relaxed);
+}
+
+}  // namespace edp::core

@@ -1,0 +1,81 @@
+// edp::core — observation hook for stateful register externs.
+//
+// The static feasibility analyzer (src/analysis/) needs to see which
+// register each event handler touches, how (read / write / RMW), and as
+// which event-processing thread — the handler-thread × register access
+// matrix of paper §4. Rather than threading an observer through every
+// extern call site, the registers report each access to a process-wide
+// probe when one is installed. With no probe installed the cost on the
+// hot path is a single relaxed atomic load and branch.
+//
+// The probe is meant for single-threaded analysis drives (a recording
+// EventContext invoking handlers directly); installing one while a
+// parallel runtime is executing programs is not supported.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace edp::core {
+
+/// Identifies which event-processing thread performs an access (the paper's
+/// logical pipelines of Figure 2). Lives here, next to the probe types that
+/// report it; shared_register.hpp re-exports it to its callers.
+enum class ThreadId : std::uint8_t {
+  kIngress = 0,
+  kEgress,
+  kEnqueue,
+  kDequeue,
+  kTimer,
+  kOther,
+};
+inline constexpr std::size_t kNumThreads = 6;
+
+std::string_view to_string(ThreadId thread);
+
+/// How an access entered the register.
+enum class RegisterOp : std::uint8_t { kRead, kWrite, kRmw };
+
+/// Which physical realization (and, for aggregated state, which array)
+/// performed the access. Paper §4: kShared = multi-ported memory;
+/// the kAggregated* values are the single-ported main register plus its
+/// two aggregation side arrays.
+enum class RegisterRealization : std::uint8_t {
+  kShared,
+  kAggregatedMain,
+  kAggregatedEnq,
+  kAggregatedDeq,
+};
+
+std::string_view to_string(RegisterOp op);
+std::string_view to_string(RegisterRealization realization);
+
+/// One register access, as reported by the extern performing it.
+struct RegisterAccessEvent {
+  const void* reg = nullptr;  ///< identity of the extern instance
+  std::string_view name;      ///< the extern's configured name
+  RegisterRealization realization = RegisterRealization::kShared;
+  RegisterOp op = RegisterOp::kRead;
+  /// Thread the *caller declared* (SharedRegister API). Aggregated
+  /// registers report kOther; their realization already fixes the array.
+  ThreadId declared_thread = ThreadId::kOther;
+  std::size_t index = 0;
+  std::size_t size = 0;  ///< cells in the array
+  int ports = 1;         ///< configured port budget
+};
+
+/// Implemented by the analyzer's recorder.
+class RegisterProbe {
+ public:
+  virtual ~RegisterProbe() = default;
+  virtual void on_register_access(const RegisterAccessEvent& access) = 0;
+};
+
+/// Install `probe` (nullptr to uninstall); returns the previous probe.
+RegisterProbe* exchange_register_probe(RegisterProbe* probe);
+
+/// The currently installed probe, or nullptr (relaxed load).
+RegisterProbe* active_register_probe();
+
+}  // namespace edp::core

@@ -10,34 +10,37 @@
 // report per-thread access patterns. State is never stale — accesses take
 // effect immediately — which is exactly the semantics the aggregated
 // single-ported realization (aggregated_register.hpp) relaxes.
+//
+// Accesses are additionally reported to the process-wide RegisterProbe
+// when one is installed (register_probe.hpp) — that is how the static
+// analyzer (src/analysis/) extracts the handler-thread × register access
+// matrix without running a simulation.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
-namespace edp::core {
+#include "core/register_probe.hpp"
 
-/// Identifies which event-processing thread performs an access (the paper's
-/// logical pipelines of Figure 2).
-enum class ThreadId : std::uint8_t {
-  kIngress = 0,
-  kEgress,
-  kEnqueue,
-  kDequeue,
-  kTimer,
-  kOther,
-};
-inline constexpr std::size_t kNumThreads = 6;
+namespace edp::core {
 
 template <typename T>
 class SharedRegister {
  public:
   /// `ports` = number of simultaneous per-cycle accesses the multi-ported
   /// memory supports; sized to the number of threads that touch it.
+  /// A zero-cell register is not realizable (and would make every access
+  /// divide by zero), so `size` must be >= 1.
   SharedRegister(std::string name, std::size_t size, int ports)
-      : name_(std::move(name)), cells_(size, T{}), ports_(ports) {}
+      : name_(std::move(name)), cells_(size, T{}), ports_(ports) {
+    if (size == 0) {
+      throw std::invalid_argument("SharedRegister '" + name_ +
+                                  "': size must be >= 1");
+    }
+  }
 
   const std::string& name() const { return name_; }
   std::size_t size() const { return cells_.size(); }
@@ -47,12 +50,14 @@ class SharedRegister {
   void read(std::size_t index, T& out, ThreadId thread,
             std::uint64_t cycle) {
     account(thread, cycle);
+    probe(RegisterOp::kRead, thread, index);
     out = cells_[index % cells_.size()];
   }
 
   void write(std::size_t index, const T& value, ThreadId thread,
              std::uint64_t cycle) {
     account(thread, cycle);
+    probe(RegisterOp::kWrite, thread, index);
     cells_[index % cells_.size()] = value;
   }
 
@@ -60,6 +65,7 @@ class SharedRegister {
   template <typename Fn>
   T rmw(std::size_t index, Fn&& fn, ThreadId thread, std::uint64_t cycle) {
     account(thread, cycle);
+    probe(RegisterOp::kRmw, thread, index);
     T& cell = cells_[index % cells_.size()];
     cell = fn(cell);
     return cell;
@@ -95,6 +101,14 @@ class SharedRegister {
     ++used_this_cycle_;
     if (used_this_cycle_ == ports_ + 1) {
       ++overcommitted_;  // count the cycle once, on first excess access
+    }
+  }
+
+  void probe(RegisterOp op, ThreadId thread, std::size_t index) const {
+    if (RegisterProbe* p = active_register_probe()) {
+      p->on_register_access(RegisterAccessEvent{
+          this, name_, RegisterRealization::kShared, op, thread, index,
+          cells_.size(), ports_});
     }
   }
 

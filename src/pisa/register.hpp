@@ -11,6 +11,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,14 @@ template <typename T>
 class Register {
  public:
   Register(std::string name, std::size_t size, int ports = 1)
-      : name_(std::move(name)), cells_(size, T{}), port_usage_(ports) {}
+      : name_(std::move(name)), cells_(size, T{}), port_usage_(ports) {
+    if (size == 0) {
+      // Every access wraps with `idx % size`; a zero-cell array is not
+      // realizable and would divide by zero.
+      throw std::invalid_argument("Register '" + name_ +
+                                  "': size must be >= 1");
+    }
+  }
 
   const std::string& name() const { return name_; }
   std::size_t size() const { return cells_.size(); }

@@ -1,0 +1,456 @@
+// Tests for edp::analysis — the static feasibility analyzer (edp-verify).
+//
+// Each fixture program plants exactly one defect class; the assertions
+// match on the stable finding codes so the lint vocabulary is part of the
+// repo's contract. The shipped apps must all analyze clean (the same gate
+// edp_lint enforces in ctest).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/report.hpp"
+#include "apps/registry.hpp"
+#include "core/aggregated_register.hpp"
+#include "core/event_program.hpp"
+#include "core/shared_register.hpp"
+#include "pisa/register.hpp"
+
+namespace edp {
+namespace {
+
+using analysis::ActionKind;
+using analysis::Finding;
+using analysis::Handler;
+using analysis::Report;
+using analysis::Severity;
+
+template <typename Program>
+Report analyze(const std::string& name,
+               analysis::AnalyzerOptions options = {}) {
+  return analysis::analyze_program(
+      name, [] { return std::make_unique<Program>(); }, options);
+}
+
+const Finding* find_code(const Report& report, std::string_view code) {
+  for (const Finding& f : report.findings) {
+    if (f.code == code) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+int count_code(const Report& report, std::string_view code) {
+  int n = 0;
+  for (const Finding& f : report.findings) {
+    n += f.code == code ? 1 : 0;
+  }
+  return n;
+}
+
+// ---- fixture programs ---------------------------------------------------------
+
+/// Overrides nothing: the analyzer must have nothing to say.
+struct NoopProgram : core::EventProgram {};
+
+/// One single-ported SharedRegister written from three event-processing
+/// threads — not realizable (paper §4).
+class OvercommittedProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    reg_.rmw(0, [](std::uint64_t v) { return v + 1; },
+             core::ThreadId::kIngress, ctx.cycle());
+  }
+  void on_enqueue(const tm_::EnqueueRecord&,
+                  core::EventContext& ctx) override {
+    reg_.rmw(0, [](std::uint64_t v) { return v + 1; },
+             core::ThreadId::kEnqueue, ctx.cycle());
+  }
+  void on_dequeue(const tm_::DequeueRecord&,
+                  core::EventContext& ctx) override {
+    reg_.rmw(0, [](std::uint64_t v) { return v - 1; },
+             core::ThreadId::kDequeue, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> reg_{"hot_counter", 16, /*ports=*/1};
+};
+
+/// Declares the wrong ThreadId on its accesses: the port accountant would
+/// validate a schedule the handler never runs on.
+class MislabeledThreadProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    reg_.rmw(0, [](std::uint64_t v) { return v + 1; },
+             core::ThreadId::kTimer, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> reg_{"mislabeled", 8, /*ports=*/4};
+};
+
+/// Touches the AggregatedRegister arrays from the wrong threads: ingress
+/// writes the enqueue aggregation array, the enqueue handler steals the
+/// main array's packet port.
+class AggMisuseProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    agg_.enqueue_add(0, 1, ctx.cycle());
+  }
+  void on_enqueue(const tm_::EnqueueRecord&,
+                  core::EventContext& ctx) override {
+    agg_.packet_add(0, 1, ctx.cycle());
+  }
+
+ private:
+  core::AggregatedRegister agg_{"misused_agg", 8};
+};
+
+/// Recirculates every packet forever — the classic unguarded event storm.
+class UnguardedRecircProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv& phv, core::EventContext&) override {
+    phv.std_meta.recirculate = true;
+  }
+  void on_recirculate(pisa::Phv& phv, core::EventContext&) override {
+    phv.std_meta.recirculate = true;
+  }
+};
+
+/// Same recirculation cycle, but a hop count in a user word bounds it:
+/// statically a cycle, dynamically guarded.
+class GuardedRecircProgram : public core::EventProgram {
+ public:
+  static constexpr std::size_t kHopWord = 8;  // outside the enq/deq meta
+  static constexpr std::uint64_t kMaxHops = 3;
+
+  void on_ingress(pisa::Phv& phv, core::EventContext&) override {
+    phv.user[kHopWord] = 0;
+    phv.std_meta.recirculate = true;
+  }
+  void on_recirculate(pisa::Phv& phv, core::EventContext&) override {
+    if (phv.user[kHopWord] + 1 < kMaxHops) {
+      ++phv.user[kHopWord];
+      phv.std_meta.recirculate = true;
+    }
+  }
+};
+
+/// Every user event raises another user event — amplification through the
+/// event merger instead of the recirculation port.
+class UserStormProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    core::UserEventData data;
+    data.id = 1;
+    ctx.raise_user_event(data);
+  }
+  void on_user(const core::UserEventData& e,
+               core::EventContext& ctx) override {
+    core::UserEventData next = e;
+    ++next.words[0];
+    ctx.raise_user_event(next);
+  }
+};
+
+/// Arms a timer without handling refusal: on a baseline architecture the
+/// program silently loses its periodic work.
+class UncheckedTimerProgram : public core::EventProgram {
+ public:
+  void on_attach(core::EventContext& ctx) override {
+    ctx.set_periodic_timer(sim::Time::millis(10), /*cookie=*/0x7e57);
+  }
+};
+
+/// The same timer, but with the kOpFacilityUnavailable punt on refusal —
+/// the convention the resource lint checks for.
+class CheckedTimerProgram : public core::EventProgram {
+ public:
+  void on_attach(core::EventContext& ctx) override {
+    if (ctx.set_periodic_timer(sim::Time::millis(10), 0x7e57) == 0) {
+      core::ControlEventData punt;
+      punt.opcode = core::kOpFacilityUnavailable;
+      punt.args[0] = 0x7e57;
+      ctx.notify_control_plane(punt);
+    }
+  }
+};
+
+/// Passes the refusal sentinel (id 0) straight into an API — an
+/// acquisition result was never checked.
+class ZeroIdProgram : public core::EventProgram {
+ public:
+  void on_attach(core::EventContext& ctx) override {
+    ctx.trigger_generator(0);
+  }
+};
+
+/// Writes enq meta in the egress pipeline — both metas were extracted at
+/// enqueue admission, so the write is dead.
+class DeadMetaWriteProgram : public core::EventProgram {
+ public:
+  void on_egress(pisa::Phv& phv, core::EventContext&) override {
+    set_enq_meta(phv, 0, 0xbeef);
+  }
+};
+
+/// Attaches enq meta at ingress but never observes any buffer event.
+class UnusedMetaProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv& phv, core::EventContext&) override {
+    set_enq_meta(phv, 0, phv.length());
+  }
+};
+
+// ---- port budget --------------------------------------------------------------
+
+TEST(AnalysisPortBudget, CleanProgramHasNoFindings) {
+  const Report report = analyze<NoopProgram>("noop");
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(AnalysisPortBudget, OvercommittedSharedRegisterIsError) {
+  const Report report = analyze<OvercommittedProgram>("overcommitted");
+  const Finding* f = find_code(report, "port-overcommit");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->subject, "hot_counter");
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(AnalysisPortBudget, MultiThreadWriteSetGetsAggregationNote) {
+  const Report report = analyze<OvercommittedProgram>("overcommitted");
+  const Finding* f = find_code(report, "needs-aggregation");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kNote);
+  EXPECT_NE(f->message.find("AggregatedRegister"), std::string::npos);
+}
+
+TEST(AnalysisPortBudget, MislabeledThreadIdIsWarning) {
+  const Report report = analyze<MislabeledThreadProgram>("mislabeled");
+  const Finding* f = find_code(report, "thread-attribution");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->subject, "mislabeled");
+  // Enough ports were provisioned, so only the attribution is wrong.
+  EXPECT_EQ(find_code(report, "port-overcommit"), nullptr);
+}
+
+TEST(AnalysisPortBudget, AggregatedArrayOwnershipViolations) {
+  const Report report = analyze<AggMisuseProgram>("agg-misuse");
+  const Finding* main_misuse = find_code(report, "agg-main-misuse");
+  ASSERT_NE(main_misuse, nullptr);
+  EXPECT_NE(main_misuse->message.find("on_enqueue"), std::string::npos);
+  const Finding* array_misuse = find_code(report, "agg-array-misuse");
+  ASSERT_NE(array_misuse, nullptr);
+  EXPECT_NE(array_misuse->message.find("on_ingress"), std::string::npos);
+  EXPECT_FALSE(report.clean());
+}
+
+// ---- amplification ------------------------------------------------------------
+
+TEST(AnalysisAmplification, UnguardedRecirculationCycleIsError) {
+  const Report report = analyze<UnguardedRecircProgram>("recirc-storm");
+  const Finding* f = find_code(report, "unguarded-cycle");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_NE(f->subject.find("on_recirculate"), std::string::npos);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(AnalysisAmplification, GuardedRecirculationCycleIsNote) {
+  const Report report = analyze<GuardedRecircProgram>("recirc-guarded");
+  const Finding* f = find_code(report, "guarded-cycle");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kNote);
+  EXPECT_EQ(find_code(report, "unguarded-cycle"), nullptr);
+  // A dynamically bounded cycle is a fact to review, not a failure.
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(AnalysisAmplification, UserEventStormIsError) {
+  const Report report = analyze<UserStormProgram>("user-storm");
+  const Finding* f = find_code(report, "unguarded-cycle");
+  ASSERT_NE(f, nullptr);
+  EXPECT_NE(f->subject.find("on_user"), std::string::npos);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(AnalysisAmplification, CycleSearchSkipsRateBoundedEdges) {
+  analysis::EventGraph g;
+  g.edges.push_back({Handler::kUser, Handler::kUser,
+                     ActionKind::kRaiseUserEvent, /*rate_bounded=*/false, ""});
+  g.edges.push_back({Handler::kTimer, Handler::kTimer, ActionKind::kSetTimer,
+                     /*rate_bounded=*/true, ""});
+  const auto cycles = g.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], std::vector<Handler>{Handler::kUser});
+}
+
+TEST(AnalysisAmplification, CycleSearchFindsMultiHandlerCycles) {
+  analysis::EventGraph g;
+  g.edges.push_back({Handler::kIngress, Handler::kRecirculate,
+                     ActionKind::kRecirculate, false, ""});
+  g.edges.push_back({Handler::kRecirculate, Handler::kUser,
+                     ActionKind::kRaiseUserEvent, false, ""});
+  g.edges.push_back({Handler::kUser, Handler::kIngress,
+                     ActionKind::kInjectPacket, false, ""});
+  const auto cycles = g.cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  const std::vector<Handler> expected{Handler::kIngress, Handler::kRecirculate,
+                                      Handler::kUser};
+  EXPECT_EQ(cycles[0], expected);
+}
+
+// ---- resource lint ------------------------------------------------------------
+
+TEST(AnalysisResourceLint, UncheckedTimerRefusalIsWarning) {
+  const Report report = analyze<UncheckedTimerProgram>("unchecked-timer");
+  const Finding* f = find_code(report, "unchecked-facility");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->subject, "on_attach");
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(AnalysisResourceLint, FacilityPuntSilencesTheWarning) {
+  const Report report = analyze<CheckedTimerProgram>("checked-timer");
+  EXPECT_EQ(find_code(report, "unchecked-facility"), nullptr);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(AnalysisResourceLint, ZeroIdUseIsError) {
+  const Report report = analyze<ZeroIdProgram>("zero-id");
+  const Finding* f = find_code(report, "zero-id");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->subject, "on_attach");
+  // Reported once even though both analysis architectures observe it.
+  EXPECT_EQ(count_code(report, "zero-id"), 1);
+}
+
+TEST(AnalysisResourceLint, EgressMetaWriteIsDead) {
+  const Report report = analyze<DeadMetaWriteProgram>("dead-meta");
+  const Finding* f = find_code(report, "dead-meta-write");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->subject, "on_egress");
+  EXPECT_EQ(count_code(report, "dead-meta-write"), 1);
+}
+
+TEST(AnalysisResourceLint, UnconsumedMetaIsNoted) {
+  const Report report = analyze<UnusedMetaProgram>("unused-meta");
+  const Finding* f = find_code(report, "unused-meta");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kNote);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(AnalysisResourceLint, BufferEventOverrideSuppressesMetaNote) {
+  analysis::AnalyzerOptions options;
+  options.lint.handles_buffer_events = true;
+  const Report report = analyze<UnusedMetaProgram>("unused-meta", options);
+  EXPECT_EQ(find_code(report, "unused-meta"), nullptr);
+}
+
+// ---- report -------------------------------------------------------------------
+
+TEST(AnalysisReport, CleanAllowsNotesButNotWarnings) {
+  Report report;
+  report.findings.push_back(Finding{Severity::kNote, analysis::Pass::kPortBudget,
+                                    "needs-aggregation", "r", ""});
+  EXPECT_TRUE(report.clean());
+  report.findings.push_back(Finding{Severity::kWarning,
+                                    analysis::Pass::kResourceLint,
+                                    "dead-meta-write", "on_egress", ""});
+  EXPECT_FALSE(report.clean());
+  EXPECT_TRUE(report.has(Severity::kNote));
+  EXPECT_TRUE(report.has(Severity::kWarning));
+  EXPECT_FALSE(report.has(Severity::kError));
+}
+
+// ---- the shipped programs -------------------------------------------------------
+
+TEST(AnalysisRegistry, AllShippedProgramsAnalyzeClean) {
+  for (const apps::RegisteredProgram& entry : apps::program_registry()) {
+    analysis::AnalyzerOptions options;
+    options.lint = entry.lint;
+    const Report report =
+        analysis::analyze_program(entry.name, entry.factory, options);
+    EXPECT_TRUE(report.clean()) << report.format(/*verbose=*/false);
+  }
+}
+
+TEST(AnalysisRegistry, SharedMicroburstNeedsAggregationOnSinglePorted) {
+  for (const apps::RegisteredProgram& entry : apps::program_registry()) {
+    if (entry.name != "microburst-shared") {
+      continue;
+    }
+    const Report report =
+        analysis::analyze_program(entry.name, entry.factory, {});
+    const Finding* f = find_code(report, "needs-aggregation");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::kNote);
+    EXPECT_TRUE(report.clean());
+    return;
+  }
+  FAIL() << "microburst-shared missing from the registry";
+}
+
+TEST(AnalysisRegistry, AggregatedMicroburstMatrixMatchesThePaper) {
+  for (const apps::RegisteredProgram& entry : apps::program_registry()) {
+    if (entry.name != "microburst-aggregated") {
+      continue;
+    }
+    const Report report =
+        analysis::analyze_program(entry.name, entry.factory, {});
+    const analysis::RegisterUsage* agg = nullptr;
+    for (const analysis::RegisterUsage& reg : report.matrix.registers) {
+      if (reg.aggregated) {
+        agg = &reg;
+      }
+    }
+    ASSERT_NE(agg, nullptr);
+    const auto counts = [&](Handler h, core::RegisterRealization r) {
+      return agg->counts[static_cast<std::size_t>(h)]
+                        [static_cast<std::size_t>(r)];
+    };
+    // Paper §4 Figure 3: packet events read the main array, enqueue and
+    // dequeue updates land in their own aggregation arrays.
+    EXPECT_GT(counts(Handler::kIngress,
+                     core::RegisterRealization::kAggregatedMain).reads, 0u);
+    EXPECT_GT(counts(Handler::kEnqueue,
+                     core::RegisterRealization::kAggregatedEnq).writes, 0u);
+    EXPECT_GT(counts(Handler::kDequeue,
+                     core::RegisterRealization::kAggregatedDeq).writes, 0u);
+    // And no event thread touches the main array directly.
+    EXPECT_EQ(counts(Handler::kEnqueue,
+                     core::RegisterRealization::kAggregatedMain).any(), false);
+    return;
+  }
+  FAIL() << "microburst-aggregated missing from the registry";
+}
+
+// ---- size-0 register regression -------------------------------------------------
+
+TEST(RegisterSizeValidation, SharedRegisterRejectsZeroCells) {
+  EXPECT_THROW((core::SharedRegister<std::uint64_t>("z", 0, 1)),
+               std::invalid_argument);
+}
+
+TEST(RegisterSizeValidation, AggregatedRegisterRejectsZeroCells) {
+  EXPECT_THROW(core::AggregatedRegister("z", 0), std::invalid_argument);
+}
+
+TEST(RegisterSizeValidation, PisaRegisterRejectsZeroCells) {
+  EXPECT_THROW(pisa::Register<std::uint32_t>("z", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edp
