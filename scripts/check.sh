@@ -21,10 +21,17 @@ fi
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
+# Hot-path allocation lint: no heap, std::function or deque in the event
+# kernel (scripts/lint_hotpath.sh).
+echo "=== lint_hotpath ==="
+./scripts/lint_hotpath.sh
+
 # Static feasibility analysis: every registered program must lint clean
-# (docs/ANALYSIS.md).
+# (docs/ANALYSIS.md), both unconstrained and mapped onto the most
+# constrained built-in hardware target.
 echo "=== edp_lint ==="
 ./build/tools/edp_lint
+./build/tools/edp_lint --target linerate-tor
 
 if [[ -f build-release/CMakeCache.txt ]]; then
   cmake -B build-release -S .

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Hot-path allocation lint for src/sim/ and src/runtime/.
+#
+# The event kernel's per-event path must not allocate: no heap allocation
+# (new/make_unique/make_shared/malloc), no std::function (type-erased heap
+# closures — use sim::InlineCallback), no std::deque/std::list (per-node
+# allocation — use sim::RingQueue). PR 2 removed these from the hot path;
+# this check keeps them out.
+#
+# Setup-time code (constructors that run once per simulation) may carry an
+# explicit `// hotpath-ok: <reason>` annotation on the offending line.
+# Comment text is stripped before matching, so prose mentioning a banned
+# name does not trip the check. Placement new (`::new (buf)`) is allowed —
+# it is how InlineCallback avoids the heap in the first place.
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=$(find src/sim src/runtime -name '*.hpp' -o -name '*.cpp' | sort)
+status=0
+
+check() {
+  local pattern="$1"
+  local label="$2"
+  local hits
+  hits=$(for f in $files; do
+    awk -v pat="$pattern" -v f="$f" '
+      /hotpath-ok/ { next }
+      {
+        line = $0
+        sub(/\/\/.*/, "", line)
+        if (line ~ pat) { printf "%s:%d: %s\n", f, NR, $0 }
+      }
+    ' "$f"
+  done)
+  if [ -n "$hits" ]; then
+    echo "lint_hotpath: banned on the hot path: $label"
+    echo "$hits"
+    echo
+    status=1
+  fi
+}
+
+check 'std::function' \
+  'std::function (type-erased heap closure; use sim::InlineCallback)'
+check 'std::(deque|list)[[:space:]]*<' \
+  'std::deque / std::list (per-node allocation; use sim::RingQueue)'
+# `[^:alnum:_:]new` keeps placement `::new (` and identifiers like
+# `new_value` out of scope.
+check '(^|[^[:alnum:]_:])new[[:space:](]' \
+  'operator new (heap allocation; pool or preallocate instead)'
+check '(make_unique|make_shared|[^[:alnum:]_](m|c|re)alloc[[:space:]]*\()' \
+  'heap allocation (make_unique/make_shared/malloc family)'
+
+if [ "$status" -eq 0 ]; then
+  echo "lint_hotpath: OK ($(echo "$files" | wc -l) files checked)"
+fi
+exit "$status"

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Structural validation of SARIF 2.1.0 output from edp_lint.
+
+The container has no jsonschema package, so this checks the SARIF 2.1.0
+subset edp_lint emits directly against the spec's structural requirements:
+required top-level fields, the tool.driver rule catalogue, and the shape
+of every result (ruleId resolution, level vocabulary, locations).
+
+Usage:
+    validate_sarif.py <file.sarif>
+    validate_sarif.py --run <edp_lint> [edp_lint args...]
+
+With --run the linter is executed and its stdout validated; a linter exit
+status of 1 (findings present) is fine — only 2+ (usage error) or a crash
+fails the validation.
+"""
+
+import json
+import subprocess
+import sys
+
+LEVELS = {"none", "note", "warning", "error"}
+
+
+def fail(msg):
+    print(f"validate_sarif: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate(doc):
+    require(isinstance(doc, dict), "top level must be a JSON object")
+    require(doc.get("version") == "2.1.0",
+            f"version must be '2.1.0', got {doc.get('version')!r}")
+    runs = doc.get("runs")
+    require(isinstance(runs, list) and runs, "runs must be a non-empty array")
+
+    for i, run in enumerate(runs):
+        require(isinstance(run, dict), f"runs[{i}] must be an object")
+        driver = run.get("tool", {}).get("driver")
+        require(isinstance(driver, dict), f"runs[{i}].tool.driver missing")
+        require(isinstance(driver.get("name"), str) and driver["name"],
+                f"runs[{i}].tool.driver.name must be a non-empty string")
+
+        rules = driver.get("rules", [])
+        require(isinstance(rules, list), f"runs[{i}] rules must be an array")
+        rule_ids = []
+        for j, rule in enumerate(rules):
+            require(isinstance(rule.get("id"), str) and rule["id"],
+                    f"rules[{j}].id must be a non-empty string")
+            desc = rule.get("shortDescription", {})
+            require(isinstance(desc.get("text"), str) and desc["text"],
+                    f"rules[{j}].shortDescription.text missing")
+            rule_ids.append(rule["id"])
+        require(len(rule_ids) == len(set(rule_ids)), "duplicate rule ids")
+
+        results = run.get("results", [])
+        require(isinstance(results, list),
+                f"runs[{i}].results must be an array")
+        for k, res in enumerate(results):
+            where = f"results[{k}]"
+            require(isinstance(res, dict), f"{where} must be an object")
+            rule_id = res.get("ruleId")
+            require(isinstance(rule_id, str) and rule_id,
+                    f"{where}.ruleId must be a non-empty string")
+            require(not rule_ids or rule_id in rule_ids,
+                    f"{where}.ruleId {rule_id!r} not in the rule catalogue")
+            if "ruleIndex" in res:
+                idx = res["ruleIndex"]
+                require(isinstance(idx, int) and 0 <= idx < len(rule_ids),
+                        f"{where}.ruleIndex out of range")
+                require(rule_ids[idx] == rule_id,
+                        f"{where}.ruleIndex does not match ruleId")
+            require(res.get("level", "warning") in LEVELS,
+                    f"{where}.level {res.get('level')!r} invalid")
+            msg = res.get("message", {})
+            require(isinstance(msg.get("text"), str) and msg["text"],
+                    f"{where}.message.text missing")
+            locs = res.get("locations", [])
+            require(isinstance(locs, list) and locs,
+                    f"{where}.locations must be a non-empty array")
+            for loc in locs:
+                art = loc.get("physicalLocation", {}).get(
+                    "artifactLocation", {})
+                require(isinstance(art.get("uri"), str) and art["uri"],
+                        f"{where} artifactLocation.uri missing")
+        print(f"validate_sarif: run[{i}]: tool={driver['name']} "
+              f"rules={len(rule_ids)} results={len(results)}")
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "--run":
+        proc = subprocess.run(argv[2:], capture_output=True, text=True)
+        # Exit 1 = findings exist, which is expected on constrained targets.
+        if proc.returncode not in (0, 1):
+            fail(f"linter exited {proc.returncode}: {proc.stderr.strip()}")
+        raw = proc.stdout
+    elif len(argv) == 2 and argv[1] not in ("-h", "--help"):
+        with open(argv[1], encoding="utf-8") as f:
+            raw = f.read()
+    else:
+        print(__doc__)
+        return 2
+
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as e:
+        fail(f"output is not valid JSON: {e}")
+    validate(doc)
+    print("validate_sarif: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,5 +1,7 @@
 #include "analysis/analyzer.hpp"
 
+#include <algorithm>
+#include <tuple>
 #include <utility>
 
 namespace edp::analysis {
@@ -9,19 +11,22 @@ Report analyze_program(const std::string& name, const ProgramFactory& factory,
   Report report;
   report.program = name;
 
-  // Phase 1: matrix extraction on the event architecture. The probe is
+  // Phase 1: trace extraction on the event architecture. The probe is
   // process-global, so it is installed only while this instance runs.
   RecordingContext::Config event_config;
   event_config.event_architecture = true;
   RecordingContext event_ctx(event_config);
   DriveLog event_log;
+  DriveOptions drive_options;
+  drive_options.ingress_repeats = options.stimulus_repeats;
   {
     const std::unique_ptr<core::EventProgram> program = factory();
-    MatrixProbe probe(event_ctx);
+    TraceProbe probe(event_ctx);
     ProbeInstallation installed(&probe);
-    event_log = drive_all(*program, event_ctx);
-    report.matrix = probe.take_matrix();
+    event_log = drive_all(*program, event_ctx, drive_options);
+    report.ir = probe.take_ir();
   }
+  report.matrix = report.ir.to_matrix();
   report.graph = build_graph(event_ctx, event_log);
 
   // Phase 2: chain simulation on a fresh instance (fresh guard state).
@@ -38,13 +43,27 @@ Report analyze_program(const std::string& name, const ProgramFactory& factory,
   RecordingContext baseline_ctx(baseline_config);
   {
     const std::unique_ptr<core::EventProgram> program = factory();
-    drive_all(*program, baseline_ctx);
+    drive_all(*program, baseline_ctx, drive_options);
   }
 
+  const HardwareModel& model =
+      options.model != nullptr ? *options.model : unconstrained_model();
+
   port_budget_pass(report.matrix, report.findings);
+  report.mapping = pipeline_mapping_pass(report.ir, report.graph, event_ctx,
+                                         model, options.rates,
+                                         report.findings);
   amplification_pass(report.graph, chains, report.findings);
   resource_lint_pass(event_ctx, event_log, baseline_ctx, report.matrix,
                      options.lint, report.findings);
+
+  // Deterministic finding order: two analyses of the same program must
+  // format byte-identically, whatever order the passes appended in.
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.code, a.subject, a.message) <
+                            std::tie(b.code, b.subject, b.message);
+                   });
   return report;
 }
 

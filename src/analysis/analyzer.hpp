@@ -23,6 +23,16 @@ struct AnalyzerOptions {
   /// Chain-simulation step budget per seed stimulus; a chain still
   /// spawning events at the budget is unguarded amplification.
   std::size_t max_chain_steps = 64;
+  /// Hardware target the pipeline-mapping pass checks against; nullptr
+  /// means the unconstrained simulation model (mapping reported, nothing
+  /// flagged). The pointer must outlive the call.
+  const HardwareModel* model = nullptr;
+  /// Declared worst-case event rates (registry annotations); anything left
+  /// unset is derived from the model and the recorded timer/generator
+  /// periods.
+  EventRates rates;
+  /// Bounded multi-stimulus exploration (DriveOptions::ingress_repeats).
+  std::size_t stimulus_repeats = 3;
 };
 
 /// Run all passes over the program `factory` builds. `name` labels the

@@ -1,5 +1,6 @@
 #include "analysis/driver.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <utility>
 
@@ -203,39 +204,10 @@ tm_::DequeueRecord make_dequeue(const PacketDrive& d, sim::Time now,
 
 }  // namespace
 
-// ---- matrix probe -------------------------------------------------------------
+// ---- trace-mode driver --------------------------------------------------------
 
-void MatrixProbe::on_register_access(const core::RegisterAccessEvent& e) {
-  auto [it, inserted] = index_.emplace(e.reg, matrix_.registers.size());
-  if (inserted) {
-    RegisterUsage usage;
-    usage.name = std::string(e.name);
-    usage.aggregated = e.realization != core::RegisterRealization::kShared;
-    usage.size = e.size;
-    usage.ports = e.ports;
-    matrix_.registers.push_back(std::move(usage));
-  }
-  RegisterUsage& usage = matrix_.registers[it->second];
-  const auto h = static_cast<std::size_t>(ctx_->current_handler());
-  const auto r = static_cast<std::size_t>(e.realization);
-  AccessCounts& counts = usage.counts[h][r];
-  if (e.op == core::RegisterOp::kRead) {
-    ++counts.reads;
-  } else if (e.op == core::RegisterOp::kWrite) {
-    ++counts.writes;
-  } else {
-    ++counts.reads;
-    ++counts.writes;
-  }
-  if (e.realization == core::RegisterRealization::kShared) {
-    usage.declared_threads[h] |=
-        static_cast<std::uint8_t>(1u << static_cast<unsigned>(e.declared_thread));
-  }
-}
-
-// ---- matrix-mode driver -------------------------------------------------------
-
-DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx) {
+DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
+                   const DriveOptions& options) {
   const pisa::Parser parser = pisa::Parser::standard();
   const std::vector<Stimulus> stimuli = make_stimuli();
   DriveLog log;
@@ -243,14 +215,19 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx) {
   ctx.begin_drive(Handler::kAttach);
   program.on_attach(ctx);
 
-  // Packet handlers, one drive per protocol stimulus.
+  // Packet handlers. Each ingress stimulus repeats back-to-back so
+  // counter-guarded branches (every-Nth-packet probes, warm-up thresholds)
+  // execute and their register accesses reach the IR.
+  const std::size_t repeats = std::max<std::size_t>(1, options.ingress_repeats);
   for (const Stimulus& s : stimuli) {
-    pisa::Phv phv = parser.parse(s.packet);
-    if (phv.parse_error) {
-      continue;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      pisa::Phv phv = parser.parse(s.packet);
+      if (phv.parse_error) {
+        break;
+      }
+      log.packet_drives.push_back(
+          drive_packet(program, ctx, Handler::kIngress, s.name, phv));
     }
-    log.packet_drives.push_back(
-        drive_packet(program, ctx, Handler::kIngress, s.name, phv));
   }
   for (const Stimulus& s : stimuli) {
     pisa::Phv phv = parser.parse(s.packet);
@@ -296,18 +273,27 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx) {
   }
 
   // Buffer events replay the meta the program's own ingress attached, at a
-  // shallow and a deep queue depth (to reach threshold branches).
+  // shallow and a deep queue depth (to reach threshold branches). The deep
+  // replay also answers queue_bytes() queries with a deep queue. One
+  // replay per stimulus: the repeats above share the same meta.
+  const std::size_t shallow_queue_bytes = ctx.config().queue_bytes;
   const std::vector<PacketDrive> ingress_drives = log.packet_drives;
+  std::string replayed_stimulus;
   for (const PacketDrive& d : ingress_drives) {
-    if (d.handler != Handler::kIngress || !d.forwarded) {
+    if (d.handler != Handler::kIngress || !d.forwarded ||
+        d.stimulus == replayed_stimulus) {
       continue;
     }
+    replayed_stimulus = d.stimulus;
     for (const bool deep : {false, true}) {
+      ctx.set_queue_bytes(deep ? options.deep_queue_bytes
+                               : shallow_queue_bytes);
       ctx.begin_drive(Handler::kEnqueue);
       program.on_enqueue(make_enqueue(d, ctx.now(), deep), ctx);
       ctx.begin_drive(Handler::kDequeue);
       program.on_dequeue(make_dequeue(d, ctx.now(), deep), ctx);
     }
+    ctx.set_queue_bytes(shallow_queue_bytes);
     {
       ctx.begin_drive(Handler::kOverflow);
       tm_::DropRecord drop;

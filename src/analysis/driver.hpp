@@ -1,41 +1,26 @@
 // edp::analysis — the handler driver.
 //
-// Extracts the access matrix and the recorded-action log by invoking every
-// handler of an EventProgram directly with synthetic stimuli (no network,
-// no scheduler): each protocol the standard parser knows contributes one
-// ingress/egress/recirculate packet; buffer events replay the enq/deq
-// metadata the program's own ingress wrote; timer and user events replay
-// what the program itself configured. A second entry point re-runs a fresh
-// program instance in *chain* mode, dynamically following the events each
-// handler spawns, to distinguish guarded from unguarded amplification.
+// Extracts the dataflow IR traces and the recorded-action log by invoking
+// every handler of an EventProgram directly with synthetic stimuli (no
+// network, no scheduler): each protocol the standard parser knows
+// contributes a bounded burst of ingress/egress/recirculate packets (so
+// threshold-guarded accesses appear in the IR, not just the first-packet
+// path); buffer events replay the enq/deq metadata the program's own
+// ingress wrote, at a shallow and a deep queue depth; timer and user
+// events replay what the program itself configured. A second entry point
+// re-runs a fresh program instance in *chain* mode, dynamically following
+// the events each handler spawns, to distinguish guarded from unguarded
+// amplification.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "analysis/recording_context.hpp"
-#include "analysis/report.hpp"
 #include "core/register_probe.hpp"
 
 namespace edp::analysis {
-
-/// Builds the AccessMatrix from probe callbacks, attributing each register
-/// access to the handler the RecordingContext is currently driving.
-class MatrixProbe : public core::RegisterProbe {
- public:
-  explicit MatrixProbe(const RecordingContext& ctx) : ctx_(&ctx) {}
-
-  void on_register_access(const core::RegisterAccessEvent& e) override;
-
-  AccessMatrix take_matrix() { return std::move(matrix_); }
-
- private:
-  const RecordingContext* ctx_;
-  AccessMatrix matrix_;
-  std::unordered_map<const void*, std::size_t> index_;
-};
 
 /// Installs a probe for the current scope, restoring the previous one.
 class ProbeInstallation {
@@ -82,10 +67,21 @@ struct ChainRun {
   bool limited = false;
 };
 
-/// Drive every handler once per stimulus (matrix mode; spawned events are
+/// Bounds for the stimulus exploration in drive_all.
+struct DriveOptions {
+  /// How many times each ingress stimulus is repeated back-to-back, so
+  /// counters cross small thresholds and the accesses behind them reach
+  /// the IR. 0 behaves like 1.
+  std::size_t ingress_repeats = 3;
+  /// queue_bytes() answer during the deep buffer-event replay.
+  std::size_t deep_queue_bytes = 256 * 1024;
+};
+
+/// Drive every handler per stimulus (trace mode; spawned events are
 /// recorded but followed at most one level, e.g. injected packets feed the
 /// on_generated drives). Facility calls accumulate in `ctx`.
-DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx);
+DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
+                   const DriveOptions& options = {});
 
 /// Chain mode: seed each ingress stimulus into a *fresh* program instance
 /// and keep driving the handlers its actions spawn, following only edges

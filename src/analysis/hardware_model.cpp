@@ -1,0 +1,128 @@
+#include "analysis/hardware_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace edp::analysis {
+
+double HardwareModel::packet_rate(std::size_t packet_bytes) const {
+  const std::size_t bytes =
+      packet_bytes == 0 ? min_packet_bytes : packet_bytes;
+  if (bytes == 0 || line_rate_bps <= 0.0) {
+    return 0.0;
+  }
+  const double rate = line_rate_bps / (8.0 * static_cast<double>(bytes));
+  return std::min(rate, clock_hz);
+}
+
+const std::vector<HardwareModel>& builtin_hardware_models() {
+  static const std::vector<HardwareModel> models = [] {
+    std::vector<HardwareModel> m;
+
+    HardwareModel tor;
+    tor.name = "linerate-tor";
+    tor.description =
+        "Tofino-class ToR ASIC: 12 stages, single-ported stage SRAM, "
+        "800G aggregate at a 1.25GHz clock (paper §4's line-rate case)";
+    tor.stages = 12;
+    tor.register_ports_per_stage = 1;
+    tor.alus_per_stage = 4;
+    tor.registers_per_stage = 4;
+    tor.clock_hz = 1.25e9;
+    tor.line_rate_bps = 800e9;
+    tor.min_packet_bytes = 84;
+    m.push_back(std::move(tor));
+
+    HardwareModel nic;
+    nic.name = "smartnic";
+    nic.description =
+        "SmartNIC datapath: 8 stages, dual-ported memory, 100G at a "
+        "0.8GHz clock — lower rate buys ports (paper §4's "
+        "low-line-rate case)";
+    nic.stages = 8;
+    nic.register_ports_per_stage = 2;
+    nic.alus_per_stage = 2;
+    nic.registers_per_stage = 8;
+    nic.clock_hz = 0.8e9;
+    nic.line_rate_bps = 100e9;
+    nic.min_packet_bytes = 84;
+    m.push_back(std::move(nic));
+
+    HardwareModel sim;
+    sim.name = "sim-unconstrained";
+    sim.description =
+        "Simulation target with no physical limits: the mapping is "
+        "reported, nothing is flagged";
+    sim.unconstrained = true;
+    sim.stages = 1u << 20;
+    sim.register_ports_per_stage = 1 << 20;
+    sim.alus_per_stage = 1u << 20;
+    sim.registers_per_stage = 1u << 20;
+    sim.clock_hz = 1e18;
+    sim.line_rate_bps = 800e9;
+    sim.min_packet_bytes = 84;
+    m.push_back(std::move(sim));
+
+    return m;
+  }();
+  return models;
+}
+
+const HardwareModel* find_hardware_model(const std::string& name) {
+  for (const HardwareModel& model : builtin_hardware_models()) {
+    if (model.name == name) {
+      return &model;
+    }
+  }
+  return nullptr;
+}
+
+const HardwareModel& unconstrained_model() {
+  return *find_hardware_model("sim-unconstrained");
+}
+
+namespace {
+
+/// Rates are intents (1.19e9 pkt/s), not measurements; print compactly.
+std::string format_rate(double rate) {
+  std::ostringstream os;
+  if (rate >= 1e9) {
+    os << rate / 1e9 << "G/s";
+  } else if (rate >= 1e6) {
+    os << rate / 1e6 << "M/s";
+  } else if (rate >= 1e3) {
+    os << rate / 1e3 << "k/s";
+  } else {
+    os << rate << "/s";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string PipelineMapping::format(
+    const std::vector<IrRegister>& registers) const {
+  std::ostringstream os;
+  os << "  target " << target << ": "
+     << (mapped ? "mapped" : "NOT MAPPED") << ", " << stages_used
+     << " stage(s) used\n";
+  for (std::size_t r = 0; r < stage_of.size() && r < registers.size(); ++r) {
+    os << "    " << registers[r].name << " -> ";
+    if (stage_of[r] == kUnplaced) {
+      os << "unplaced";
+    } else {
+      os << "stage " << stage_of[r];
+    }
+    os << "\n";
+  }
+  os << "    cycle budget: slot " << format_rate(slot_rate) << ", carrier "
+     << format_rate(carrier_rate) << ", idle " << format_rate(idle_rate)
+     << "\n";
+  for (const Drain& d : drains) {
+    os << "    drain " << d.name << ": demand " << format_rate(d.demand)
+       << (d.starved ? " (STARVED)" : "") << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace edp::analysis

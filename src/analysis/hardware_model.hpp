@@ -1,0 +1,125 @@
+// edp::analysis — declarative hardware targets for the pipeline-mapping
+// pass.
+//
+// Paper §4's feasibility argument is quantitative: the merged physical
+// pipeline (Figure 3) fits a device only if the dependency chains fit the
+// stage count, every same-cycle register access gets a memory port, and the
+// clock leaves enough *idle* cycles — cycles carrying neither a packet slot
+// nor a carrier event — to drain the aggregation side-registers faster than
+// worst-case event rates fill them. A HardwareModel states those device
+// parameters declaratively; the pipeline-mapping pass (passes.hpp) checks a
+// program's dataflow IR against them and PipelineMapping records the
+// verdict.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hpp"
+#include "analysis/ir.hpp"
+
+namespace edp::analysis {
+
+/// One pipeline target. Rates are events per second; a clock cycle carries
+/// at most one packet slot (paper §3's slot model).
+struct HardwareModel {
+  std::string name;
+  std::string description;
+
+  /// True for simulation targets with no meaningful physical limits: the
+  /// pipeline-mapping pass records the mapping but emits no findings.
+  bool unconstrained = false;
+
+  /// Physical match-action stages in the merged pipeline.
+  std::size_t stages = 12;
+  /// Same-cycle access ports on each stage's register memory. 1 models the
+  /// single-ported SRAM of a line-rate device (§4).
+  int register_ports_per_stage = 1;
+  /// Stateful ALUs per stage — distinct registers placeable on one stage.
+  std::size_t alus_per_stage = 4;
+  /// Register externs one stage's memory can host.
+  std::size_t registers_per_stage = 4;
+
+  /// Pipeline clock. One cycle = one packet slot opportunity.
+  double clock_hz = 1.25e9;
+  /// Aggregate line rate, used to derive the worst-case packet arrival
+  /// rate when a program declares no expected packet size.
+  double line_rate_bps = 800e9;
+  /// Minimum wire frame (64B + preamble + IFG = 84B for Ethernet).
+  std::size_t min_packet_bytes = 84;
+
+  /// Packets/s at line rate for `packet_bytes`-sized frames (0 = worst
+  /// case, i.e. min_packet_bytes), capped at one slot per clock cycle.
+  double packet_rate(std::size_t packet_bytes) const;
+};
+
+/// Built-in targets: "linerate-tor" (single-ported Tofino-class ToR),
+/// "smartnic" (slower clock, dual-ported memory), "sim-unconstrained".
+const std::vector<HardwareModel>& builtin_hardware_models();
+
+/// Lookup by name; nullptr when unknown.
+const HardwareModel* find_hardware_model(const std::string& name);
+
+/// The "sim-unconstrained" model (the analyzer default: mapping is
+/// reported, nothing is flagged).
+const HardwareModel& unconstrained_model();
+
+/// Worst-case event arrival rates, per handler, in events/s. Registered
+/// programs annotate what they expect (src/apps/registry.cpp); anything
+/// left unset is derived by the pass — packet handlers from the model's
+/// line rate, timers and generators from their recorded periods.
+struct EventRates {
+  /// Expected packet size on the wire; 0 = assume worst-case minimum
+  /// frames. Raising it lowers the packet slot rate proportionally.
+  std::size_t avg_packet_bytes = 0;
+
+  void set(Handler handler, double events_per_sec) {
+    overrides_[static_cast<std::size_t>(handler)] = events_per_sec;
+  }
+  /// Declared rate, or a negative value when the pass should derive one.
+  double get(Handler handler) const {
+    return overrides_[static_cast<std::size_t>(handler)];
+  }
+  bool declared(Handler handler) const { return get(handler) >= 0.0; }
+
+ private:
+  std::array<double, kNumHandlers> overrides_ = [] {
+    std::array<double, kNumHandlers> a{};
+    a.fill(-1.0);
+    return a;
+  }();
+};
+
+/// The pipeline-mapping pass's result: where each register landed and the
+/// cycle-budget accounting behind any starvation findings.
+struct PipelineMapping {
+  std::string target;  ///< HardwareModel::name
+  bool mapped = false;  ///< stage placement succeeded
+
+  /// stage_of[reg] — physical stage (0-based) per DataflowIr register
+  /// index; kUnplaced when placement failed for that register.
+  static constexpr std::size_t kUnplaced = ~std::size_t{0};
+  std::vector<std::size_t> stage_of;
+  std::size_t stages_used = 0;
+
+  /// Cycle budget (events/s). slot = packet-carrying cycles, carrier =
+  /// non-packet event cycles, idle = clock − slot − carrier.
+  double slot_rate = 0.0;
+  double carrier_rate = 0.0;
+  double idle_rate = 0.0;
+
+  /// Idle-cycle drain accounting for one aggregated register.
+  struct Drain {
+    std::size_t reg = 0;     ///< DataflowIr register index
+    std::string name;
+    double demand = 0.0;     ///< aggregated updates/s needing a drain cycle
+    bool starved = false;    ///< demand exceeds the shared idle budget
+  };
+  std::vector<Drain> drains;
+
+  std::string format(const std::vector<IrRegister>& registers) const;
+};
+
+}  // namespace edp::analysis

@@ -1,0 +1,347 @@
+#include "analysis/ir.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "analysis/recording_context.hpp"
+
+namespace edp::analysis {
+
+std::string_view to_string(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kNone:
+      return "none";
+    case AccessPattern::kReadOnly:
+      return "read-only";
+    case AccessPattern::kBlindWrite:
+      return "blind-write";
+    case AccessPattern::kRmw:
+      return "rmw-delta";
+    case AccessPattern::kMixed:
+      return "read+write";
+  }
+  return "?";
+}
+
+bool is_aggregable(AccessPattern pattern) {
+  return pattern == AccessPattern::kBlindWrite || pattern == AccessPattern::kRmw;
+}
+
+// ---- probe --------------------------------------------------------------------
+
+void TraceProbe::on_register_access(const core::RegisterAccessEvent& e) {
+  auto [it, inserted] = index_.emplace(e.reg, registers_.size());
+  if (inserted) {
+    IrRegister reg;
+    reg.name = std::string(e.name);
+    reg.aggregated = e.realization != core::RegisterRealization::kShared;
+    reg.size = e.size;
+    reg.ports = e.ports;
+    registers_.push_back(std::move(reg));
+  }
+  RawAccess raw;
+  raw.access.reg = it->second;
+  raw.access.op = e.op;
+  raw.access.realization = e.realization;
+  raw.access.declared_thread = e.declared_thread;
+  raw.access.cell = e.index;
+  raw.access.seq = e.seq;
+  raw.handler = ctx_->current_handler();
+  raw.drive = ctx_->drive_index();
+  raw_.push_back(raw);
+}
+
+namespace {
+
+/// Whether this access consumes the register's live value (a read, or a
+/// main/shared RMW). Side-array RMWs are coalesced deltas: the hardware
+/// never hands the value back, so nothing can flow from them.
+bool consumes_value(const IrAccess& a) {
+  if (a.op == core::RegisterOp::kRead) {
+    return true;
+  }
+  if (a.op == core::RegisterOp::kRmw) {
+    return a.realization == core::RegisterRealization::kShared ||
+           a.realization == core::RegisterRealization::kAggregatedMain;
+  }
+  return false;
+}
+
+/// Longest path (in nodes) over `adj`, which must be acyclic; nodes with no
+/// edges count as chains of length 1 when `present`.
+std::size_t longest_chain(std::size_t n,
+                          const std::vector<std::vector<std::size_t>>& adj,
+                          const std::vector<bool>& present) {
+  // Memoized DFS; the caller guarantees acyclicity.
+  std::vector<std::size_t> memo(n, 0);
+  std::vector<std::size_t> stack;
+  std::size_t best = 0;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (!present[start]) {
+      continue;
+    }
+    if (memo[start] == 0) {
+      // Iterative post-order so deep chains cannot overflow the C++ stack.
+      stack.push_back(start);
+      while (!stack.empty()) {
+        const std::size_t node = stack.back();
+        std::size_t longest = 0;
+        bool ready = true;
+        for (const std::size_t next : adj[node]) {
+          if (memo[next] == 0) {
+            stack.push_back(next);
+            ready = false;
+          } else {
+            longest = std::max(longest, memo[next]);
+          }
+        }
+        if (ready) {
+          stack.pop_back();
+          memo[node] = longest + 1;
+        }
+      }
+    }
+    best = std::max(best, memo[start]);
+  }
+  return best;
+}
+
+}  // namespace
+
+DataflowIr TraceProbe::take_ir() {
+  DataflowIr ir;
+  ir.registers = std::move(registers_);
+  const std::size_t n = ir.registers.size();
+  for (auto& per_handler : ir.patterns) {
+    per_handler.assign(n, AccessPattern::kNone);
+  }
+
+  // Group raw accesses into activations by drive window (drives ascend).
+  for (const RawAccess& raw : raw_) {
+    if (ir.activations.empty() || ir.activations.back().drive != raw.drive ||
+        ir.activations.back().handler != raw.handler) {
+      IrActivation act;
+      act.handler = raw.handler;
+      act.drive = raw.drive;
+      ir.activations.push_back(std::move(act));
+    }
+    ir.activations.back().accesses.push_back(raw.access);
+  }
+  for (IrActivation& act : ir.activations) {
+    std::sort(act.accesses.begin(), act.accesses.end(),
+              [](const IrAccess& a, const IrAccess& b) { return a.seq < b.seq; });
+  }
+
+  // Patterns: classify each (handler, register) from the ops observed.
+  struct OpBits {
+    bool read = false, write = false, rmw = false;
+  };
+  std::array<std::vector<OpBits>, kNumHandlers> bits;
+  for (auto& per_handler : bits) {
+    per_handler.assign(n, OpBits{});
+  }
+  for (const IrActivation& act : ir.activations) {
+    const auto h = static_cast<std::size_t>(act.handler);
+    for (const IrAccess& a : act.accesses) {
+      OpBits& b = bits[h][a.reg];
+      const bool side =
+          a.realization == core::RegisterRealization::kAggregatedEnq ||
+          a.realization == core::RegisterRealization::kAggregatedDeq;
+      if (a.op == core::RegisterOp::kRead) {
+        b.read = true;
+      } else if (a.op == core::RegisterOp::kWrite) {
+        b.write = true;
+      } else {
+        // A side-array RMW is a coalesced delta (blind); a main/shared RMW
+        // is a value-consuming delta the aggregation arrays can still
+        // absorb when issued by an event thread.
+        (side ? b.write : b.rmw) = true;
+      }
+    }
+  }
+  for (std::size_t h = 0; h < kNumHandlers; ++h) {
+    for (std::size_t r = 0; r < n; ++r) {
+      const OpBits& b = bits[h][r];
+      AccessPattern p = AccessPattern::kNone;
+      if (b.read && (b.write || b.rmw)) {
+        p = AccessPattern::kMixed;
+      } else if (b.read) {
+        p = AccessPattern::kReadOnly;
+      } else if (b.rmw) {
+        p = b.write ? AccessPattern::kMixed : AccessPattern::kRmw;
+      } else if (b.write) {
+        p = AccessPattern::kBlindWrite;
+      }
+      ir.patterns[h][r] = p;
+    }
+  }
+
+  // Dependency edges: within one activation, every register whose value was
+  // consumed earlier conservatively feeds every later access to another
+  // register.
+  std::set<std::tuple<std::size_t, std::size_t, Handler>> seen;
+  for (const IrActivation& act : ir.activations) {
+    std::set<std::size_t> value_sources;
+    for (const IrAccess& a : act.accesses) {
+      for (const std::size_t src : value_sources) {
+        if (src != a.reg &&
+            seen.emplace(src, a.reg, act.handler).second) {
+          ir.deps.push_back(DepEdge{src, a.reg, act.handler});
+        }
+      }
+      if (consumes_value(a)) {
+        value_sources.insert(a.reg);
+      }
+    }
+  }
+
+  // Per-handler depth: longest chain over that handler's own edges.
+  for (std::size_t h = 0; h < kNumHandlers; ++h) {
+    std::vector<std::vector<std::size_t>> adj(n);
+    std::vector<bool> present(n, false);
+    for (std::size_t r = 0; r < n; ++r) {
+      present[r] = ir.patterns[h][r] != AccessPattern::kNone;
+    }
+    bool any_edge = false;
+    for (const DepEdge& e : ir.deps) {
+      if (e.witness == static_cast<Handler>(h)) {
+        adj[e.from].push_back(e.to);
+        any_edge = true;
+      }
+    }
+    const bool any_reg =
+        std::any_of(present.begin(), present.end(), [](bool p) { return p; });
+    if (!any_reg) {
+      ir.depth[h] = 0;
+    } else if (!any_edge) {
+      ir.depth[h] = 1;
+    } else {
+      // A single handler's trace is sequenced, so its edges are acyclic.
+      ir.depth[h] = longest_chain(n, adj, present);
+    }
+  }
+
+  // Merged graph: cycle detection, then longest chain if acyclic.
+  {
+    std::vector<std::vector<std::size_t>> adj(n);
+    for (const DepEdge& e : ir.deps) {
+      adj[e.from].push_back(e.to);
+    }
+    std::vector<int> state(n, 0);  // 0 unvisited, 1 on path, 2 done
+    std::vector<std::size_t> path;
+    // Iterative DFS with an explicit edge cursor per path node.
+    for (std::size_t start = 0; start < n && !ir.cyclic; ++start) {
+      if (state[start] != 0) {
+        continue;
+      }
+      std::vector<std::pair<std::size_t, std::size_t>> frames{{start, 0}};
+      state[start] = 1;
+      path.push_back(start);
+      while (!frames.empty() && !ir.cyclic) {
+        auto& [node, cursor] = frames.back();
+        if (cursor < adj[node].size()) {
+          const std::size_t next = adj[node][cursor++];
+          if (state[next] == 1) {
+            // Cut the recorded path down to the cycle itself.
+            const auto at = std::find(path.begin(), path.end(), next);
+            ir.cycle_regs.assign(at, path.end());
+            ir.cyclic = true;
+          } else if (state[next] == 0) {
+            state[next] = 1;
+            path.push_back(next);
+            frames.emplace_back(next, 0);
+          }
+        } else {
+          state[node] = 2;
+          path.pop_back();
+          frames.pop_back();
+        }
+      }
+    }
+    if (!ir.cyclic) {
+      std::vector<bool> present(n, true);
+      ir.merged_depth = n == 0 ? 0 : longest_chain(n, adj, present);
+    }
+  }
+  return ir;
+}
+
+// ---- DataflowIr ---------------------------------------------------------------
+
+AccessPattern DataflowIr::pattern(Handler handler, std::size_t reg) const {
+  const auto& per_handler = patterns[static_cast<std::size_t>(handler)];
+  return reg < per_handler.size() ? per_handler[reg] : AccessPattern::kNone;
+}
+
+AccessMatrix DataflowIr::to_matrix() const {
+  AccessMatrix matrix;
+  matrix.registers.reserve(registers.size());
+  for (const IrRegister& reg : registers) {
+    RegisterUsage usage;
+    usage.name = reg.name;
+    usage.aggregated = reg.aggregated;
+    usage.size = reg.size;
+    usage.ports = reg.ports;
+    matrix.registers.push_back(std::move(usage));
+  }
+  for (const IrActivation& act : activations) {
+    const auto h = static_cast<std::size_t>(act.handler);
+    for (const IrAccess& a : act.accesses) {
+      RegisterUsage& usage = matrix.registers[a.reg];
+      AccessCounts& counts =
+          usage.counts[h][static_cast<std::size_t>(a.realization)];
+      if (a.op == core::RegisterOp::kRead) {
+        ++counts.reads;
+      } else if (a.op == core::RegisterOp::kWrite) {
+        ++counts.writes;
+      } else {
+        ++counts.reads;
+        ++counts.writes;
+      }
+      if (a.realization == core::RegisterRealization::kShared) {
+        usage.declared_threads[h] |= static_cast<std::uint8_t>(
+            1u << static_cast<unsigned>(a.declared_thread));
+      }
+    }
+  }
+  return matrix;
+}
+
+std::string DataflowIr::format() const {
+  std::ostringstream os;
+  for (std::size_t h = 0; h < kNumHandlers; ++h) {
+    const auto handler = static_cast<Handler>(h);
+    bool any = false;
+    for (std::size_t r = 0; r < registers.size(); ++r) {
+      any = any || patterns[h][r] != AccessPattern::kNone;
+    }
+    if (!any) {
+      continue;
+    }
+    os << "  " << to_string(handler) << " (depth " << depth[h] << "):";
+    for (std::size_t r = 0; r < registers.size(); ++r) {
+      if (patterns[h][r] != AccessPattern::kNone) {
+        os << " " << registers[r].name << "=" << to_string(patterns[h][r]);
+      }
+    }
+    os << "\n";
+  }
+  for (const DepEdge& e : deps) {
+    os << "  dep " << registers[e.from].name << " -> " << registers[e.to].name
+       << " [" << to_string(e.witness) << "]\n";
+  }
+  if (cyclic) {
+    os << "  dependency cycle:";
+    for (const std::size_t r : cycle_regs) {
+      os << " " << registers[r].name;
+    }
+    os << "\n";
+  } else if (!registers.empty()) {
+    os << "  merged depth: " << merged_depth << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace edp::analysis

@@ -1,0 +1,148 @@
+// edp::analysis — the ordered per-handler dataflow IR.
+//
+// PR3's access matrix answers *which* handler touches *which* register;
+// the IR adds *order*. Every probe callback is stamped with a process-wide
+// sequence number (core::report_register_access), so each handler
+// activation yields a sequenced access trace. From the traces the IR
+// derives:
+//
+//   * per-(handler, register) access patterns — read-only, blind write,
+//     coalescible read-modify-write, or mixed read-then-write — the
+//     distinction that decides whether aggregation can absorb an access
+//     (paper §4: enq/deq *updates* aggregate; a *read* needs the live
+//     value),
+//   * per-handler dependency chains: a register *read* sequenced before an
+//     access of another register conservatively feeds it, so the second
+//     register's pipeline stage must lie strictly after the first's,
+//   * the merged cross-handler dependency graph the pipeline-mapping pass
+//     (hardware_model.hpp) places onto physical stages.
+//
+// The unordered AccessMatrix is now *derived* from the IR (to_matrix), so
+// the PR3 passes consume exactly what they always did.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/findings.hpp"
+#include "core/register_probe.hpp"
+
+namespace edp::analysis {
+
+class RecordingContext;
+
+/// How one handler uses one register, classified from its ordered traces.
+enum class AccessPattern : std::uint8_t {
+  kNone = 0,
+  kReadOnly,    ///< only reads — needs the live value, never aggregable
+  kBlindWrite,  ///< only plain writes — a deposit, separable by aggregation
+  kRmw,         ///< only atomic RMWs — a coalescible delta (paper §4)
+  kMixed,       ///< separate reads and writes — value flows through logic
+};
+
+std::string_view to_string(AccessPattern pattern);
+
+/// True when aggregation side-registers can absorb this access pattern:
+/// blind writes and coalescible RMW deltas, but never a value-consuming
+/// read (the read would observe stale state the side array still holds).
+bool is_aggregable(AccessPattern pattern);
+
+/// One sequenced access inside an activation.
+struct IrAccess {
+  std::size_t reg = 0;  ///< index into DataflowIr::registers
+  core::RegisterOp op = core::RegisterOp::kRead;
+  core::RegisterRealization realization = core::RegisterRealization::kShared;
+  core::ThreadId declared_thread = core::ThreadId::kOther;
+  std::size_t cell = 0;
+  /// Process-wide stamp; used for ordering only (never printed, so two
+  /// analyses of the same program format identically).
+  std::uint64_t seq = 0;
+};
+
+/// One handler activation (one begin_drive window) and its ordered trace.
+struct IrActivation {
+  Handler handler = Handler::kAttach;
+  std::size_t drive = 0;
+  std::vector<IrAccess> accesses;
+};
+
+/// Identity of one register extern in the IR.
+struct IrRegister {
+  std::string name;
+  bool aggregated = false;
+  std::size_t size = 0;
+  int ports = 1;
+};
+
+/// A conservative register-to-register dependency: some handler *read*
+/// `from` and later accessed `to` in the same activation, so the read value
+/// may feed the access and stage(`to`) must be > stage(`from`).
+struct DepEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  Handler witness = Handler::kAttach;
+};
+
+struct DataflowIr {
+  std::vector<IrRegister> registers;
+  std::vector<IrActivation> activations;
+
+  /// patterns[handler][reg], over the whole drive log.
+  std::array<std::vector<AccessPattern>, kNumHandlers> patterns{};
+
+  /// Deduplicated (from, to, witness) dependency edges.
+  std::vector<DepEdge> deps;
+
+  /// Longest dependency chain per handler, counted in registers — each
+  /// register on the chain occupies its own pipeline stage. 0 when the
+  /// handler touches no register.
+  std::array<std::size_t, kNumHandlers> depth{};
+
+  /// Longest chain over the merged cross-handler dependency graph — the
+  /// stage span the merged physical pipeline must provide (0 if cyclic).
+  std::size_t merged_depth = 0;
+
+  /// The merged graph has a dependency cycle: no feed-forward stage order
+  /// can satisfy every handler. `cycle_regs` lists one witness cycle.
+  bool cyclic = false;
+  std::vector<std::size_t> cycle_regs;
+
+  AccessPattern pattern(Handler handler, std::size_t reg) const;
+
+  /// Derive the PR3 access matrix (counts + declared-thread bitmasks).
+  AccessMatrix to_matrix() const;
+
+  std::string format() const;
+};
+
+/// RegisterProbe that records ordered access traces, attributing each
+/// access to the handler the RecordingContext is currently driving.
+/// Replaces PR3's unordered MatrixProbe.
+class TraceProbe : public core::RegisterProbe {
+ public:
+  explicit TraceProbe(const RecordingContext& ctx) : ctx_(&ctx) {}
+
+  void on_register_access(const core::RegisterAccessEvent& e) override;
+
+  /// Build the IR (patterns, dependency chains, depths) from everything
+  /// recorded so far.
+  DataflowIr take_ir();
+
+ private:
+  struct RawAccess {
+    IrAccess access;
+    Handler handler = Handler::kAttach;
+    std::size_t drive = 0;
+  };
+
+  const RecordingContext* ctx_;
+  std::vector<IrRegister> registers_;
+  std::unordered_map<const void*, std::size_t> index_;
+  std::vector<RawAccess> raw_;
+};
+
+}  // namespace edp::analysis

@@ -228,6 +228,313 @@ void port_budget_pass(const AccessMatrix& matrix,
   }
 }
 
+// ---- pipeline mapping (§4, quantitative) --------------------------------------
+
+namespace {
+
+std::string rate_str(double rate) {
+  std::ostringstream os;
+  if (rate >= 1e9) {
+    os << rate / 1e9 << "G/s";
+  } else if (rate >= 1e6) {
+    os << rate / 1e6 << "M/s";
+  } else if (rate >= 1e3) {
+    os << rate / 1e3 << "k/s";
+  } else {
+    os << rate << "/s";
+  }
+  return os.str();
+}
+
+/// Worst-case events/s per handler: a declared rate wins; otherwise packet
+/// handlers follow the model's line rate, timers and generators the periods
+/// the program itself recorded, and downstream handlers the rates that
+/// feed them through the event graph.
+std::array<double, kNumHandlers> derive_rates(const EventGraph& graph,
+                                              const RecordingContext& ctx,
+                                              const HardwareModel& model,
+                                              const EventRates& rates) {
+  std::array<double, kNumHandlers> rate{};
+  const auto idx = [](Handler h) { return static_cast<std::size_t>(h); };
+  const auto resolve = [&](Handler h, double derived) {
+    rate[idx(h)] = rates.declared(h) ? rates.get(h)
+                                     : std::min(derived, model.clock_hz);
+  };
+  const auto unbounded_edge_into = [&](Handler to) {
+    return std::any_of(graph.edges.begin(), graph.edges.end(),
+                       [&](const GraphEdge& e) {
+                         return e.to == to && !e.rate_bounded;
+                       });
+  };
+
+  const double pkt = model.packet_rate(rates.avg_packet_bytes);
+  resolve(Handler::kIngress, pkt);
+  const double ingress = rate[idx(Handler::kIngress)];
+
+  // Worst case one recirculation per packet when any unbounded edge
+  // re-enters the pipeline.
+  resolve(Handler::kRecirculate,
+          unbounded_edge_into(Handler::kRecirculate) ? ingress : 0.0);
+
+  // Periodic generators emit 1/period; any unbounded generated edge
+  // (inject/trigger per packet, zero-period generator) is worst-case one
+  // per packet on top.
+  double generated = 0.0;
+  for (const RecordingContext::Call& c : ctx.calls()) {
+    if (c.kind == ActionKind::kAddGenerator && c.accepted && c.periodic &&
+        c.period > sim::Time::zero()) {
+      generated += 1.0 / c.period.as_seconds();
+    }
+  }
+  if (unbounded_edge_into(Handler::kGenerated)) {
+    generated += ingress;
+  }
+  resolve(Handler::kGenerated, generated);
+
+  // Every admitted packet enqueues, dequeues, runs egress, and transmits.
+  const double admitted = std::min(rate[idx(Handler::kIngress)] +
+                                       rate[idx(Handler::kRecirculate)] +
+                                       rate[idx(Handler::kGenerated)],
+                                   model.clock_hz);
+  resolve(Handler::kEgress, admitted);
+  resolve(Handler::kEnqueue, admitted);
+  resolve(Handler::kDequeue, admitted);
+  resolve(Handler::kTransmit, admitted);
+  resolve(Handler::kOverflow, 0.0);
+  resolve(Handler::kUnderflow, 0.0);
+
+  double timer = 0.0;
+  for (const RecordingContext::Call& c : ctx.calls()) {
+    if (c.kind == ActionKind::kSetTimer && c.accepted && c.periodic) {
+      timer += c.period > sim::Time::zero() ? 1.0 / c.period.as_seconds()
+                                            : model.clock_hz;
+    }
+  }
+  resolve(Handler::kTimer, timer);
+  resolve(Handler::kControl, 0.0);     // control-plane paced
+  resolve(Handler::kLinkStatus, 0.0);  // physical-event paced
+
+  // User events ride their raisers: worst case one per source activation.
+  double user = 0.0;
+  std::set<Handler> user_sources;
+  for (const GraphEdge& e : graph.edges) {
+    if (e.to == Handler::kUser && !e.rate_bounded &&
+        user_sources.insert(e.from).second) {
+      user += rate[idx(e.from)];
+    }
+  }
+  resolve(Handler::kUser, user);
+  return rate;
+}
+
+}  // namespace
+
+PipelineMapping pipeline_mapping_pass(const DataflowIr& ir,
+                                      const EventGraph& graph,
+                                      const RecordingContext& ctx,
+                                      const HardwareModel& model,
+                                      const EventRates& rates,
+                                      std::vector<Finding>& findings) {
+  PipelineMapping m;
+  m.target = model.name;
+  const std::size_t n = ir.registers.size();
+  m.stage_of.assign(n, PipelineMapping::kUnplaced);
+  const auto idx = [](Handler h) { return static_cast<std::size_t>(h); };
+
+  // ---- stage placement: greedy topological allocation ----
+  if (ir.cyclic) {
+    std::string cycle;
+    for (const std::size_t r : ir.cycle_regs) {
+      if (!cycle.empty()) {
+        cycle += " -> ";
+      }
+      cycle += ir.registers[r].name;
+    }
+    if (!model.unconstrained) {
+      add(findings, Severity::kError, Pass::kPipelineMapping, "stage-overflow",
+          cycle,
+          "cross-handler register dependencies form a cycle — no "
+          "feed-forward stage order satisfies every handler on a "
+          "pipelined target");
+    }
+  } else if (n > 0) {
+    // Kahn topological order over the deduplicated dependency pairs.
+    std::vector<std::vector<std::size_t>> adj(n);
+    std::vector<std::size_t> indeg(n, 0);
+    {
+      std::set<std::pair<std::size_t, std::size_t>> pairs;
+      for (const DepEdge& e : ir.deps) {
+        if (pairs.emplace(e.from, e.to).second) {
+          adj[e.from].push_back(e.to);
+          ++indeg[e.to];
+        }
+      }
+    }
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (indeg[r] == 0) {
+        order.push_back(r);
+      }
+    }
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      for (const std::size_t next : adj[order[head]]) {
+        if (--indeg[next] == 0) {
+          order.push_back(next);
+        }
+      }
+    }
+
+    // Place each register at the first stage after all its producers with
+    // a free stateful ALU and register slot; stages beyond the model are
+    // virtual, so overflow reports how deep the program actually needs.
+    const std::size_t capacity =
+        std::min(model.alus_per_stage, model.registers_per_stage);
+    std::vector<std::size_t> load(n + 1, 0);
+    std::vector<std::size_t> placed(n, 0);
+    for (const std::size_t r : order) {
+      std::size_t stage = 0;
+      for (std::size_t p = 0; p < n; ++p) {
+        for (const std::size_t next : adj[p]) {
+          if (next == r && placed[p] + 1 > stage) {
+            stage = placed[p] + 1;
+          }
+        }
+      }
+      while (stage < load.size() && load[stage] >= capacity) {
+        ++stage;
+      }
+      placed[r] = stage;
+      if (stage < load.size()) {
+        ++load[stage];
+      }
+      m.stages_used = std::max(m.stages_used, stage + 1);
+    }
+    std::vector<std::size_t> overflowed;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (placed[r] < model.stages) {
+        m.stage_of[r] = placed[r];
+      } else {
+        overflowed.push_back(r);
+      }
+    }
+    m.mapped = overflowed.empty();
+    if (!overflowed.empty() && !model.unconstrained) {
+      std::string names;
+      for (const std::size_t r : overflowed) {
+        if (!names.empty()) {
+          names += ", ";
+        }
+        names += ir.registers[r].name;
+      }
+      std::ostringstream msg;
+      msg << "dependency chains need " << m.stages_used
+          << " pipeline stage(s) but the target has " << model.stages
+          << " — cannot place: " << names;
+      add(findings, Severity::kError, Pass::kPipelineMapping, "stage-overflow",
+          names, msg.str());
+    }
+  } else {
+    m.mapped = true;
+  }
+
+  // ---- rates and the cycle budget ----
+  const std::array<double, kNumHandlers> rate =
+      derive_rates(graph, ctx, model, rates);
+  m.slot_rate = std::min(rate[idx(Handler::kIngress)] +
+                             rate[idx(Handler::kRecirculate)] +
+                             rate[idx(Handler::kGenerated)],
+                         model.clock_hz);
+  m.carrier_rate = rate[idx(Handler::kTimer)] + rate[idx(Handler::kControl)] +
+                   rate[idx(Handler::kLinkStatus)] +
+                   rate[idx(Handler::kUser)];
+  m.idle_rate = std::max(0.0, model.clock_hz - m.slot_rate - m.carrier_rate);
+
+  // ---- per-register port schedule + drain demand ----
+  const auto is_packet_thread = [](core::ThreadId t) {
+    return t == core::ThreadId::kIngress || t == core::ThreadId::kEgress;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    bool packet = false;
+    // Per event thread: any access, any non-aggregable access, and the
+    // summed rate of its aggregable accesses.
+    bool any[2] = {false, false};
+    bool nonagg[2] = {false, false};
+    double agg_rate[2] = {0.0, 0.0};
+    std::string nonagg_handlers;
+    for (std::size_t h = 1; h < kNumHandlers; ++h) {
+      const AccessPattern p = ir.patterns[h][r];
+      if (p == AccessPattern::kNone) {
+        continue;
+      }
+      const core::ThreadId t = thread_of(static_cast<Handler>(h));
+      if (is_packet_thread(t)) {
+        packet = true;
+        continue;
+      }
+      // Timer/control/link/user accesses are scheduled into idle cycles
+      // (they are carrier events), never into a packet slot.
+      if (t != core::ThreadId::kEnqueue && t != core::ThreadId::kDequeue) {
+        continue;
+      }
+      const std::size_t side = t == core::ThreadId::kEnqueue ? 0 : 1;
+      any[side] = true;
+      if (is_aggregable(p)) {
+        agg_rate[side] += rate[h];
+      } else {
+        nonagg[side] = true;
+        if (!nonagg_handlers.empty()) {
+          nonagg_handlers += ", ";
+        }
+        nonagg_handlers += to_string(static_cast<Handler>(h));
+      }
+    }
+
+    const int ports = model.register_ports_per_stage;
+    const int contenders_all = (packet ? 1 : 0) + (any[0] ? 1 : 0) +
+                               (any[1] ? 1 : 0);
+    const int contenders_min = (packet ? 1 : 0) + (nonagg[0] ? 1 : 0) +
+                               (nonagg[1] ? 1 : 0);
+    if (contenders_min > ports && !model.unconstrained) {
+      std::ostringstream msg;
+      msg << "needs " << contenders_min
+          << " same-cycle register port(s) — the packet pipeline plus "
+             "value-consuming accesses from "
+          << nonagg_handlers << " that aggregation cannot absorb — but "
+          << model.name << " stage memory has " << ports << " port(s)";
+      add(findings, Severity::kError, Pass::kPipelineMapping,
+          "port-schedule-conflict", ir.registers[r].name, msg.str());
+    }
+
+    // Aggregated updates drain into the main array during idle cycles: an
+    // AggregatedRegister always drains its side arrays; a SharedRegister
+    // drains only when the port schedule had to absorb its updates.
+    const bool drains =
+        ir.registers[r].aggregated ||
+        (contenders_all > ports && contenders_min <= ports);
+    if (drains && (agg_rate[0] > 0.0 || agg_rate[1] > 0.0)) {
+      PipelineMapping::Drain d;
+      d.reg = r;
+      d.name = ir.registers[r].name;
+      d.demand = agg_rate[0] + agg_rate[1];
+      d.starved = d.demand > m.idle_rate;
+      if (d.starved && !model.unconstrained) {
+        std::ostringstream msg;
+        msg << "aggregated updates arrive at " << rate_str(d.demand)
+            << " but slot (" << rate_str(m.slot_rate) << ") and carrier ("
+            << rate_str(m.carrier_rate) << ") events leave only "
+            << rate_str(m.idle_rate) << " idle cycles to drain the "
+            << "side-registers — staleness grows without bound (paper §4); "
+            << "declare a realistic packet size/event rate or shed load";
+        add(findings, Severity::kError, Pass::kPipelineMapping,
+            "aggregation-starvation", d.name, msg.str());
+      }
+      m.drains.push_back(std::move(d));
+    }
+  }
+  return m;
+}
+
 // ---- amplification ------------------------------------------------------------
 
 void amplification_pass(const EventGraph& graph,

@@ -1,9 +1,12 @@
 // edp::analysis — the verification passes.
 //
-//   1. build_graph       — recorded actions -> event-generation graph
-//   2. port_budget_pass  — access matrix vs per-register port budgets (§4)
-//   3. amplification_pass— graph cycles × chain-simulation verdicts
-//   4. resource_lint_pass— facility misuse and metadata-convention lints
+//   1. build_graph            — recorded actions -> event-generation graph
+//   2. port_budget_pass       — access matrix vs per-register port budgets
+//   3. pipeline_mapping_pass  — dataflow IR vs a declarative HardwareModel:
+//                               stage depth, per-stage port schedule, and
+//                               the idle-cycle aggregation drain budget (§4)
+//   4. amplification_pass     — graph cycles × chain-simulation verdicts
+//   5. resource_lint_pass     — facility misuse and metadata lints
 //
 // Passes only append Findings; the analyzer (analyzer.hpp) sequences them
 // and assembles the Report.
@@ -12,6 +15,8 @@
 #include <vector>
 
 #include "analysis/driver.hpp"
+#include "analysis/hardware_model.hpp"
+#include "analysis/ir.hpp"
 #include "analysis/recording_context.hpp"
 #include "analysis/report.hpp"
 
@@ -32,6 +37,23 @@ EventGraph build_graph(const RecordingContext& ctx, const DriveLog& log);
 
 void port_budget_pass(const AccessMatrix& matrix,
                       std::vector<Finding>& findings);
+
+/// Map the program's dataflow IR onto `model` (paper §4's quantitative
+/// feasibility): greedy stage allocation respecting dependency order and
+/// per-stage ALU/register capacity (`stage-overflow`), a per-register
+/// same-cycle port schedule where aggregation absorbs enq/deq *updates* but
+/// never value-consuming reads (`port-schedule-conflict`), and the
+/// idle-cycle drain budget — worst-case event rates, declared in `rates` or
+/// derived from the model's line rate and the recorded timer/generator
+/// periods, must leave more idle cycles than the aggregation side-registers
+/// demand (`aggregation-starvation`). Unconstrained models record the
+/// mapping but emit no findings.
+PipelineMapping pipeline_mapping_pass(const DataflowIr& ir,
+                                      const EventGraph& graph,
+                                      const RecordingContext& ctx,
+                                      const HardwareModel& model,
+                                      const EventRates& rates,
+                                      std::vector<Finding>& findings);
 
 void amplification_pass(const EventGraph& graph,
                         const std::vector<ChainRun>& chains,

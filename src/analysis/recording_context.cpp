@@ -32,6 +32,8 @@ core::TimerId RecordingContext::set_periodic_timer(sim::Time period,
   }
   Call& c = record(ActionKind::kSetTimer, ok);
   c.rate_bounded = period > sim::Time::zero();
+  c.period = period;
+  c.periodic = true;
   c.id = ok ? next_timer_++ : 0;
   c.cookie = cookie;
   return static_cast<core::TimerId>(c.id);
@@ -47,6 +49,7 @@ core::TimerId RecordingContext::set_oneshot_timer(sim::Time delay,
   // A oneshot timer with a nonzero delay fires at most once per arming —
   // the re-arm path is itself delayed, so the edge cannot amplify.
   c.rate_bounded = delay > sim::Time::zero();
+  c.period = delay;
   c.id = ok ? next_timer_++ : 0;
   c.cookie = cookie;
   return static_cast<core::TimerId>(c.id);
@@ -68,6 +71,8 @@ core::GeneratorId RecordingContext::add_generator(
   }
   Call& c = record(ActionKind::kAddGenerator, ok);
   c.rate_bounded = config.period > sim::Time::zero();
+  c.period = config.period;
+  c.periodic = true;
   c.id = ok ? next_generator_++ : 0;
   c.packet = std::move(config.packet_template);
   return static_cast<core::GeneratorId>(c.id);

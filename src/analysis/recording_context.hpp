@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "analysis/report.hpp"
+#include "analysis/findings.hpp"
 #include "core/event_program.hpp"
 #include "net/packet.hpp"
 
@@ -38,6 +38,11 @@ class RecordingContext : public core::EventContext {
     /// Timers/generators with a nonzero period cannot amplify (the
     /// architecture bounds their rate).
     bool rate_bounded = false;
+    /// Timer period / oneshot delay / generator period — lets the
+    /// pipeline-mapping pass derive the handler's event rate.
+    sim::Time period = sim::Time::zero();
+    /// True for periodic timers and generators (the rate recurs).
+    bool periodic = false;
     /// Id the call returned (timer/generator) or operated on (trigger,
     /// set_template, cancel).
     std::uint64_t id = 0;
@@ -76,6 +81,10 @@ class RecordingContext : public core::EventContext {
 
   Handler current_handler() const { return current_; }
   std::size_t drive_index() const { return drive_; }
+
+  /// Change the fixed queue_bytes() answer mid-run, so the driver can
+  /// replay buffer events against a deep queue (threshold exploration).
+  void set_queue_bytes(std::size_t bytes) { config_.queue_bytes = bytes; }
 
   const Config& config() const { return config_; }
   const std::vector<Call>& calls() const { return calls_; }

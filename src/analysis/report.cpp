@@ -22,6 +22,8 @@ std::string_view to_string(Pass pass) {
   switch (pass) {
     case Pass::kPortBudget:
       return "port-budget";
+    case Pass::kPipelineMapping:
+      return "pipeline-mapping";
     case Pass::kAmplification:
       return "amplification";
     case Pass::kResourceLint:
@@ -278,6 +280,8 @@ std::string Report::format(bool verbose) const {
   if (verbose) {
     os << "access matrix:\n" << matrix.format();
     os << "event graph:\n" << graph.format();
+    os << "dataflow IR:\n" << ir.format();
+    os << "pipeline mapping:\n" << mapping.format(ir.registers);
   }
   if (findings.empty()) {
     os << "  no findings\n";

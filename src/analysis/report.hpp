@@ -1,174 +1,34 @@
-// edp::analysis — findings, the access matrix, and the event graph.
+// edp::analysis — the per-program analysis Report.
 //
-// `edp-verify` (paper §4, plus McClurg et al. and Cascone et al. from
-// PAPERS.md) checks an EventProgram *before* it runs:
-//
-//   * the handler-thread × register access matrix and its port-budget
-//     feasibility (is the program realizable on the configured memories?),
-//   * the event-generation graph and its unguarded amplification cycles
-//     (can one trigger snowball into an unbounded event storm?),
-//   * resource lints (facilities used without checking availability,
-//     enq/deq metadata conventions).
-//
-// This header defines the result vocabulary shared by every pass.
+// The vocabulary (findings, handlers, the access matrix, the event graph)
+// lives in findings.hpp; the ordered dataflow IR in ir.hpp; the hardware
+// targets and mapping result in hardware_model.hpp. This header assembles
+// them into the Report the analyzer returns and `edp_lint` prints.
 #pragma once
 
-#include <array>
-#include <cstdint>
 #include <string>
-#include <string_view>
 #include <vector>
 
-#include "core/register_probe.hpp"
+#include "analysis/findings.hpp"
+#include "analysis/hardware_model.hpp"
+#include "analysis/ir.hpp"
 
 namespace edp::analysis {
-
-// ---- findings -----------------------------------------------------------------
-
-/// kNote findings are facts worth knowing (e.g. "requires AggregatedRegister
-/// on single-ported targets"); kWarning and kError fail `edp_lint`.
-enum class Severity : std::uint8_t { kNote, kWarning, kError };
-
-enum class Pass : std::uint8_t {
-  kPortBudget,
-  kAmplification,
-  kResourceLint,
-};
-
-std::string_view to_string(Severity severity);
-std::string_view to_string(Pass pass);
-
-struct Finding {
-  Severity severity = Severity::kNote;
-  Pass pass = Pass::kResourceLint;
-  /// Stable machine-readable id, e.g. "port-overcommit"; tests match on it.
-  std::string code;
-  /// What the finding is about (a register, handler, or cycle).
-  std::string subject;
-  std::string message;
-};
-
-// ---- handlers -----------------------------------------------------------------
-
-/// One row of the access matrix: the 13 event-kind handlers plus on_attach.
-/// Ordered to match core::EventKind (offset by kAttach).
-enum class Handler : std::uint8_t {
-  kAttach = 0,
-  kIngress,
-  kEgress,
-  kRecirculate,
-  kGenerated,
-  kTransmit,
-  kEnqueue,
-  kDequeue,
-  kOverflow,
-  kUnderflow,
-  kTimer,
-  kControl,
-  kLinkStatus,
-  kUser,
-};
-inline constexpr std::size_t kNumHandlers = 14;
-
-std::string_view to_string(Handler handler);
-
-/// The event-processing thread a handler's logical pipeline runs on
-/// (paper Figure 2) — the ground-truth row label for the access matrix.
-core::ThreadId thread_of(Handler handler);
-
-/// True for the four PHV-carrying handlers (ingress pipeline class).
-bool is_packet_handler(Handler handler);
-
-// ---- access matrix ------------------------------------------------------------
-
-struct AccessCounts {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;  ///< writes + RMWs
-  bool any() const { return reads + writes > 0; }
-};
-
-inline constexpr std::size_t kNumRealizations = 4;
-
-/// Everything the analyzer learned about one register extern.
-struct RegisterUsage {
-  std::string name;
-  bool aggregated = false;  ///< AggregatedRegister vs SharedRegister
-  std::size_t size = 0;
-  int ports = 1;  ///< configured budget (SharedRegister); 1 for aggregated
-
-  /// counts[handler][realization]: reads/writes per handler per physical
-  /// array (shared registers only use RegisterRealization::kShared).
-  std::array<std::array<AccessCounts, kNumRealizations>, kNumHandlers>
-      counts{};
-
-  /// Declared-ThreadId bitmask per handler (SharedRegister accesses), for
-  /// attribution-mismatch lints.
-  std::array<std::uint8_t, kNumHandlers> declared_threads{};
-
-  AccessCounts totals(Handler handler) const;
-  /// Handlers (excluding on_attach) with any access / any write.
-  std::vector<Handler> accessing_handlers() const;
-  std::vector<Handler> writing_handlers() const;
-};
-
-struct AccessMatrix {
-  std::vector<RegisterUsage> registers;
-  std::string format() const;
-};
-
-// ---- event-generation graph ---------------------------------------------------
-
-/// The program/architecture action that spawns the downstream event.
-enum class ActionKind : std::uint8_t {
-  kRecirculate,       ///< std_meta.recirculate after a packet handler
-  kRecircClone,       ///< std_meta.recirc_clone from the egress pipeline
-  kInjectPacket,      ///< EventContext::inject_packet
-  kSendPacket,        ///< EventContext::send_packet (direct enqueue)
-  kForward,           ///< normal unicast/multicast egress (enqueue follows)
-  kRaiseUserEvent,    ///< EventContext::raise_user_event
-  kSetTimer,          ///< set_periodic_timer / set_oneshot_timer
-  kCancelTimer,       ///< cancel_timer (no downstream event)
-  kAddGenerator,      ///< add_generator (periodic emissions)
-  kTriggerGenerator,  ///< trigger_generator (burst now)
-  kSetTemplate,       ///< set_generator_template (no downstream event)
-};
-
-std::string_view to_string(ActionKind action);
-
-struct GraphEdge {
-  Handler from = Handler::kAttach;
-  Handler to = Handler::kIngress;
-  ActionKind action = ActionKind::kForward;
-  /// True when the architecture bounds the edge's rate (nonzero timer
-  /// period / generator period): such edges cannot amplify.
-  bool rate_bounded = false;
-  std::string detail;
-};
-
-struct EventGraph {
-  std::vector<GraphEdge> edges;
-
-  /// Deduplicated (from, to, action) view, for printing and cycle search.
-  std::string format() const;
-
-  /// Handler cycles reachable through non-rate-bounded edges. Each cycle is
-  /// the sequence of handlers, starting from its smallest element.
-  std::vector<std::vector<Handler>> cycles() const;
-};
-
-// ---- report -------------------------------------------------------------------
 
 struct Report {
   std::string program;
   AccessMatrix matrix;
   EventGraph graph;
+  DataflowIr ir;
+  PipelineMapping mapping;
   std::vector<Finding> findings;
 
   bool has(Severity at_least) const;
   /// No warnings or errors (notes allowed).
   bool clean() const { return !has(Severity::kWarning); }
 
-  /// Human-readable report; verbose adds the matrix and graph dumps.
+  /// Human-readable report; verbose adds the matrix, graph, IR, and
+  /// pipeline-mapping dumps.
   std::string format(bool verbose = false) const;
 };
 

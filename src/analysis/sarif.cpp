@@ -1,0 +1,216 @@
+#include "analysis/sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace edp::analysis {
+namespace {
+
+/// JSON string escaping per RFC 8259 (control chars, quote, backslash).
+std::string escape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string_view sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& finding_rules() {
+  static const std::vector<RuleInfo> rules = {
+      {"port-overcommit",
+       "SharedRegister is accessed from more event-processing threads than "
+       "it has ports — not realizable on the declared memory"},
+      {"needs-aggregation",
+       "write set spans multiple threads; single-ported targets require the "
+       "AggregatedRegister realization"},
+      {"thread-attribution",
+       "handler declares a different ThreadId than the thread it runs on — "
+       "port accounting is unsound"},
+      {"agg-main-misuse",
+       "event thread accesses the aggregated main array directly, stealing "
+       "the packet pipeline's port"},
+      {"agg-array-misuse",
+       "handler updates an aggregation side array owned by a different "
+       "thread"},
+      {"stage-overflow",
+       "register dependency chains need more pipeline stages than the "
+       "hardware target provides (or form a cycle)"},
+      {"port-schedule-conflict",
+       "same-cycle register accesses that aggregation cannot absorb exceed "
+       "the stage memory's port count"},
+      {"aggregation-starvation",
+       "worst-case event rates leave fewer idle cycles than the aggregation "
+       "side-registers need to drain — staleness grows without bound"},
+      {"unguarded-cycle",
+       "event-generation cycle with no rate bound; one trigger amplifies "
+       "without bound"},
+      {"guarded-cycle",
+       "event-generation cycle bounded only by a stateful guard; verify the "
+       "guard under adversarial input"},
+      {"runaway-chain",
+       "chain simulation exhausted its step budget with no static cycle — "
+       "event generation is input-dependent and unbounded"},
+      {"unchecked-facility",
+       "facility refused by the baseline architecture without a "
+       "kOpFacilityUnavailable punt — silent degradation"},
+      {"zero-id",
+       "facility call passed id 0, the refusal sentinel — an acquisition "
+       "result was used unchecked"},
+      {"dead-meta-write",
+       "egress writes enq/deq meta words after both were extracted at "
+       "enqueue admission"},
+      {"unused-meta",
+       "ingress attaches enq/deq metadata no buffer-event handler "
+       "observably consumes"},
+  };
+  return rules;
+}
+
+std::string reports_to_json(const std::vector<ReportSource>& reports,
+                            const std::string& target) {
+  std::ostringstream os;
+  os << "{\n  \"tool\": \"edp-verify\",\n  \"target\": \"" << escape(target)
+     << "\",\n  \"programs\": [";
+  bool first_program = true;
+  for (const ReportSource& rs : reports) {
+    const Report& r = *rs.report;
+    os << (first_program ? "\n" : ",\n");
+    first_program = false;
+    os << "    {\n      \"program\": \"" << escape(r.program)
+       << "\",\n      \"source\": \"" << escape(rs.source_uri)
+       << "\",\n      \"clean\": " << (r.clean() ? "true" : "false")
+       << ",\n      \"findings\": [";
+    bool first = true;
+    for (const Finding& f : r.findings) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "        {\"severity\": \"" << to_string(f.severity)
+         << "\", \"pass\": \"" << to_string(f.pass) << "\", \"code\": \""
+         << escape(f.code) << "\", \"subject\": \"" << escape(f.subject)
+         << "\", \"message\": \"" << escape(f.message) << "\"}";
+    }
+    os << (first ? "]" : "\n      ]") << "\n    }";
+  }
+  os << (first_program ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+std::string reports_to_sarif(const std::vector<ReportSource>& reports,
+                             const std::string& target) {
+  const std::vector<RuleInfo>& rules = finding_rules();
+  const auto rule_index = [&](const std::string& code) {
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (rules[i].id == code) {
+        return static_cast<long>(i);
+      }
+    }
+    return -1L;
+  };
+
+  std::ostringstream os;
+  os << "{\n"
+        "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        "  \"version\": \"2.1.0\",\n"
+        "  \"runs\": [\n"
+        "    {\n"
+        "      \"tool\": {\n"
+        "        \"driver\": {\n"
+        "          \"name\": \"edp-verify\",\n"
+        "          \"version\": \"2.0.0\",\n"
+        "          \"informationUri\": "
+        "\"https://example.invalid/edp-verify\",\n"
+        "          \"rules\": [";
+  bool first = true;
+  for (const RuleInfo& rule : rules) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "            {\"id\": \"" << rule.id
+       << "\", \"shortDescription\": {\"text\": \"" << escape(rule.description)
+       << "\"}}";
+  }
+  os << "\n          ]\n"
+        "        }\n"
+        "      },\n"
+        "      \"properties\": {\"target\": \""
+     << escape(target)
+     << "\"},\n"
+        "      \"results\": [";
+  first = true;
+  for (const ReportSource& rs : reports) {
+    const Report& r = *rs.report;
+    for (const Finding& f : r.findings) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "        {\n          \"ruleId\": \"" << escape(f.code) << "\"";
+      const long idx = rule_index(f.code);
+      if (idx >= 0) {
+        os << ",\n          \"ruleIndex\": " << idx;
+      }
+      os << ",\n          \"level\": \"" << sarif_level(f.severity)
+         << "\",\n          \"message\": {\"text\": \"" << escape(r.program)
+         << ": " << escape(f.subject) << ": " << escape(f.message)
+         << "\"},\n          \"locations\": [\n"
+            "            {\n"
+            "              \"physicalLocation\": {\n"
+            "                \"artifactLocation\": {\"uri\": \""
+         << escape(rs.source_uri.empty() ? std::string("src/apps/registry.cpp")
+                                         : rs.source_uri)
+         << "\"},\n"
+            "                \"region\": {\"startLine\": 1}\n"
+            "              },\n"
+            "              \"logicalLocations\": [\n"
+            "                {\"name\": \""
+         << escape(f.subject) << "\", \"fullyQualifiedName\": \""
+         << escape(r.program) << "/" << escape(f.subject)
+         << "\"}\n"
+            "              ]\n"
+            "            }\n"
+            "          ]\n        }";
+    }
+  }
+  os << (first ? "]" : "\n      ]") << "\n    }\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace edp::analysis

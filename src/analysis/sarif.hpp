@@ -1,0 +1,39 @@
+// edp::analysis — machine-readable report output.
+//
+// `edp_lint --format=json` is the tool's own stable schema (one object per
+// program, findings verbatim); `--format=sarif` is SARIF 2.1.0, the static
+// -analysis interchange format GitHub code scanning ingests, so findings
+// annotate PRs. Both emitters are deterministic: reports arrive already
+// finding-sorted (analyzer.cpp) and programs print in the order given.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace edp::analysis {
+
+/// One analyzed program plus the repo-relative path of its source file
+/// (registry annotation) — SARIF results need an artifact location for
+/// code-scanning annotations to land somewhere.
+struct ReportSource {
+  const Report* report = nullptr;
+  std::string source_uri;
+};
+
+/// All finding codes any pass can emit, with one-line descriptions —
+/// the SARIF rule catalogue.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view description;
+};
+const std::vector<RuleInfo>& finding_rules();
+
+std::string reports_to_json(const std::vector<ReportSource>& reports,
+                            const std::string& target);
+
+std::string reports_to_sarif(const std::vector<ReportSource>& reports,
+                             const std::string& target);
+
+}  // namespace edp::analysis

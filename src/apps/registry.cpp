@@ -43,17 +43,27 @@ std::vector<RegisteredProgram> build_registry() {
   // cannot observe; without the override the unused-meta note would fire.
   member_state_buffers.handles_buffer_events = true;
 
+  // Rate annotation for datacenter forwarding apps: ~700B average frames
+  // (the mixed mice/elephants distribution), not the 84B worst case. The
+  // pipeline-mapping pass scales the packet slot rate accordingly.
+  analysis::EventRates dc_mix;
+  dc_mix.avg_packet_bytes = 700;
+  // Control-plane-style apps see no line-rate data traffic at all.
+  analysis::EventRates control_paced;
+  control_paced.avg_packet_bytes = 1500;
+  control_paced.set(analysis::Handler::kIngress, 1e6);
+
   {
     ChainNodeConfig c;
     c.successor_ports = {2, 3};
     r.push_back({"chain-replication",
                  [c]() { return std::make_unique<ChainNodeProgram>(c); },
-                 none});
+                 none, dc_mix, "src/apps/chain_replication.cpp"});
   }
   r.push_back({"cms-monitor", l3_factory<CmsMonitorProgram>(CmsMonitorConfig{}),
-               none});
+               none, dc_mix, "src/apps/cms_monitor.cpp"});
   r.push_back({"ecn-marking", l3_factory<MultiBitEcnProgram>(EcnMarkConfig{}),
-               member_state_buffers});
+               member_state_buffers, dc_mix, "src/apps/ecn_marking.cpp"});
   {
     FairAqmConfig c;
     c.send_reports = true;
@@ -61,17 +71,18 @@ std::vector<RegisteredProgram> build_registry() {
     c.monitor_ip = net::Ipv4Address(10, 9, 9, 9);
     c.self_ip = net::Ipv4Address(10, 0, 0, 254);
     r.push_back({"fair-aqm", l3_factory<FairAqmProgram>(c),
-                 member_state_buffers});
+                 member_state_buffers, dc_mix, "src/apps/aqm.cpp"});
   }
   r.push_back({"fast-reroute",
-               []() { return std::make_unique<FrrProgram>(4); }, none});
+               []() { return std::make_unique<FrrProgram>(4); }, none, dc_mix,
+               "src/apps/fast_reroute.cpp"});
   {
     HulaSpineConfig c;
     c.num_tors = 2;
     c.tor_port = {1, 2};
     r.push_back({"hula-spine",
                  [c]() { return std::make_unique<HulaSpineProgram>(c); },
-                 none});
+                 none, dc_mix, "src/apps/hula.cpp"});
   }
   {
     HulaTorConfig c;
@@ -80,11 +91,12 @@ std::vector<RegisteredProgram> build_registry() {
     c.uplink_ports = {1, 2};
     r.push_back({"hula-tor",
                  [c]() { return std::make_unique<HulaTorProgram>(c); },
-                 member_state_buffers});
+                 member_state_buffers, dc_mix, "src/apps/hula.cpp"});
   }
   r.push_back({"int-aggregator",
                l3_factory<IntAggregatorProgram>(IntAggregatorConfig{}),
-               member_state_buffers});
+               member_state_buffers, control_paced,
+               "src/apps/int_aggregator.cpp"});
   {
     LivenessConfig c;
     c.self_id = 1;
@@ -92,16 +104,16 @@ std::vector<RegisteredProgram> build_registry() {
     c.monitor_port = 3;
     r.push_back({"liveness",
                  [c]() { return std::make_unique<LivenessProgram>(c); },
-                 none});
+                 none, control_paced, "src/apps/liveness.cpp"});
   }
   {
     MicroburstConfig c;
     c.state = StateModel::kAggregated;
     r.push_back({"microburst-aggregated", l3_factory<MicroburstProgram>(c),
-                 none});
+                 none, dc_mix, "src/apps/microburst.cpp"});
     c.state = StateModel::kShared;
     r.push_back({"microburst-shared", l3_factory<MicroburstProgram>(c),
-                 none});
+                 none, dc_mix, "src/apps/microburst.cpp"});
   }
   r.push_back({"meter-policer",
                []() -> std::unique_ptr<core::EventProgram> {
@@ -110,9 +122,9 @@ std::vector<RegisteredProgram> build_registry() {
                  p->add_route(net::Ipv4Address(10, 0, 0, 0), 8, 1);
                  return p;
                },
-               none});
+               none, dc_mix, "src/apps/policer.cpp"});
   r.push_back({"ndp-trim", l3_factory<NdpTrimProgram>(NdpTrimConfig{}),
-               member_state_buffers});
+               member_state_buffers, dc_mix, "src/apps/ndp_trim.cpp"});
   {
     NetCacheConfig c;
     c.client_port = 0;
@@ -120,23 +132,25 @@ std::vector<RegisteredProgram> build_registry() {
     c.server_ip = net::Ipv4Address(10, 0, 1, 2);
     r.push_back({"netcache",
                  [c]() { return std::make_unique<NetCacheProgram>(c); },
-                 none});
+                 none, dc_mix, "src/apps/netcache.cpp"});
   }
-  r.push_back({"pie-aqm", l3_factory<PieAqmProgram>(PieConfig{}), none});
+  r.push_back({"pie-aqm", l3_factory<PieAqmProgram>(PieConfig{}), none, dc_mix,
+               "src/apps/aqm.cpp"});
   r.push_back({"rate-measurement",
-               l3_factory<RateMeasureProgram>(RateMeasureConfig{}), none});
+               l3_factory<RateMeasureProgram>(RateMeasureConfig{}), none,
+               dc_mix, "src/apps/rate_measurement.cpp"});
   r.push_back({"snappy-baseline", l3_factory<SnappyProgram>(SnappyConfig{}),
-               none});
+               none, dc_mix, "src/apps/snappy_baseline.cpp"});
   r.push_back({"swing-state",
                []() {
                  return std::make_unique<SwingStateProgram>(SwingStateConfig{});
                },
-               none});
+               none, dc_mix, "src/apps/swing_state.cpp"});
   r.push_back({"timer-token-bucket",
                l3_factory<TimerTokenBucketProgram>(TokenBucketConfig{}),
-               none});
+               none, dc_mix, "src/apps/policer.cpp"});
   r.push_back({"wfq", l3_factory<WfqProgram>(WfqConfig{}),
-               member_state_buffers});
+               member_state_buffers, dc_mix, "src/apps/wfq.cpp"});
   return r;
 }
 

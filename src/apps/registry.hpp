@@ -17,6 +17,13 @@ struct RegisteredProgram {
   std::string name;
   analysis::ProgramFactory factory;
   analysis::LintOverrides lint;
+  /// Declared worst-case event rates for the pipeline-mapping pass (e.g.
+  /// the expected packet size); unset fields fall back to the hardware
+  /// model's worst case.
+  analysis::EventRates rates;
+  /// Repo-relative path of the program's implementation, for SARIF
+  /// code-scanning annotations.
+  std::string source;
 };
 
 /// Every shipped program, in stable (alphabetical) order.

@@ -27,13 +27,13 @@ AggregatedRegister::AggregatedRegister(std::string name, std::size_t size,
 
 void AggregatedRegister::probe(RegisterRealization realization, RegisterOp op,
                                std::size_t idx) const {
-  if (RegisterProbe* p = active_register_probe()) {
+  if (active_register_probe() != nullptr) {
     // The aggregation arrays are single-ported by construction; the caller
     // does not declare a thread — the realization already fixes which
     // logical pipeline owns the access.
-    p->on_register_access(RegisterAccessEvent{this, name_, realization, op,
-                                              ThreadId::kOther, idx,
-                                              main_.size(), /*ports=*/1});
+    report_register_access(RegisterAccessEvent{this, name_, realization, op,
+                                               ThreadId::kOther, idx,
+                                               main_.size(), /*ports=*/1});
   }
 }
 

@@ -8,6 +8,7 @@ namespace {
 // Relaxed everywhere: the probe is installed/removed only around
 // single-threaded analysis drives, never while worker threads run.
 std::atomic<RegisterProbe*> g_probe{nullptr};
+std::atomic<std::uint64_t> g_seq{0};
 
 }  // namespace
 
@@ -61,6 +62,13 @@ RegisterProbe* exchange_register_probe(RegisterProbe* probe) {
 
 RegisterProbe* active_register_probe() {
   return g_probe.load(std::memory_order_relaxed);
+}
+
+void report_register_access(RegisterAccessEvent access) {
+  if (RegisterProbe* p = active_register_probe()) {
+    access.seq = g_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+    p->on_register_access(access);
+  }
 }
 
 }  // namespace edp::core

@@ -63,6 +63,10 @@ struct RegisterAccessEvent {
   std::size_t index = 0;
   std::size_t size = 0;  ///< cells in the array
   int ports = 1;         ///< configured port budget
+  /// Process-wide sequence number, stamped by report_register_access():
+  /// gives the analyzer a total order over accesses so it can distinguish
+  /// read-before-write from write-only traces (the dataflow IR).
+  std::uint64_t seq = 0;
 };
 
 /// Implemented by the analyzer's recorder.
@@ -77,5 +81,10 @@ RegisterProbe* exchange_register_probe(RegisterProbe* probe);
 
 /// The currently installed probe, or nullptr (relaxed load).
 RegisterProbe* active_register_probe();
+
+/// Stamp `access.seq` from the process-wide sequence counter and dispatch
+/// it to the active probe, if any. The registers call this instead of
+/// dispatching directly so every probe sees totally ordered accesses.
+void report_register_access(RegisterAccessEvent access);
 
 }  // namespace edp::core

@@ -105,8 +105,8 @@ class SharedRegister {
   }
 
   void probe(RegisterOp op, ThreadId thread, std::size_t index) const {
-    if (RegisterProbe* p = active_register_probe()) {
-      p->on_register_access(RegisterAccessEvent{
+    if (active_register_probe() != nullptr) {
+      report_register_access(RegisterAccessEvent{
           this, name_, RegisterRealization::kShared, op, thread, index,
           cells_.size(), ports_});
     }

@@ -22,8 +22,8 @@ ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
   shards_.resize(n);
   channels_.resize(n * n);
   for (auto& sh : shards_) {
-    sh.sched = std::make_unique<sim::Scheduler>();
-    sh.net = std::make_unique<topo::Network>(*sh.sched);
+    sh.sched = std::make_unique<sim::Scheduler>();     // hotpath-ok: setup
+    sh.net = std::make_unique<topo::Network>(*sh.sched);  // hotpath-ok: setup
     sh.switch_local.assign(spec.num_switches(), kNpos);
     sh.host_local.assign(spec.num_hosts(), kNpos);
     sh.link_local.assign(spec.num_links(), kNpos);
@@ -52,7 +52,7 @@ ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
     for (auto [src, dst] : {std::pair{sa, sb}, std::pair{sb, sa}}) {
       auto& ch = channels_[src * n + dst];
       if (!ch) {
-        ch = std::make_unique<Channel>(options_.ring_capacity);
+        ch = std::make_unique<Channel>(options_.ring_capacity);  // hotpath-ok: setup
       }
     }
   }

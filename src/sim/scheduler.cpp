@@ -163,7 +163,7 @@ std::size_t Scheduler::run(std::size_t max_events) {
 }
 
 PeriodicTask::PeriodicTask(Scheduler& sched, Time period,
-                           std::function<void()> fn)
+                           std::function<void()> fn)  // hotpath-ok: setup only
     : sched_(sched), period_(period), fn_(std::move(fn)) {
   assert(period_ > Time::zero());
 }

@@ -143,7 +143,8 @@ class Scheduler {
 /// loop; stops when `stop()` is called or the object is destroyed.
 class PeriodicTask {
  public:
-  PeriodicTask(Scheduler& sched, Time period, std::function<void()> fn);
+  PeriodicTask(Scheduler& sched, Time period,
+               std::function<void()> fn);  // hotpath-ok: setup only
   ~PeriodicTask();
 
   PeriodicTask(const PeriodicTask&) = delete;
@@ -161,7 +162,7 @@ class PeriodicTask {
 
   Scheduler& sched_;
   Time period_;
-  std::function<void()> fn_;
+  std::function<void()> fn_;  // hotpath-ok: stored once, invoked in place
   bool running_ = false;
   EventId pending_ = 0;
 };

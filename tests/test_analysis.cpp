@@ -6,12 +6,16 @@
 // edp_lint enforces in ctest).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/hardware_model.hpp"
 #include "analysis/report.hpp"
 #include "apps/registry.hpp"
 #include "core/aggregated_register.hpp"
@@ -33,6 +37,20 @@ Report analyze(const std::string& name,
                analysis::AnalyzerOptions options = {}) {
   return analysis::analyze_program(
       name, [] { return std::make_unique<Program>(); }, options);
+}
+
+const analysis::HardwareModel* tor_model() {
+  return analysis::find_hardware_model("linerate-tor");
+}
+
+const analysis::RegisterUsage* find_register(const Report& report,
+                                             std::string_view name) {
+  for (const analysis::RegisterUsage& reg : report.matrix.registers) {
+    if (reg.name == name) {
+      return &reg;
+    }
+  }
+  return nullptr;
 }
 
 const Finding* find_code(const Report& report, std::string_view code) {
@@ -206,6 +224,132 @@ class UnusedMetaProgram : public core::EventProgram {
   }
 };
 
+/// Thirteen registers read in sequence within one ingress activation: each
+/// read value conservatively feeds every later access, so the dependency
+/// chain needs one stage per register — one more than linerate-tor has.
+class DeepChainProgram : public core::EventProgram {
+ public:
+  static constexpr std::size_t kChain = 13;
+
+  DeepChainProgram() {
+    regs_.reserve(kChain);
+    for (std::size_t i = 0; i < kChain; ++i) {
+      regs_.emplace_back("chain" + std::to_string(i), 1, /*ports=*/1);
+    }
+  }
+
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    std::uint64_t acc = 0;
+    for (auto& reg : regs_) {
+      std::uint64_t v = 0;
+      reg.read(0, v, core::ThreadId::kIngress, ctx.cycle());
+      acc += v;
+    }
+    (void)acc;
+  }
+
+ private:
+  std::vector<core::SharedRegister<std::uint64_t>> regs_;
+};
+
+/// A two-ported occupancy register: ingress updates it, the enqueue thread
+/// *reads* it. Two declared ports satisfy the §4 budget, but a read needs
+/// the live value, so a single-ported pipeline stage cannot absorb the
+/// enqueue access through aggregation.
+class EnqueueReadProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    occ_.rmw(0, [](std::uint64_t v) { return v + 1; },
+             core::ThreadId::kIngress, ctx.cycle());
+  }
+  void on_enqueue(const tm_::EnqueueRecord&,
+                  core::EventContext& ctx) override {
+    std::uint64_t v = 0;
+    occ_.read(0, v, core::ThreadId::kEnqueue, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> occ_{"occupancy", 1, /*ports=*/2};
+};
+
+/// Correct §4 aggregation discipline, but every enqueue and dequeue posts a
+/// delta: at the worst-case 84-byte packet rate nearly every cycle carries
+/// a packet slot, leaving too few idle cycles to drain the side arrays.
+class AggStarveProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    agg_.packet_add(0, 1, ctx.cycle());
+  }
+  void on_enqueue(const tm_::EnqueueRecord&,
+                  core::EventContext& ctx) override {
+    agg_.enqueue_add(0, 1, ctx.cycle());
+  }
+  void on_dequeue(const tm_::DequeueRecord&,
+                  core::EventContext& ctx) override {
+    agg_.dequeue_add(0, 1, ctx.cycle());
+  }
+
+ private:
+  core::AggregatedRegister agg_{"burst_bytes", 8};
+};
+
+/// Counts arrivals on ingress port 0 (only the tcp stimulus) and arms a
+/// flag from the third packet on — reachable only because the driver
+/// repeats each stimulus back-to-back.
+class ThresholdProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override {
+    if (phv.std_meta.ingress_port != 0) {
+      return;
+    }
+    const std::uint64_t n =
+        count_.rmw(0, [](std::uint64_t v) { return v + 1; },
+                   core::ThreadId::kIngress, ctx.cycle());
+    if (n >= 3) {
+      armed_.write(0, 1, core::ThreadId::kIngress, ctx.cycle());
+    }
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> count_{"warmup_count", 1, 1};
+  core::SharedRegister<std::uint64_t> armed_{"armed_flag", 1, 1};
+};
+
+/// Consumes dequeue metadata without any ingress ever attaching it: the
+/// driver must replay buffer events with all-zero meta words, and the
+/// meta-guarded branch must stay cold.
+class ZeroMetaConsumerProgram : public core::EventProgram {
+ public:
+  void on_dequeue(const tm_::DequeueRecord& r,
+                  core::EventContext& ctx) override {
+    if (r.deq_meta[0] != 0) {
+      stale_.write(0, r.deq_meta[0], core::ThreadId::kDequeue, ctx.cycle());
+    }
+    seen_.rmw(0, [](std::uint64_t v) { return v + 1; },
+              core::ThreadId::kDequeue, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> stale_{"stale_meta", 1, 1};
+  core::SharedRegister<std::uint64_t> seen_{"deq_seen", 1, 1};
+};
+
+/// Reacts to queue depth alone (never writes enq meta): only the driver's
+/// deep-buffer replay reaches the congested branch.
+class DeepBufferProgram : public core::EventProgram {
+ public:
+  void on_enqueue(const tm_::EnqueueRecord& r,
+                  core::EventContext& ctx) override {
+    if (r.depth_bytes > 100 * 1024) {
+      congested_.rmw(0, [](std::uint64_t v) { return v + 1; },
+                     core::ThreadId::kEnqueue, ctx.cycle());
+    }
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> congested_{"congested", 1, 1};
+};
+
 // ---- port budget --------------------------------------------------------------
 
 TEST(AnalysisPortBudget, CleanProgramHasNoFindings) {
@@ -250,6 +394,145 @@ TEST(AnalysisPortBudget, AggregatedArrayOwnershipViolations) {
   ASSERT_NE(array_misuse, nullptr);
   EXPECT_NE(array_misuse->message.find("on_ingress"), std::string::npos);
   EXPECT_FALSE(report.clean());
+}
+
+// ---- dataflow IR --------------------------------------------------------------
+
+TEST(AnalysisDataflowIr, StimulusRepeatsReachWarmupThresholds) {
+  const Report report = analyze<ThresholdProgram>("threshold");
+  const analysis::RegisterUsage* armed = find_register(report, "armed_flag");
+  ASSERT_NE(armed, nullptr);
+  EXPECT_GT(armed->totals(Handler::kIngress).writes, 0u);
+  // The counter is read (RMW) before the guarded write: a two-register
+  // chain, so ingress needs two pipeline stages.
+  EXPECT_EQ(report.ir.depth[static_cast<std::size_t>(Handler::kIngress)], 2u);
+}
+
+TEST(AnalysisDataflowIr, SingleStimulusMissesTheThreshold) {
+  analysis::AnalyzerOptions options;
+  options.stimulus_repeats = 1;
+  const Report report = analyze<ThresholdProgram>("threshold", options);
+  EXPECT_EQ(find_register(report, "armed_flag"), nullptr);
+  EXPECT_EQ(report.ir.depth[static_cast<std::size_t>(Handler::kIngress)], 1u);
+}
+
+// ---- pipeline mapping ---------------------------------------------------------
+
+TEST(AnalysisPipelineMapping, DeepDependencyChainOverflowsStages) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  const Report report = analyze<DeepChainProgram>("deep-chain", options);
+  const Finding* f = find_code(report, "stage-overflow");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_NE(f->message.find("13"), std::string::npos);
+  EXPECT_EQ(report.ir.depth[static_cast<std::size_t>(Handler::kIngress)],
+            DeepChainProgram::kChain);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(AnalysisPipelineMapping, DeepChainIsCleanUnconstrained) {
+  const Report report = analyze<DeepChainProgram>("deep-chain");
+  EXPECT_TRUE(report.findings.empty());
+  // The mapping is still computed for reporting: one stage per register.
+  EXPECT_EQ(report.mapping.stages_used, DeepChainProgram::kChain);
+}
+
+TEST(AnalysisPipelineMapping, EnqueueReadCannotShareSinglePort) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  const Report report = analyze<EnqueueReadProgram>("enq-read", options);
+  const Finding* f = find_code(report, "port-schedule-conflict");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->subject, "occupancy");
+  EXPECT_NE(f->message.find("on_enqueue"), std::string::npos);
+  // Two declared ports satisfy the §4 budget — the conflict is a
+  // pipeline-mapping fact, not a port-budget one.
+  EXPECT_EQ(find_code(report, "port-overcommit"), nullptr);
+}
+
+TEST(AnalysisPipelineMapping, EnqueueReadIsCleanOnUnconstrained) {
+  const Report report = analyze<EnqueueReadProgram>("enq-read");
+  EXPECT_EQ(find_code(report, "port-schedule-conflict"), nullptr);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(AnalysisPipelineMapping, WorstCaseRatesStarveAggregationDrain) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  const Report report = analyze<AggStarveProgram>("agg-starve", options);
+  const Finding* f = find_code(report, "aggregation-starvation");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->subject, "burst_bytes");
+  ASSERT_EQ(report.mapping.drains.size(), 1u);
+  EXPECT_TRUE(report.mapping.drains[0].starved);
+  // Drain demand is the enqueue plus dequeue delta rate — twice the
+  // admitted packet rate, far beyond the leftover idle cycles.
+  EXPECT_GT(report.mapping.drains[0].demand, report.mapping.idle_rate);
+}
+
+TEST(AnalysisPipelineMapping, RealisticPacketSizeUnstarvesTheDrain) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  options.rates.avg_packet_bytes = 700;
+  const Report report = analyze<AggStarveProgram>("agg-starve", options);
+  EXPECT_EQ(find_code(report, "aggregation-starvation"), nullptr);
+  ASSERT_EQ(report.mapping.drains.size(), 1u);
+  EXPECT_FALSE(report.mapping.drains[0].starved);
+  EXPECT_TRUE(report.clean());
+}
+
+// ---- driver edge cases --------------------------------------------------------
+
+TEST(AnalysisDriver, BufferEventsReplayWithZeroMetaWords) {
+  const Report report = analyze<ZeroMetaConsumerProgram>("zero-meta");
+  const analysis::RegisterUsage* seen = find_register(report, "deq_seen");
+  ASSERT_NE(seen, nullptr);
+  EXPECT_GT(seen->totals(Handler::kDequeue).writes, 0u);
+  // No ingress attached meta, so the replayed words are zero and the
+  // meta-guarded branch stays cold.
+  EXPECT_EQ(find_register(report, "stale_meta"), nullptr);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(AnalysisDriver, DeepReplayReachesDepthBranchesWithoutEnqMeta) {
+  const Report report = analyze<DeepBufferProgram>("deep-buffer");
+  const analysis::RegisterUsage* congested =
+      find_register(report, "congested");
+  ASSERT_NE(congested, nullptr);
+  EXPECT_GT(congested->totals(Handler::kEnqueue).writes, 0u);
+  EXPECT_TRUE(report.clean());
+}
+
+// ---- probe lifecycle ----------------------------------------------------------
+
+TEST(RegisterProbeRace, InstallUninstallConcurrentWithAccesses) {
+  struct CountingProbe : core::RegisterProbe {
+    std::atomic<std::uint64_t> seen{0};
+    void on_register_access(const core::RegisterAccessEvent&) override {
+      seen.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  core::SharedRegister<std::uint64_t> reg("race_reg", 4, /*ports=*/2);
+  CountingProbe probe;
+  std::atomic<bool> done{false};
+  std::thread toggler([&] {
+    for (int i = 0; i < 2000; ++i) {
+      core::exchange_register_probe(&probe);
+      core::exchange_register_probe(nullptr);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::uint64_t out = 0;
+  std::uint64_t cycle = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    reg.read(0, out, core::ThreadId::kIngress, ++cycle);
+  }
+  toggler.join();
+  core::exchange_register_probe(nullptr);
+  EXPECT_EQ(core::active_register_probe(), nullptr);
 }
 
 // ---- amplification ------------------------------------------------------------
@@ -375,12 +658,40 @@ TEST(AnalysisReport, CleanAllowsNotesButNotWarnings) {
   EXPECT_FALSE(report.has(Severity::kError));
 }
 
+TEST(AnalysisReport, RepeatedAnalysisFormatsByteIdentically) {
+  // The IR stamps accesses with a process-global sequence counter; two
+  // analyses therefore see different raw stamps and must still produce
+  // byte-identical reports (seq is for ordering only, never printed).
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  const Report a1 = analyze<AggStarveProgram>("determinism", options);
+  const Report a2 = analyze<AggStarveProgram>("determinism", options);
+  EXPECT_EQ(a1.format(/*verbose=*/true), a2.format(/*verbose=*/true));
+  const Report b1 = analyze<OvercommittedProgram>("determinism", options);
+  const Report b2 = analyze<OvercommittedProgram>("determinism", options);
+  EXPECT_EQ(b1.format(/*verbose=*/true), b2.format(/*verbose=*/true));
+}
+
 // ---- the shipped programs -------------------------------------------------------
 
 TEST(AnalysisRegistry, AllShippedProgramsAnalyzeClean) {
   for (const apps::RegisteredProgram& entry : apps::program_registry()) {
     analysis::AnalyzerOptions options;
     options.lint = entry.lint;
+    const Report report =
+        analysis::analyze_program(entry.name, entry.factory, options);
+    EXPECT_TRUE(report.clean()) << report.format(/*verbose=*/false);
+  }
+}
+
+TEST(AnalysisRegistry, AllShippedProgramsMapOntoLinerateTor) {
+  // With their declared traffic rates, every shipped program must also map
+  // onto the most constrained built-in target.
+  for (const apps::RegisteredProgram& entry : apps::program_registry()) {
+    analysis::AnalyzerOptions options;
+    options.lint = entry.lint;
+    options.model = tor_model();
+    options.rates = entry.rates;
     const Report report =
         analysis::analyze_program(entry.name, entry.factory, options);
     EXPECT_TRUE(report.clean()) << report.format(/*verbose=*/false);

@@ -1,12 +1,18 @@
 // edp_lint — static feasibility analysis for event programs.
 //
-// Runs the edp::analysis passes (port budget, event amplification,
-// resource lints) over programs from the registry before any simulation.
+// Runs the edp::analysis passes (port budget, pipeline mapping, event
+// amplification, resource lints) over programs from the registry before
+// any simulation.
 //
-//   edp_lint                 lint every registered program
-//   edp_lint hula-tor wfq    lint the named programs only
-//   edp_lint -v              also print access matrices and event graphs
-//   edp_lint --list          list registered program names
+//   edp_lint                        lint every registered program
+//   edp_lint hula-tor wfq           lint the named programs only
+//   edp_lint -v                     also print matrices, graphs, IR, mapping
+//   edp_lint --list                 list registered program names
+//   edp_lint --list-targets         list built-in hardware models
+//   edp_lint --target linerate-tor  map onto a hardware target (default:
+//                                   sim-unconstrained — nothing flagged)
+//   edp_lint --format=json|sarif    machine-readable output (SARIF 2.1.0
+//                                   feeds GitHub code scanning)
 //
 // Exit status: 0 when every linted program is clean (notes allowed),
 // 1 when any warning or error was found, 2 on usage errors.
@@ -15,11 +21,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/sarif.hpp"
 #include "apps/registry.hpp"
 
 int main(int argc, char** argv) {
   bool verbose = false;
   bool list = false;
+  bool list_targets = false;
+  std::string format = "text";
+  std::string target = "sim-unconstrained";
   std::vector<std::string> selected;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -27,12 +37,32 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--list") {
       list = true;
+    } else if (arg == "--list-targets") {
+      list_targets = true;
+    } else if (arg == "--target") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "edp_lint: --target needs a model name\n");
+        return 2;
+      }
+      target = argv[++i];
+    } else if (arg.rfind("--target=", 0) == 0) {
+      target = arg.substr(9);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "edp_lint: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
     } else if (arg == "-h" || arg == "--help") {
       std::printf(
-          "usage: edp_lint [-v] [--list] [program...]\n"
+          "usage: edp_lint [-v] [--list] [--list-targets]\n"
+          "                [--target <model>] [--format=text|json|sarif]\n"
+          "                [program...]\n"
           "Statically verifies event programs: register port budgets "
-          "(paper par.4),\nevent-amplification cycles, and resource-usage "
-          "lints.\n");
+          "(paper par.4),\nhardware pipeline mapping (stage depth, port "
+          "schedule, aggregation drain\nbudget), event-amplification "
+          "cycles, and resource-usage lints.\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "edp_lint: unknown option '%s'\n", arg.c_str());
@@ -40,6 +70,22 @@ int main(int argc, char** argv) {
     } else {
       selected.push_back(arg);
     }
+  }
+
+  if (list_targets) {
+    for (const auto& model : edp::analysis::builtin_hardware_models()) {
+      std::printf("%-18s %s\n", model.name.c_str(),
+                  model.description.c_str());
+    }
+    return 0;
+  }
+
+  const edp::analysis::HardwareModel* model =
+      edp::analysis::find_hardware_model(target);
+  if (model == nullptr) {
+    std::fprintf(stderr, "edp_lint: unknown target '%s' (--list-targets)\n",
+                 target.c_str());
+    return 2;
   }
 
   const auto& registry = edp::apps::program_registry();
@@ -64,6 +110,8 @@ int main(int argc, char** argv) {
 
   int linted = 0;
   int dirty = 0;
+  std::vector<edp::analysis::Report> reports;
+  std::vector<std::string> sources;
   for (const auto& entry : registry) {
     if (!selected.empty() &&
         std::find(selected.begin(), selected.end(), entry.name) ==
@@ -72,18 +120,40 @@ int main(int argc, char** argv) {
     }
     edp::analysis::AnalyzerOptions options;
     options.lint = entry.lint;
-    const edp::analysis::Report report =
+    options.model = model;
+    options.rates = entry.rates;
+    edp::analysis::Report report =
         edp::analysis::analyze_program(entry.name, entry.factory, options);
     ++linted;
     if (!report.clean()) {
       ++dirty;
     }
-    // Print clean programs only in verbose mode; findings always print.
-    if (verbose || !report.findings.empty()) {
-      std::fputs(report.format(verbose).c_str(), stdout);
+    if (format == "text") {
+      // Print clean programs only in verbose mode; findings always print.
+      if (verbose || !report.findings.empty()) {
+        std::fputs(report.format(verbose).c_str(), stdout);
+      }
+    } else {
+      reports.push_back(std::move(report));
+      sources.push_back(entry.source);
     }
   }
-  std::printf("edp_lint: %d program(s) linted, %d with warnings or errors\n",
-              linted, dirty);
+
+  if (format == "text") {
+    std::printf(
+        "edp_lint: %d program(s) linted against %s, %d with warnings or "
+        "errors\n",
+        linted, target.c_str(), dirty);
+  } else {
+    std::vector<edp::analysis::ReportSource> rs;
+    rs.reserve(reports.size());
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      rs.push_back({&reports[i], sources[i]});
+    }
+    const std::string out = format == "json"
+                                ? edp::analysis::reports_to_json(rs, target)
+                                : edp::analysis::reports_to_sarif(rs, target);
+    std::fputs(out.c_str(), stdout);
+  }
   return dirty == 0 ? 0 : 1;
 }
