@@ -33,6 +33,12 @@ echo "=== edp_lint ==="
 ./build/tools/edp_lint
 ./build/tools/edp_lint --target linerate-tor
 
+# Scenario engine smoke (docs/WORKLOAD.md): seed x shard digest stability
+# for a forwarding app, plus a parallel replay of the FRR path.
+echo "=== edp_scen ==="
+./build/tools/edp_scen matrix --app ecn-marking --flows 2000
+./build/tools/edp_scen run --app fast-reroute --flows 1000 --shards 2
+
 if [[ -f build-release/CMakeCache.txt ]]; then
   cmake -B build-release -S .
 else

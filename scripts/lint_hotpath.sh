@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Hot-path allocation lint for src/sim/ and src/runtime/.
+# Hot-path allocation lint for src/sim/, src/runtime/ and the scenario
+# replay loop (src/workload/storm_source.*).
 #
 # The event kernel's per-event path must not allocate: no heap allocation
 # (new/make_unique/make_shared/malloc), no std::function (type-erased heap
@@ -16,7 +17,15 @@ set -u
 
 cd "$(dirname "$0")/.."
 
-files=$(find src/sim src/runtime -name '*.hpp' -o -name '*.cpp' | sort)
+# Whole modules whose per-event paths are hot, plus the workload engine's
+# replay loop (scenario/replay/fuzzer setup code may allocate; the
+# per-event StormSource lanes must not).
+files=$(
+  {
+    find src/sim src/runtime -name '*.hpp' -o -name '*.cpp'
+    ls src/workload/storm_source.hpp src/workload/storm_source.cpp
+  } | sort
+)
 status=0
 
 check() {

@@ -52,6 +52,13 @@ std::vector<RegisteredProgram> build_registry() {
   analysis::EventRates control_paced;
   control_paced.avg_packet_bytes = 1500;
   control_paced.set(analysis::Handler::kIngress, 1e6);
+  // Key-value RPC traffic (netcache): small query/reply frames dominate.
+  analysis::EventRates kv_mix;
+  kv_mix.avg_packet_bytes = 256;
+  // Bulk data transport (ndp-trim): MTU-size data packets are the common
+  // case — trimming them to headers under congestion is the app.
+  analysis::EventRates mtu_data;
+  mtu_data.avg_packet_bytes = 1500;
 
   {
     ChainNodeConfig c;
@@ -124,7 +131,7 @@ std::vector<RegisteredProgram> build_registry() {
                },
                none, dc_mix, "src/apps/policer.cpp"});
   r.push_back({"ndp-trim", l3_factory<NdpTrimProgram>(NdpTrimConfig{}),
-               member_state_buffers, dc_mix, "src/apps/ndp_trim.cpp"});
+               member_state_buffers, mtu_data, "src/apps/ndp_trim.cpp"});
   {
     NetCacheConfig c;
     c.client_port = 0;
@@ -132,7 +139,7 @@ std::vector<RegisteredProgram> build_registry() {
     c.server_ip = net::Ipv4Address(10, 0, 1, 2);
     r.push_back({"netcache",
                  [c]() { return std::make_unique<NetCacheProgram>(c); },
-                 none, dc_mix, "src/apps/netcache.cpp"});
+                 none, kv_mix, "src/apps/netcache.cpp"});
   }
   r.push_back({"pie-aqm", l3_factory<PieAqmProgram>(PieConfig{}), none, dc_mix,
                "src/apps/aqm.cpp"});

@@ -11,6 +11,8 @@ EventMerger::EventMerger(sim::Scheduler& sched, MergerConfig config)
       event_vectors_(/*max_idle=*/64,
                      [](std::vector<Event>& v) { v.clear(); }) {
   assert(config_.cycle_time > sim::Time::zero());
+  assert(config_.clock_phase >= sim::Time::zero() &&
+         config_.clock_phase < config_.cycle_time);
   packets_.reserve(config_.packet_fifo_depth);
   for (auto& fifo : fifos_) {
     fifo.reserve(config_.event_fifo_depth);
@@ -60,13 +62,15 @@ void EventMerger::pump() {
   if (slot_scheduled_ || !has_work()) {
     return;
   }
-  // Slots stay on the clock grid: the next slot is the later of the next
-  // free pipeline cycle and the cycle containing "now".
+  // Slots stay on this switch's clock grid (k * cycle + phase): the next
+  // slot is the later of the next free pipeline cycle and the grid point
+  // at/after "now".
   const sim::Time cycle = config_.cycle_time;
-  const std::int64_t now_aligned =
-      ((sched_.now().ps() + cycle.ps() - 1) / cycle.ps()) * cycle.ps();
-  const sim::Time when =
-      std::max(next_slot_time_, sim::Time(now_aligned));
+  const std::int64_t rel = sched_.now().ps() - config_.clock_phase.ps();
+  const std::int64_t k =
+      rel <= 0 ? 0 : (rel + cycle.ps() - 1) / cycle.ps();
+  const sim::Time aligned(k * cycle.ps() + config_.clock_phase.ps());
+  const sim::Time when = std::max(next_slot_time_, aligned);
   slot_scheduled_ = true;
   sched_.at(when, [this] { run_slot(); });
 }

@@ -42,6 +42,14 @@ enum class PacketOrigin : std::uint8_t {
 
 struct MergerConfig {
   sim::Time cycle_time = sim::Time::nanos(5);  ///< 200 MHz pipeline
+  /// Sub-cycle phase of this switch's clock: slot k runs at
+  /// `k * cycle_time + clock_phase`. Switches are independent clock
+  /// domains; giving each a distinct phase (as unsynchronized hardware
+  /// oscillators have) keeps two switches from ever processing events at
+  /// the same picosecond — the one ordering case the parallel runtime's
+  /// determinism contract excludes (docs/RUNTIME.md). Must be
+  /// non-negative and smaller than cycle_time.
+  sim::Time clock_phase = sim::Time::zero();
   std::size_t packet_fifo_depth = 256;         ///< ingress backlog (packets)
   std::size_t event_fifo_depth = 64;           ///< per event kind
   /// Events of one kind attachable to a single PHV (metadata bus width).
@@ -116,7 +124,10 @@ class EventMerger {
 
   /// Clock cycle index corresponding to `t` on this merger's grid.
   std::uint64_t cycle_at(sim::Time t) const {
-    return static_cast<std::uint64_t>(t.ps() / config_.cycle_time.ps());
+    const std::int64_t rel = t.ps() - config_.clock_phase.ps();
+    return rel <= 0 ? 0
+                    : static_cast<std::uint64_t>(rel /
+                                                 config_.cycle_time.ps());
   }
   std::uint64_t current_cycle() const { return cycle_at(sched_.now()); }
 

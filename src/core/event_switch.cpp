@@ -174,7 +174,7 @@ bool EventSwitch::send_packet(net::Packet packet, std::uint16_t port,
     ++counters_.refused_ops;
     return false;
   }
-  if (port >= ports_.size()) {
+  if (port >= ports_.size() || qid >= config_.queues_per_port) {
     ++counters_.bad_port_drops;
     return false;
   }
@@ -440,7 +440,7 @@ void EventSwitch::route(pisa::Phv&& phv) {
   const net::Packet wire = deparser_.deparse(phv);
 
   const auto enqueue_to = [&](std::uint16_t port) {
-    if (port >= ports_.size()) {
+    if (port >= ports_.size() || qid >= config_.queues_per_port) {
       ++counters_.bad_port_drops;
       return;
     }

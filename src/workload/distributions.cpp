@@ -1,0 +1,182 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace edp::workload {
+
+FlowSizeCdf::FlowSizeCdf(std::vector<Knot> knots, double min_bytes)
+    : knots_(std::move(knots)), origin_(min_bytes) {
+  if (knots_.empty()) {
+    throw std::invalid_argument("FlowSizeCdf: no knots");
+  }
+  if (!(origin_ >= 1.0) || knots_.front().bytes < origin_) {
+    throw std::invalid_argument(
+        "FlowSizeCdf: min_bytes must be >= 1 and <= the first knot");
+  }
+  double prev_bytes = 0;
+  double prev_cum = 0;
+  for (const Knot& k : knots_) {
+    if (k.bytes <= prev_bytes || k.cum <= prev_cum || k.cum > 1.0) {
+      throw std::invalid_argument("FlowSizeCdf: knots must be strictly "
+                                  "increasing with cum in (0, 1]");
+    }
+    prev_bytes = k.bytes;
+    prev_cum = k.cum;
+  }
+  if (knots_.back().cum != 1.0) {
+    throw std::invalid_argument("FlowSizeCdf: last knot must have cum == 1");
+  }
+}
+
+std::uint64_t FlowSizeCdf::sample(sim::Random& rng) const {
+  const double u = rng.uniform01();
+  // First knot whose cumulative probability covers u.
+  std::size_t hi = 0;
+  while (hi + 1 < knots_.size() && knots_[hi].cum < u) {
+    ++hi;
+  }
+  const double hi_cum = knots_[hi].cum;
+  const double hi_bytes = knots_[hi].bytes;
+  const double lo_cum = hi == 0 ? 0.0 : knots_[hi - 1].cum;
+  const double lo_bytes = hi == 0 ? origin_ : knots_[hi - 1].bytes;
+  const double span = hi_cum - lo_cum;
+  const double frac = span > 0 ? (u - lo_cum) / span : 1.0;
+  const double bytes = lo_bytes + frac * (hi_bytes - lo_bytes);
+  return static_cast<std::uint64_t>(std::max(1.0, bytes));
+}
+
+double FlowSizeCdf::mean_bytes(std::uint64_t cap_bytes) const {
+  // Integrate the piecewise-linear inverse CDF segment by segment; within a
+  // segment the conditional distribution is uniform on [lo, hi], so its
+  // capped conditional mean has a closed form.
+  const double cap = cap_bytes == 0
+                         ? knots_.back().bytes
+                         : static_cast<double>(cap_bytes);
+  double mean = 0;
+  double lo_cum = 0;
+  double lo_bytes = origin_;
+  for (const Knot& k : knots_) {
+    const double p = k.cum - lo_cum;
+    const double lo = std::min(lo_bytes, cap);
+    const double hi = std::min(k.bytes, cap);
+    double seg_mean = 0;
+    if (k.bytes <= cap) {
+      seg_mean = (lo_bytes + k.bytes) / 2.0;  // untouched by the cap
+    } else if (lo_bytes >= cap) {
+      seg_mean = cap;  // fully clipped
+    } else {
+      // Uniform on [lo_bytes, k.bytes]; the part above `cap` collapses.
+      const double width = k.bytes - lo_bytes;
+      const double below = (cap - lo_bytes) / width;
+      seg_mean = below * (lo + hi) / 2.0 + (1.0 - below) * cap;
+    }
+    mean += p * seg_mean;
+    lo_cum = k.cum;
+    lo_bytes = k.bytes;
+  }
+  return mean;
+}
+
+double FlowSizeCdf::quantile(double q) const {
+  assert(q > 0.0 && q <= 1.0);
+  std::size_t hi = 0;
+  while (hi + 1 < knots_.size() && knots_[hi].cum < q) {
+    ++hi;
+  }
+  const double lo_cum = hi == 0 ? 0.0 : knots_[hi - 1].cum;
+  const double lo_bytes = hi == 0 ? origin_ : knots_[hi - 1].bytes;
+  const double span = knots_[hi].cum - lo_cum;
+  const double frac = span > 0 ? (q - lo_cum) / span : 1.0;
+  return lo_bytes + frac * (knots_[hi].bytes - lo_bytes);
+}
+
+const FlowSizeCdf& FlowSizeCdf::web_search() {
+  // DCTCP web-search mix (Alizadeh et al., SIGCOMM 2010, §2.2 / Fig. 4's
+  // query+background aggregate as discretized by the pFabric/Homa line of
+  // follow-ups): ~half the flows are mice under ~50 KB, while flows over
+  // 1 MB — under 10% by count — carry most of the bytes.
+  static const FlowSizeCdf cdf({
+      {6e3, 0.15},
+      {13e3, 0.30},
+      {19e3, 0.40},
+      {33e3, 0.53},
+      {53e3, 0.60},
+      {133e3, 0.70},
+      {667e3, 0.80},
+      {1.3e6, 0.90},
+      {6.7e6, 0.95},
+      {20e6, 0.99},
+      {30e6, 1.00},
+  });
+  return cdf;
+}
+
+const FlowSizeCdf& FlowSizeCdf::hadoop() {
+  // Facebook Hadoop-cluster mix (Roy et al., SIGCOMM 2015): dominated by
+  // sub-KB RPCs, with a long shuffle tail out to tens of MB.
+  static const FlowSizeCdf cdf({
+      {300, 0.50},
+      {1e3, 0.63},
+      {2e3, 0.72},
+      {10e3, 0.82},
+      {100e3, 0.90},
+      {1e6, 0.95},
+      {10e6, 0.99},
+      {30e6, 1.00},
+  });
+  return cdf;
+}
+
+FlowSizeCdf FlowSizeCdf::fixed(std::uint64_t bytes) {
+  assert(bytes >= 2);
+  // A single segment whose origin equals its knot: a true point mass.
+  return FlowSizeCdf({{static_cast<double>(bytes), 1.0}},
+                     static_cast<double>(bytes));
+}
+
+ArrivalSampler::ArrivalSampler(Config config) : config_(config) {
+  assert(config_.flows_per_sec > 0);
+  if (config_.kind == Kind::kOnOff) {
+    assert(config_.on_mean > sim::Time::zero() &&
+           config_.off_mean > sim::Time::zero());
+  }
+}
+
+sim::Time ArrivalSampler::next_gap(sim::Random& rng) {
+  const double mean_gap_s = 1.0 / config_.flows_per_sec;
+  // ON-time to consume before the next arrival (wall time for kPoisson).
+  sim::Time on_needed = sim::Time::from_seconds(rng.exponential(mean_gap_s));
+  if (config_.kind == Kind::kPoisson) {
+    return std::max(sim::Time::picos(1), on_needed);
+  }
+  // Markov-modulated Poisson: burn the remainder of the current ON period,
+  // insert an OFF silence, continue in a fresh ON period — repeated until
+  // the needed ON-time fits.
+  sim::Time gap = sim::Time::zero();
+  while (on_needed > on_left_) {
+    gap += on_left_;
+    on_needed -= on_left_;
+    gap += sim::Time::from_seconds(
+        rng.exponential(config_.off_mean.as_seconds()));
+    on_left_ = std::max(sim::Time::picos(1),
+                        sim::Time::from_seconds(
+                            rng.exponential(config_.on_mean.as_seconds())));
+  }
+  on_left_ -= on_needed;
+  gap += on_needed;
+  return std::max(sim::Time::picos(1), gap);
+}
+
+double ArrivalSampler::effective_rate() const {
+  if (config_.kind == Kind::kPoisson) {
+    return config_.flows_per_sec;
+  }
+  const double on = config_.on_mean.as_seconds();
+  const double off = config_.off_mean.as_seconds();
+  return config_.flows_per_sec * on / (on + off);
+}
+
+}  // namespace edp::workload

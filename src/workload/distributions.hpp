@@ -1,0 +1,106 @@
+// edp::workload — flow-size and arrival-time distributions.
+//
+// The scenario engine synthesizes heavy-tailed data-center traffic from two
+// ingredients:
+//
+//   * `FlowSizeCdf` — an empirical flow-size distribution sampled by
+//     inverse-transform over piecewise log-linear knots. The two canonical
+//     DC mixes ship built-in: the web-search CDF (DCTCP §2.2: mice-dominated
+//     query traffic whose *bytes* are carried by a small elephant tail) and
+//     the Hadoop CDF (Facebook-style RPC traffic: most flows under a few KB,
+//     tail out to tens of MB).
+//   * `ArrivalSampler` — flow inter-arrival processes: Poisson (exponential
+//     gaps) and ON/OFF (exponential gaps inside exponentially-long ON
+//     periods, separated by exponentially-long OFF silences — the bursty
+//     shape microburst detectors exist for).
+//
+// Everything is driven by the repo's deterministic `sim::Random` streams;
+// no wall-clock, no std:: distributions (their streams are not portable
+// across standard libraries). Construction may allocate; `sample()` /
+// `next_gap()` never do, so they are safe inside the replay hot loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace edp::workload {
+
+/// Empirical flow-size CDF: knots of (bytes, cumulative probability),
+/// sampled by inverse transform with linear interpolation between knots.
+class FlowSizeCdf {
+ public:
+  struct Knot {
+    double bytes = 0;
+    double cum = 0;  ///< cumulative probability in (0, 1]
+  };
+
+  /// Knots must be strictly increasing in both fields; the last knot must
+  /// have cum == 1.0, and the first knot's bytes must be >= `min_bytes`
+  /// (the smallest representable flow — the inverse transform interpolates
+  /// the first segment down to it). Throws std::invalid_argument otherwise.
+  explicit FlowSizeCdf(std::vector<Knot> knots, double min_bytes = 1.0);
+
+  /// Sample a flow size in bytes (>= 1). Allocation-free.
+  std::uint64_t sample(sim::Random& rng) const;
+
+  /// Analytic mean of the interpolated distribution, with every sample
+  /// capped at `cap_bytes` (0 = uncapped) — what the engine uses to turn a
+  /// target offered load into a flow arrival rate.
+  double mean_bytes(std::uint64_t cap_bytes = 0) const;
+
+  /// Value at cumulative probability `q` in (0, 1] (e.g. 0.99 = p99).
+  double quantile(double q) const;
+
+  const std::vector<Knot>& knots() const { return knots_; }
+
+  /// DCTCP-style web-search mix (Alizadeh et al., SIGCOMM 2010 §2.2).
+  static const FlowSizeCdf& web_search();
+  /// Facebook-style Hadoop/RPC mix (Roy et al., SIGCOMM 2015).
+  static const FlowSizeCdf& hadoop();
+  /// Degenerate single-size distribution (calibration runs).
+  static FlowSizeCdf fixed(std::uint64_t bytes);
+
+ private:
+  std::vector<Knot> knots_;
+  double origin_ = 1.0;  ///< smallest representable flow size
+};
+
+/// Flow arrival process. Stateful: ON/OFF needs to remember how much of the
+/// current ON period remains. One sampler per traffic source.
+class ArrivalSampler {
+ public:
+  enum class Kind : std::uint8_t {
+    kPoisson,  ///< exponential inter-arrival gaps
+    kOnOff,    ///< Poisson inside ON periods, silent in OFF periods
+  };
+
+  struct Config {
+    Kind kind = Kind::kPoisson;
+    /// Mean flow arrival rate *during active periods* (flows/s, > 0).
+    double flows_per_sec = 1e5;
+    /// ON/OFF only: mean period lengths (both > 0 for kOnOff).
+    sim::Time on_mean = sim::Time::millis(1);
+    sim::Time off_mean = sim::Time::millis(4);
+  };
+
+  explicit ArrivalSampler(Config config);
+
+  /// Gap from the previous flow arrival to the next one (>= 1 ps).
+  /// Allocation-free.
+  sim::Time next_gap(sim::Random& rng);
+
+  /// Long-run average arrival rate (flows/s): the configured rate scaled by
+  /// the ON duty cycle for kOnOff.
+  double effective_rate() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  sim::Time on_left_ = sim::Time::zero();  ///< remaining ON time (kOnOff)
+};
+
+}  // namespace edp::workload

@@ -1,0 +1,248 @@
+#include "workload/replay.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "apps/fast_reroute.hpp"
+#include "net/packet.hpp"
+#include "runtime/parallel_runtime.hpp"
+#include "topo/routing.hpp"
+
+namespace edp::workload {
+namespace {
+
+/// Install scenario routes on DUT programs that expose a routing control
+/// plane. L3 apps come pre-routed from the registry (10/8 -> port 1, the
+/// sink); FRR ships without routes, so the replay provides them: the sink
+/// /24 via its primary port, with the aux port as backup — flapping the
+/// sink link then exercises the data-plane reroute. Returns true when the
+/// program forwards background traffic to the sink.
+bool configure_dut_routes(core::EventProgram& program) {
+  if (auto* frr = dynamic_cast<apps::FrrProgram*>(&program)) {
+    frr->add_route(
+        {net::Ipv4Address(10, 0, 0, 0), /*primary=*/1, /*backup=*/0});
+    return true;
+  }
+  return dynamic_cast<topo::L3Program*>(&program) != nullptr;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix_switch(std::uint64_t h, const core::EventSwitch& sw) {
+  const auto& c = sw.counters();
+  for (std::uint64_t v :
+       {c.rx_packets, c.tx_packets, c.tx_bytes, c.parse_drops,
+        c.program_drops, c.bad_port_drops, c.recirculated,
+        c.recirc_loop_drops, c.generated, c.punts, c.refused_ops}) {
+    h = fnv_mix(h, v);
+  }
+  for (std::uint64_t v : c.observed) {
+    h = fnv_mix(h, v);
+  }
+  return h;
+}
+
+std::uint64_t mix_host(std::uint64_t h, const topo::Host& host) {
+  h = fnv_mix(h, host.tx_packets());
+  h = fnv_mix(h, host.rx_packets());
+  h = fnv_mix(h, host.rx_bytes());
+  // Lane-separated sink statistics (background / incast / burst ports).
+  for (std::uint16_t port : {20000, 20001, 20002}) {
+    h = fnv_mix(h, host.rx_on_port(port));
+  }
+  return h;
+}
+
+}  // namespace
+
+bool app_routes_to_sink(const apps::RegisteredProgram& app) {
+  const std::unique_ptr<core::EventProgram> probe = app.factory();
+  return configure_dut_routes(*probe);
+}
+
+const apps::RegisteredProgram* find_program(const std::string& name) {
+  for (const auto& p : apps::program_registry()) {
+    if (p.name == name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+ScenarioOutcome replay(const ScenarioSpec& base_spec,
+                       const apps::RegisteredProgram& app,
+                       const ReplayOptions& options) {
+  const ScenarioSpec spec = options.use_registry_rates
+                                ? apply_rates(base_spec, app.rates)
+                                : base_spec;
+  topo::Spec topo;
+  const TopologyMap map = build_topology(spec, topo);
+  runtime::ParallelRuntime rt(topo, topo::plan_shards(topo, options.shards));
+
+  // Device under test: a fresh instance from the registry factory, with
+  // routes installed exactly as the analyzer sees them (10/8 -> port 1 for
+  // L3 apps, i.e. the sink).
+  const std::unique_ptr<core::EventProgram> dut_program = app.factory();
+  configure_dut_routes(*dut_program);
+  rt.sw(map.dut).set_program(dut_program.get());
+
+  // Edge routers: local hosts via /32 down-routes, everything else up the
+  // uplink — with the structural loop-breaker (scenario.hpp).
+  const auto uplink = static_cast<std::uint16_t>(spec.hosts_per_edge);
+  std::vector<std::unique_ptr<EdgeProgram>> edge_programs;
+  for (std::size_t e = 0; e < spec.edges; ++e) {
+    auto prog = std::make_unique<EdgeProgram>(uplink);
+    prog->add_route(net::Ipv4Address(10, 0, 0, 0), 8, uplink);
+    for (std::size_t h = 0; h < spec.hosts_per_edge; ++h) {
+      prog->add_route(map.source_ips[e * spec.hosts_per_edge + h], 32,
+                      static_cast<std::uint16_t>(h));
+    }
+    rt.sw(map.edges[e]).set_program(prog.get());
+    edge_programs.push_back(std::move(prog));
+  }
+
+  // One storm source per source host, on the host's shard scheduler.
+  const sim::Time horizon = spec.horizon();
+  const sim::Time lanes_stop = spec.active_span();
+  std::vector<std::unique_ptr<StormSource>> sources;
+  for (std::size_t i = 0; i < map.source_hosts.size(); ++i) {
+    StormSource::Config c;
+    c.source_index = i;
+    c.seed = spec.seed;
+    c.src_ip = map.source_ips[i];
+    c.dst_ip = map.sink_ip;
+    c.packet_bytes = std::max<std::size_t>(spec.packet_bytes, 64);
+    c.nic_rate_bps = spec.nic_rate_bps;
+    c.flow_budget = spec.flows_per_source();
+    c.cdf = &spec.size_cdf();
+    c.cap_bytes = spec.flow_size_cap_bytes;
+    c.arrivals.kind = spec.arrivals;
+    c.arrivals.flows_per_sec = spec.flows_per_sec_per_source();
+    c.arrivals.on_mean = spec.on_mean;
+    c.arrivals.off_mean = spec.off_mean;
+    if (spec.incast_degree > i) {
+      c.incast_flow_bytes = spec.incast_flow_bytes;
+      c.incast_period = spec.incast_period;
+    }
+    c.burst_packets = spec.burst_packets;
+    c.burst_period = spec.burst_period;
+    c.stop = lanes_stop;
+    const std::size_t host = map.source_hosts[i];
+    sources.push_back(std::make_unique<StormSource>(
+        rt.scheduler_of_host(host), rt.host(host), c));
+    sources.back()->start();
+  }
+
+  // Failure schedule. Host links only: they are shard-local under every
+  // plan (the runtime cannot fail a cut link), and flapping the DUT's own
+  // host links is what raises LinkStatusChange events at the app.
+  for (const LinkFlap& f : spec.flaps) {
+    std::size_t link = map.sink_link;
+    if (f.target == LinkFlap::Target::kAux) {
+      link = map.aux_link;
+    } else if (f.target == LinkFlap::Target::kSource) {
+      link = map.source_links[f.source % map.source_links.size()];
+    }
+    assert(f.up_at > f.down_at);
+    // Flap events carry the reserved 199 ps clock phase (see
+    // build_topology): they can never share a picosecond with any
+    // switch's slot grid or any packet chained off one.
+    const sim::Time phase = sim::Time::picos(199);
+    rt.link(link).fail_at(f.down_at + phase);
+    rt.link(link).recover_at(f.up_at + phase);
+  }
+
+  // Run to the horizon in chunks. The first chunk is the warmup window:
+  // pools, rings and scheduler slots reach their high-water capacity there,
+  // so the allocation gauge measures the steady-state replay loop.
+  const sim::Time warmup =
+      std::min(options.chunk, sim::Time(horizon.ps() / 10));
+  const auto wall0 = std::chrono::steady_clock::now();
+  // Debug aid (used when chasing determinism regressions): override the
+  // chunk size and print a per-chunk digest of the DUT + sink state.
+  sim::Time chunk = options.chunk;
+  const char* trace_env = std::getenv("EDP_SCEN_TRACE_US");
+  if (trace_env != nullptr) {
+    chunk = sim::Time::micros(std::strtoll(trace_env, nullptr, 10));
+  }
+  rt.run_until(std::min(warmup, horizon));
+  const std::uint64_t warm_events = rt.total_executed();
+  const std::uint64_t warm_allocs = net::packet_buffer_pool_stats().allocated;
+  for (sim::Time t = warmup; t < horizon;) {
+    t = std::min(horizon, t + chunk);
+    rt.run_until(t);
+    if (trace_env != nullptr) {
+      std::uint64_t th = 1469598103934665603ULL;
+      th = mix_switch(th, rt.sw(map.dut));
+      std::fprintf(stderr, "trace t=%lldus dut=%016llx sink_rx=%llu\n",
+                   static_cast<long long>(t.ps() / 1'000'000),
+                   static_cast<unsigned long long>(th),
+                   static_cast<unsigned long long>(
+                       rt.host(map.sink_host).rx_packets()));
+    }
+  }
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ScenarioOutcome out;
+  out.app = app.name;
+  out.scenario = spec.name;
+  out.seed = spec.seed;
+  out.shards = rt.num_shards();
+  out.events = rt.total_executed();
+  out.cross_shard_messages = rt.cross_shard_messages();
+  out.sim_seconds = horizon.as_seconds();
+  out.wall_seconds =
+      std::chrono::duration<double>(wall1 - wall0).count();
+  const std::uint64_t steady_events = out.events - warm_events;
+  out.allocations_per_event =
+      steady_events == 0
+          ? 0.0
+          : static_cast<double>(net::packet_buffer_pool_stats().allocated -
+                                warm_allocs) /
+                static_cast<double>(steady_events);
+
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& src : sources) {
+    out.flows_started += src->flows_started();
+    out.flows_completed += src->flows_completed();
+    out.packets_sent += src->packets_sent();
+    out.bytes_sent += src->bytes_sent();
+    out.incast_waves += src->incast_waves();
+    out.bursts += src->bursts();
+    h = fnv_mix(h, src->flows_started());
+    h = fnv_mix(h, src->packets_sent());
+    h = fnv_mix(h, src->bytes_sent());
+  }
+  h = mix_switch(h, rt.sw(map.dut));
+  for (std::size_t e = 0; e < spec.edges; ++e) {
+    h = mix_switch(h, rt.sw(map.edges[e]));
+    h = fnv_mix(h, edge_programs[e]->uplink_drops());
+    out.edge_uplink_drops += edge_programs[e]->uplink_drops();
+  }
+  h = mix_host(h, rt.host(map.sink_host));
+  h = mix_host(h, rt.host(map.aux_host));
+  for (std::size_t host : map.source_hosts) {
+    h = mix_host(h, rt.host(host));
+  }
+  out.digest = h;
+
+  const auto& dut_counters = rt.sw(map.dut).counters();
+  out.dut_tx_packets = dut_counters.tx_packets;
+  out.dut_program_drops = dut_counters.program_drops;
+  out.dut_punts = dut_counters.punts;
+  out.sink_rx_packets = rt.host(map.sink_host).rx_packets();
+  return out;
+}
+
+}  // namespace edp::workload

@@ -1,0 +1,76 @@
+// edp::workload — the scenario replay engine.
+//
+// Lowers a `ScenarioSpec` onto the fan-in topology, attaches an application
+// from the registry to the device-under-test switch, installs one
+// `StormSource` per source host plus the flap schedule, and runs the whole
+// thing either sequentially (one sim::Scheduler) or through
+// `runtime::ParallelRuntime` at any shard count. The result is a
+// `ScenarioOutcome`: replay volume counters plus an FNV-1a digest over
+// every shard-invariant observable (per-switch counters and event
+// observations, per-host statistics, per-source replay totals) — the value
+// the determinism gates compare across seeds x shard counts, and the
+// fuzzer's oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "workload/scenario.hpp"
+#include "workload/storm_source.hpp"
+
+namespace edp::workload {
+
+struct ReplayOptions {
+  std::size_t shards = 1;
+  /// Scale the spec to the app's registry EventRates before replaying.
+  bool use_registry_rates = true;
+  /// Run in fixed chunks of simulated time instead of one run_until — the
+  /// engine's default, proven result-neutral by the runtime's repeated-run
+  /// property; lets callers sample progress.
+  sim::Time chunk = sim::Time::millis(50);
+};
+
+struct ScenarioOutcome {
+  std::string app;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t shards = 1;
+
+  std::uint64_t digest = 0;          ///< shard-invariant outcome digest
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t packets_sent = 0;    ///< by the storm sources
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t incast_waves = 0;
+  std::uint64_t bursts = 0;
+  std::uint64_t events = 0;          ///< scheduler callbacks executed
+  std::uint64_t sink_rx_packets = 0;
+  std::uint64_t dut_tx_packets = 0;
+  std::uint64_t dut_program_drops = 0;
+  std::uint64_t dut_punts = 0;
+  std::uint64_t edge_uplink_drops = 0;  ///< loop-breaker hits
+  std::uint64_t cross_shard_messages = 0;
+  double sim_seconds = 0;
+  double wall_seconds = 0;
+  /// Packet-buffer pool growth per event after the warmup chunk — the
+  /// replay loop's allocation gauge (0 at steady state).
+  double allocations_per_event = 0;
+};
+
+/// Replay `spec` against registered program `app`. The app factory builds a
+/// fresh program instance for the DUT; edges run EdgeProgram routers.
+ScenarioOutcome replay(const ScenarioSpec& spec,
+                       const apps::RegisteredProgram& app,
+                       const ReplayOptions& options = {});
+
+/// Registry lookup by name; nullptr when unknown.
+const apps::RegisteredProgram* find_program(const std::string& name);
+
+/// True when a fresh instance of `app` forwards background traffic to the
+/// scenario sink: L3-routed apps (registry installs 10/8 -> sink port) and
+/// FRR (the replay injects its routes). Probe-constructs one instance.
+/// Scopes the fuzzer's liveness oracle to forwarding apps.
+bool app_routes_to_sink(const apps::RegisteredProgram& app);
+
+}  // namespace edp::workload

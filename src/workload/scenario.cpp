@@ -1,0 +1,242 @@
+#include "workload/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "net/address.hpp"
+
+namespace edp::workload {
+
+std::string_view to_string(SizeMix mix) {
+  switch (mix) {
+    case SizeMix::kWebSearch:
+      return "web-search";
+    case SizeMix::kHadoop:
+      return "hadoop";
+    case SizeMix::kFixed:
+      return "fixed";
+  }
+  return "?";
+}
+
+const FlowSizeCdf& ScenarioSpec::size_cdf() const {
+  switch (sizes) {
+    case SizeMix::kWebSearch:
+      return FlowSizeCdf::web_search();
+    case SizeMix::kHadoop:
+      return FlowSizeCdf::hadoop();
+    case SizeMix::kFixed: {
+      // Cache per distinct size: the engine calls this once per run.
+      static thread_local std::uint64_t cached_bytes = 0;
+      static thread_local std::unique_ptr<FlowSizeCdf> cached;
+      const std::uint64_t bytes = std::max<std::uint64_t>(2, fixed_flow_bytes);
+      if (!cached || cached_bytes != bytes) {
+        cached = std::make_unique<FlowSizeCdf>(FlowSizeCdf::fixed(bytes));
+        cached_bytes = bytes;
+      }
+      return *cached;
+    }
+  }
+  return FlowSizeCdf::web_search();
+}
+
+double ScenarioSpec::mean_flow_bytes() const {
+  return size_cdf().mean_bytes(flow_size_cap_bytes);
+}
+
+double ScenarioSpec::flows_per_sec_per_source() const {
+  assert(load > 0 && nic_rate_bps > 0);
+  const double offered_bps = load * nic_rate_bps;
+  const double per_source_bps =
+      offered_bps / static_cast<double>(num_sources());
+  return per_source_bps / (mean_flow_bytes() * 8.0);
+}
+
+sim::Time ScenarioSpec::active_span() const {
+  // Expected budget-completion time per source, x1.5 slack for arrival
+  // variance (ON/OFF duty cycling is folded in via effective_rate).
+  ArrivalSampler::Config ac;
+  ac.kind = arrivals;
+  ac.flows_per_sec = flows_per_sec_per_source();
+  ac.on_mean = on_mean;
+  ac.off_mean = off_mean;
+  const double rate = ArrivalSampler(ac).effective_rate();
+  const double expected_s =
+      static_cast<double>(flows_per_source()) / std::max(1e-9, rate);
+  return std::max(sim::Time::millis(1),
+                  sim::Time::from_seconds(expected_s * 1.5));
+}
+
+sim::Time ScenarioSpec::horizon() const {
+  return active_span() + sim::Time::millis(5);
+}
+
+std::string ScenarioSpec::repro() const {
+  // Lossless round-trip through `edp_scen run` flags: every field that
+  // affects the replay is emitted (load at full double precision, lane
+  // periods in integral microseconds) — a shrunk fuzzer case must
+  // reproduce its failure exactly.
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "--mix %s --arrivals %s --seed %llu --flows %llu --load %.17g "
+      "--edges %zu --hosts-per-edge %zu --cap %llu --packet-bytes %zu",
+      std::string(to_string(sizes)).c_str(),
+      arrivals == ArrivalSampler::Kind::kPoisson ? "poisson" : "onoff",
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(flows), load, edges, hosts_per_edge,
+      static_cast<unsigned long long>(flow_size_cap_bytes), packet_bytes);
+  std::string out = buf;
+  const auto micros_of = [](sim::Time t) {
+    return std::to_string(t.ps() / 1'000'000);
+  };
+  if (sizes == SizeMix::kFixed) {
+    out += " --fixed-bytes " + std::to_string(fixed_flow_bytes);
+  }
+  if (arrivals == ArrivalSampler::Kind::kOnOff) {
+    out += " --on-us " + micros_of(on_mean) + " --off-us " +
+           micros_of(off_mean);
+  }
+  if (incast_degree > 0) {
+    out += " --incast " + std::to_string(incast_degree) +
+           " --incast-flow-bytes " + std::to_string(incast_flow_bytes) +
+           " --incast-period-us " + micros_of(incast_period);
+  }
+  if (burst_packets > 0) {
+    out += " --bursts " + std::to_string(burst_packets) +
+           " --burst-period-us " + micros_of(burst_period);
+  }
+  for (const LinkFlap& f : flaps) {
+    const char* target = f.target == LinkFlap::Target::kSink   ? "sink"
+                         : f.target == LinkFlap::Target::kAux ? "aux"
+                                                              : "source";
+    out += " --flap " + std::string(target) + ":" +
+           std::to_string(f.source) + ":" + micros_of(f.down_at) + ":" +
+           micros_of(f.up_at);
+  }
+  return out;
+}
+
+ScenarioSpec apply_rates(ScenarioSpec spec,
+                         const analysis::EventRates& rates) {
+  if (rates.avg_packet_bytes != 0) {
+    spec.packet_bytes = rates.avg_packet_bytes;
+  }
+  if (rates.declared(analysis::Handler::kIngress)) {
+    // The annotation is the app's worst-case ingress budget in events/s
+    // (one ingress event per packet). Scale the offered load down so the
+    // aggregate background packet rate stays inside it.
+    const double budget_pps = rates.get(analysis::Handler::kIngress);
+    const double mean_pkts_per_flow = std::max(
+        1.0, spec.mean_flow_bytes() / static_cast<double>(spec.packet_bytes));
+    const double offered_pps = spec.flows_per_sec_per_source() *
+                               static_cast<double>(spec.num_sources()) *
+                               mean_pkts_per_flow;
+    if (offered_pps > budget_pps && offered_pps > 0) {
+      spec.load *= budget_pps / offered_pps;
+    }
+  }
+  return spec;
+}
+
+TopologyMap build_topology(const ScenarioSpec& spec, topo::Spec& topo) {
+  assert(spec.edges >= 1 && spec.hosts_per_edge >= 1);
+  // Every cross-shard event is anchored to some switch's clock grid (its
+  // merger slot times plus serialization chains, which only ever shift a
+  // timestamp by multiples of 200 ps — bytes x 800 ps at 10 Gb/s). Distinct
+  // per-switch clock phases, all distinct mod 200 ps, therefore make
+  // cross-switch same-picosecond ties — the one ordering the parallel
+  // runtime's determinism contract excludes — structurally impossible:
+  //   DUT = 0, edge e = 1+e (needs edges <= 198), flaps = 199 (replay.cpp).
+  assert(spec.edges <= 198);
+  // Whole-ns link delays keep deliveries on the sending switch's lattice.
+  assert(spec.host_link_delay.ps() % 1000 == 0);
+  assert(spec.fabric_link_delay.ps() % 1000 == 0);
+  TopologyMap map;
+
+  core::EventSwitchConfig dut;
+  dut.name = "dut";
+  dut.num_ports = static_cast<std::uint16_t>(2 + spec.edges);
+  dut.port_rate_bps = spec.nic_rate_bps;
+  // Two queues, strict priority: the superset every registered app needs
+  // (ndp-trim rides qid 1 for full packets; single-queue apps only ever
+  // touch qid 0, where the scheduler choice is moot).
+  dut.queues_per_port = 2;
+  dut.tm_scheduler = tm_::SchedulerKind::kStrictPriority;
+  dut.merger.clock_phase = sim::Time::zero();
+  map.dut = topo.add_switch(dut);
+
+  for (std::size_t e = 0; e < spec.edges; ++e) {
+    core::EventSwitchConfig c;
+    c.name = "edge" + std::to_string(e);
+    c.num_ports = static_cast<std::uint16_t>(spec.hosts_per_edge + 1);
+    c.port_rate_bps = spec.nic_rate_bps;
+    c.merger.clock_phase = sim::Time::picos(static_cast<std::int64_t>(1 + e));
+    map.edges.push_back(topo.add_switch(c));
+  }
+
+  const auto host_cfg = [&spec](const std::string& name, net::Ipv4Address ip) {
+    topo::Host::Config c;
+    c.name = name;
+    c.ip = ip;
+    c.mac = net::MacAddress::from_u64(0x020000000000ULL + ip.value());
+    c.nic_rate_bps = spec.nic_rate_bps;
+    return c;
+  };
+
+  topo::Link::Config host_link;
+  host_link.delay = spec.host_link_delay;
+  topo::Link::Config fabric_link;
+  fabric_link.delay = spec.fabric_link_delay;
+
+  // DUT-attached hosts. The sink owns 10.0.0.1: the registry convention
+  // (10.0.0.0/8 -> port 1) makes it the destination of every background
+  // flow. The aux host sits on port 0 for apps with host-port semantics
+  // (hula-tor, netcache clients) and as a flap target that raises
+  // LinkStatusChange events at the DUT itself.
+  map.sink_ip = net::Ipv4Address(10, 0, 0, 1);
+  map.aux_ip = net::Ipv4Address(10, 0, 0, 2);
+  map.aux_host = topo.add_host(host_cfg("aux", map.aux_ip));
+  map.aux_link = topo.connect_host(map.aux_host, map.dut, 0, host_link);
+  map.sink_host = topo.add_host(host_cfg("sink", map.sink_ip));
+  map.sink_link = topo.connect_host(map.sink_host, map.dut, 1, host_link);
+
+  // Source hosts: 10.(1+e).(1+h).1, outside the sink's /24 but inside the
+  // registry's 10/8 default route.
+  for (std::size_t e = 0; e < spec.edges; ++e) {
+    for (std::size_t h = 0; h < spec.hosts_per_edge; ++h) {
+      const net::Ipv4Address ip(10, static_cast<std::uint8_t>(1 + e),
+                                static_cast<std::uint8_t>(1 + h), 1);
+      const std::size_t host = topo.add_host(host_cfg(
+          "src" + std::to_string(e) + "_" + std::to_string(h), ip));
+      map.source_hosts.push_back(host);
+      map.source_ips.push_back(ip);
+      map.source_links.push_back(topo.connect_host(
+          host, map.edges[e], static_cast<std::uint16_t>(h), host_link));
+    }
+  }
+
+  // Edge uplinks: edge e port H <-> DUT port 2+e. The only links the
+  // default shard plan can cut.
+  for (std::size_t e = 0; e < spec.edges; ++e) {
+    topo.connect_switches(map.edges[e],
+                          static_cast<std::uint16_t>(spec.hosts_per_edge),
+                          map.dut, static_cast<std::uint16_t>(2 + e),
+                          fabric_link);
+  }
+  return map;
+}
+
+void EdgeProgram::on_ingress(pisa::Phv& phv, core::EventContext& ctx) {
+  topo::L3Program::on_ingress(phv, ctx);
+  if (!phv.std_meta.drop && phv.std_meta.ingress_port == uplink_port_ &&
+      phv.std_meta.egress_port == uplink_port_) {
+    phv.std_meta.drop = true;
+    ++uplink_drops_;
+  }
+}
+
+}  // namespace edp::workload

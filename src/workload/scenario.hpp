@@ -1,0 +1,174 @@
+// edp::workload — declarative scenario composition.
+//
+// A `ScenarioSpec` describes one end-to-end traffic storm without binding
+// it to a scheduler: the fan-in topology (edge switches feeding one
+// device-under-test switch), the background traffic mix (flow-size CDF +
+// arrival process + offered load), the storm lanes layered on top (incast
+// waves, microburst trains), and a link-flap schedule. `build_topology`
+// lowers it onto a `topo::Spec`; the replay engine (replay.hpp) then runs
+// it sequentially or through `runtime::ParallelRuntime` at any shard count.
+//
+// The registry's per-app `analysis::EventRates` annotations are consumed by
+// `apply_rates`: the declared average packet size becomes the replay packet
+// size, and a declared ingress-rate budget caps the offered load — so a
+// control-paced app (liveness, int-aggregator) is driven at its annotated
+// rate instead of a line-rate firehose.
+//
+// Topology shape (E edges, H source hosts each):
+//
+//     src h(e,0..H-1) ── edge e ──┐
+//                                 ├── DUT ── port 1 ── sink host
+//     src h(e',*)     ── edge e' ─┘  │
+//                                    └ port 0 ── aux host
+//
+// The DUT (spec switch 0) runs the application under test, built by its
+// registry factory; the registry convention routes 10.0.0.0/8 to port 1,
+// so background flows fan in from every source to the sink. Edge switches
+// run `EdgeProgram`, an L3 router with a structural loop-breaker: a packet
+// that arrived from the uplink is never forwarded back up, so no app
+// decision (ECMP bouncing, replication to an uplink port) can create a
+// forwarding loop. Edge->DUT links are the only cut links under the default
+// shard plan; host links stay shard-local, which is why the flap schedule
+// targets host links (the parallel runtime cannot fail a cut link).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/hardware_model.hpp"
+#include "net/address.hpp"
+#include "sim/time.hpp"
+#include "topo/routing.hpp"
+#include "topo/spec.hpp"
+#include "workload/distributions.hpp"
+
+namespace edp::workload {
+
+/// Which built-in flow-size mix the background lane draws from.
+enum class SizeMix : std::uint8_t { kWebSearch, kHadoop, kFixed };
+
+std::string_view to_string(SizeMix mix);
+
+/// One scheduled link flap. Targets a *host* link (sink, aux, or a source
+/// host), which stays shard-local under every shard plan.
+struct LinkFlap {
+  enum class Target : std::uint8_t { kSink, kAux, kSource };
+  Target target = Target::kSink;
+  /// kSource only: index of the source host (edge * hosts_per_edge + h).
+  std::size_t source = 0;
+  sim::Time down_at = sim::Time::millis(1);
+  sim::Time up_at = sim::Time::millis(2);  ///< must be > down_at
+};
+
+struct ScenarioSpec {
+  std::string name = "storm";
+  std::uint64_t seed = 1;
+
+  // ---- topology -------------------------------------------------------------
+  std::size_t edges = 4;           ///< edge switches feeding the DUT
+  std::size_t hosts_per_edge = 2;  ///< source hosts per edge switch
+  double nic_rate_bps = 10e9;      ///< host NICs and switch ports
+  sim::Time host_link_delay = sim::Time::nanos(500);
+  sim::Time fabric_link_delay = sim::Time::micros(2);  ///< the cut links
+
+  // ---- background traffic ---------------------------------------------------
+  SizeMix sizes = SizeMix::kWebSearch;
+  std::uint64_t fixed_flow_bytes = 10'000;  ///< kFixed only
+  /// Samples above this cap are clipped (0 = uncapped). Keeps the elephant
+  /// tail representable while bounding packets/flow for multi-million-flow
+  /// replays; the sub-cap shape is untouched.
+  std::uint64_t flow_size_cap_bytes = 64 * 1024;
+  std::size_t packet_bytes = 1000;  ///< wire bytes per replay packet
+  ArrivalSampler::Kind arrivals = ArrivalSampler::Kind::kPoisson;
+  sim::Time on_mean = sim::Time::millis(1);   ///< kOnOff
+  sim::Time off_mean = sim::Time::millis(4);  ///< kOnOff
+  /// Offered background load as a fraction of the sink link rate; the
+  /// per-source flow arrival rate is derived from the capped mean flow size.
+  double load = 0.4;
+  /// Total background flows, split evenly across source hosts (rounded up).
+  std::uint64_t flows = 100'000;
+
+  // ---- storm lanes ----------------------------------------------------------
+  /// Incast waves: every `incast_period`, each of the first `incast_degree`
+  /// sources fires one `incast_flow_bytes` flow at the sink. Sources offset
+  /// their waves by (source index) picoseconds — synchronized for every
+  /// physical purpose, but free of cross-switch same-picosecond ties, which
+  /// the parallel runtime's determinism contract excludes.
+  std::size_t incast_degree = 0;
+  sim::Time incast_period = sim::Time::millis(2);
+  std::uint64_t incast_flow_bytes = 32 * 1024;
+  /// Microburst trains: every `burst_period`, each source emits
+  /// `burst_packets` back-to-back at NIC rate (same 1 ps de-tie stagger).
+  std::size_t burst_packets = 0;
+  sim::Time burst_period = sim::Time::millis(1);
+
+  // ---- failures -------------------------------------------------------------
+  std::vector<LinkFlap> flaps;
+
+  std::size_t num_sources() const { return edges * hosts_per_edge; }
+  std::uint64_t flows_per_source() const {
+    return (flows + num_sources() - 1) / num_sources();
+  }
+  const FlowSizeCdf& size_cdf() const;
+  /// Capped mean flow size in bytes under this spec's mix and cap.
+  double mean_flow_bytes() const;
+  /// Derived per-source background flow arrival rate (flows/s).
+  double flows_per_sec_per_source() const;
+  /// Expected time for every source to finish its flow budget, with slack
+  /// for arrival variance; storm lanes go idle at this point.
+  sim::Time active_span() const;
+  /// active_span plus a drain tail for in-flight packets — the replay
+  /// engine's run horizon.
+  sim::Time horizon() const;
+
+  /// One-line reproducer in `edp_scen run` syntax (fuzzer reports, logs).
+  std::string repro() const;
+};
+
+/// Scale a scenario to an app's declared `analysis::EventRates`: adopt the
+/// annotated average packet size, and cap the aggregate background packet
+/// rate at a declared ingress budget by lowering `load` (never raising it).
+/// Returns the scaled copy; `spec` is untouched.
+ScenarioSpec apply_rates(ScenarioSpec spec, const analysis::EventRates& rates);
+
+/// Resolved spec indices of the lowered topology, all deterministic
+/// functions of the ScenarioSpec dimensions.
+struct TopologyMap {
+  std::size_t dut = 0;                 ///< spec switch index of the DUT
+  std::vector<std::size_t> edges;      ///< spec switch index per edge
+  std::size_t sink_host = 0;
+  std::size_t aux_host = 0;
+  std::vector<std::size_t> source_hosts;  ///< edge-major order
+  std::size_t sink_link = 0;           ///< spec link indices (host links)
+  std::size_t aux_link = 0;
+  std::vector<std::size_t> source_links;
+  net::Ipv4Address sink_ip;
+  net::Ipv4Address aux_ip;
+  std::vector<net::Ipv4Address> source_ips;
+};
+
+/// Lower `spec` onto a topo::Spec. DUT = switch 0 (port 0 aux host, port 1
+/// sink host, ports 2.. edges); edge e = switch 1+e (ports 0..H-1 hosts,
+/// port H uplink).
+TopologyMap build_topology(const ScenarioSpec& spec, topo::Spec& topo);
+
+/// Edge-switch router with the structural loop-breaker: LPM-routes like
+/// L3Program, but a packet that arrived on the uplink port and would be
+/// forwarded back out of it is dropped instead (counted in uplink_drops).
+class EdgeProgram : public topo::L3Program {
+ public:
+  explicit EdgeProgram(std::uint16_t uplink_port)
+      : uplink_port_(uplink_port) {}
+
+  void on_ingress(pisa::Phv& phv, core::EventContext& ctx) override;
+
+  std::uint64_t uplink_drops() const { return uplink_drops_; }
+
+ private:
+  std::uint16_t uplink_port_;
+  std::uint64_t uplink_drops_ = 0;
+};
+
+}  // namespace edp::workload

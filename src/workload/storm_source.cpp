@@ -1,0 +1,180 @@
+#include "workload/storm_source.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edp::workload {
+namespace {
+
+/// UDP destination ports per lane, so sink-side `rx_on_port` statistics
+/// (and the scenario digest) separate background, incast, and burst
+/// traffic.
+constexpr std::uint16_t kBackgroundPort = 20000;
+constexpr std::uint16_t kIncastPort = 20001;
+constexpr std::uint16_t kBurstPort = 20002;
+
+/// Smallest replay packet: headers plus a little payload, so tail packets
+/// of a flow stay valid wire frames.
+constexpr std::size_t kMinWireBytes = 65;
+
+/// Wire sizes are rounded up to this quantum so serialization times are
+/// whole nanoseconds (5 bytes = 40 bits = 4 ns at 10 Gb/s and every rate
+/// that divides it). Together with whole-ns arrival gaps and the
+/// per-source sub-ns phase (start()), every event a source causes before
+/// its traffic is re-anchored by a switch's clock grid stays in that
+/// source's picosecond residue class mod 1000 — distinct sources on one
+/// edge switch never collide.
+constexpr std::size_t kWireQuantum = 5;
+
+std::size_t quantize_wire(std::size_t bytes) {
+  bytes = std::max(bytes, kMinWireBytes);
+  return (bytes + kWireQuantum - 1) / kWireQuantum * kWireQuantum;
+}
+
+/// Round a sampled inter-arrival gap up to a whole (positive) nanosecond,
+/// keeping scheduled times on the source's residue lattice.
+sim::Time quantize_gap(sim::Time gap) {
+  const std::int64_t ns = (gap.ps() + 999) / 1000;
+  return sim::Time::nanos(std::max<std::int64_t>(1, ns));
+}
+
+std::uint64_t source_stream_seed(std::uint64_t seed, std::size_t index) {
+  // splitmix-style spread: distinct, well-separated xoshiro seeds per
+  // (scenario seed, source index) without correlating nearby indices.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+StormSource::StormSource(sim::Scheduler& sched, topo::Host& host,
+                         Config config)
+    : sched_(sched),
+      host_(host),
+      config_(config),
+      rng_(source_stream_seed(config.seed, config.source_index)),
+      lane_rng_(rng_.fork()),
+      arrivals_(config.arrivals) {
+  config_.packet_bytes = quantize_wire(config_.packet_bytes);
+  packet_gap_ =
+      sim::serialization_time(config_.packet_bytes, config_.nic_rate_bps);
+  assert(config_.source_index < 999);
+  assert(packet_gap_ > sim::Time::zero());
+  assert(packet_gap_.ps() % 1000 == 0);
+}
+
+void StormSource::start() {
+  // De-tie phase: every lane of source i lives at picosecond residue i+1
+  // (mod 1000) — residue 0 is left to app timers and flap schedules. All
+  // subsequent gaps are whole nanoseconds (see kWireQuantum), so no two
+  // sources ever cause events at the same picosecond, anywhere.
+  const sim::Time offset = sim::Time::picos(
+      static_cast<std::int64_t>(config_.source_index + 1));
+  if (config_.cdf != nullptr && config_.flow_budget > 0) {
+    sched_.at(offset + quantize_gap(arrivals_.next_gap(rng_)),
+              [this] { next_flow(); });
+  }
+  if (config_.incast_flow_bytes > 0) {
+    sched_.at(config_.incast_period + offset, [this] { incast_wave(1); });
+  }
+  if (config_.burst_packets > 0) {
+    sched_.at(config_.burst_period + offset, [this] { burst(1); });
+  }
+}
+
+// ---- background lane --------------------------------------------------------
+
+void StormSource::next_flow() {
+  if (flows_started_ >= config_.flow_budget || sched_.now() >= config_.stop) {
+    return;
+  }
+  std::uint64_t bytes = config_.cdf->sample(rng_);
+  if (config_.cap_bytes > 0) {
+    bytes = std::min(bytes, config_.cap_bytes);
+  }
+  bytes = std::max<std::uint64_t>(bytes, kMinWireBytes);
+  flow_packets_left_ = (bytes + config_.packet_bytes - 1) / config_.packet_bytes;
+  const std::uint64_t tail = bytes % config_.packet_bytes;
+  flow_tail_bytes_ = quantize_wire(static_cast<std::size_t>(
+      tail == 0 ? config_.packet_bytes : tail));
+  flow_src_port_ = static_cast<std::uint16_t>(10000 + flows_started_ % 50000);
+  ++flows_started_;
+  emit_flow_packet();
+}
+
+void StormSource::emit_flow_packet() {
+  const bool last = flow_packets_left_ == 1;
+  send(last ? flow_tail_bytes_ : config_.packet_bytes, kBackgroundPort);
+  --flow_packets_left_;
+  if (!last) {
+    sched_.after(packet_gap_, [this] { emit_flow_packet(); });
+    return;
+  }
+  ++flows_completed_;
+  // Next arrival, measured from this flow's start per the arrival process;
+  // if the sampled gap already elapsed while the flow was transmitting,
+  // start the next flow one NIC slot later (a busy source, not a time warp).
+  const sim::Time gap = quantize_gap(arrivals_.next_gap(rng_));
+  sched_.after(std::max(gap, packet_gap_), [this] { next_flow(); });
+}
+
+// ---- incast lane ------------------------------------------------------------
+
+void StormSource::incast_wave(std::uint64_t wave) {
+  if (sched_.now() >= config_.stop) {
+    return;
+  }
+  ++incast_waves_;
+  const std::uint64_t packets = std::max<std::uint64_t>(
+      1, (config_.incast_flow_bytes + config_.packet_bytes - 1) /
+             config_.packet_bytes);
+  emit_incast_packet(packets);
+  const sim::Time offset =
+      sim::Time::picos(static_cast<std::int64_t>(config_.source_index + 1));
+  sched_.at(config_.incast_period * static_cast<std::int64_t>(wave + 1) +
+                offset,
+            [this, wave] { incast_wave(wave + 1); });
+}
+
+void StormSource::emit_incast_packet(std::uint64_t remaining) {
+  send(config_.packet_bytes, kIncastPort);
+  if (remaining > 1) {
+    sched_.after(packet_gap_,
+                 [this, remaining] { emit_incast_packet(remaining - 1); });
+  }
+}
+
+// ---- microburst lane --------------------------------------------------------
+
+void StormSource::burst(std::uint64_t n) {
+  if (sched_.now() >= config_.stop) {
+    return;
+  }
+  ++bursts_;
+  emit_burst_packet(config_.burst_packets);
+  const sim::Time offset =
+      sim::Time::picos(static_cast<std::int64_t>(config_.source_index + 1));
+  sched_.at(config_.burst_period * static_cast<std::int64_t>(n + 1) + offset,
+            [this, n] { burst(n + 1); });
+}
+
+void StormSource::emit_burst_packet(std::uint64_t remaining) {
+  send(config_.packet_bytes, kBurstPort);
+  if (remaining > 1) {
+    sched_.after(packet_gap_,
+                 [this, remaining] { emit_burst_packet(remaining - 1); });
+  }
+}
+
+// ---- shared ----------------------------------------------------------------
+
+void StormSource::send(std::size_t wire_bytes, std::uint16_t dst_port) {
+  host_.send(net::make_udp_packet(config_.src_ip, config_.dst_ip,
+                                  flow_src_port_, dst_port, wire_bytes));
+  ++packets_sent_;
+  bytes_sent_ += wire_bytes;
+}
+
+}  // namespace edp::workload

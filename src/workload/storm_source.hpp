@@ -1,0 +1,116 @@
+// edp::workload — per-host replay sources (the hot path).
+//
+// One `StormSource` per source host replays that host's share of a
+// scenario: background flows (size drawn from the scenario's CDF, arrivals
+// from its arrival process), an optional incast lane, and an optional
+// microburst lane. Each lane is a self-rescheduling callback on the host's
+// shard scheduler — the replay loop proper.
+//
+// Hot-path discipline (scripts/lint_hotpath.sh covers this file): after
+// construction the per-event path allocates nothing. Samplers are
+// preallocated, callbacks capture only `this` (inline storage, no heap),
+// packets draw pooled payload buffers, and the host TX ring reaches its
+// high-water capacity during warmup. Flows are synthesized on the fly from
+// the deterministic RNG — there is no per-flow storage, which is what lets
+// one scenario replay millions of flows in flat memory.
+//
+// Determinism: a source's entire schedule is a function of (scenario seed,
+// source index) only. Cross-switch same-picosecond ties — the one ordering
+// the parallel runtime's determinism contract excludes (docs/RUNTIME.md) —
+// are eliminated by the per-switch merger clock phases that
+// `build_topology` assigns, not here: every cross-shard event is anchored
+// to some switch's slot grid, and distinct sub-cycle phases keep grids
+// from ever coinciding. The source-side hygiene in this file (per-source
+// sub-ns start phase, whole-ns gaps, 5-byte wire quantum for whole-ns
+// serialization) keeps host-side schedules on clean per-source lattices so
+// no two sources on the same edge switch ever collide before that
+// anchoring applies.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet_builder.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/host.hpp"
+#include "workload/distributions.hpp"
+
+namespace edp::workload {
+
+class StormSource {
+ public:
+  struct Config {
+    std::size_t source_index = 0;    ///< global index, used for de-tie offsets
+    std::uint64_t seed = 1;          ///< scenario seed (stream forked per source)
+    net::Ipv4Address src_ip;
+    net::Ipv4Address dst_ip;         ///< the sink
+    /// Rounded up to the 5-byte wire quantum (whole-ns serialization).
+    std::size_t packet_bytes = 1000;
+    double nic_rate_bps = 10e9;      ///< paces packets within a flow
+
+    // Background lane: `flow_budget` flows, sizes from `*cdf` capped at
+    // `cap_bytes`, arrivals from `arrivals`.
+    std::uint64_t flow_budget = 0;
+    const FlowSizeCdf* cdf = nullptr;  ///< non-owning; null = lane disabled
+    std::uint64_t cap_bytes = 0;       ///< 0 = uncapped
+    ArrivalSampler::Config arrivals;
+
+    // Incast lane: one `incast_flow_bytes` flow every `incast_period`
+    // until `stop`.
+    std::uint64_t incast_flow_bytes = 0;  ///< 0 = lane disabled
+    sim::Time incast_period = sim::Time::millis(2);
+
+    // Microburst lane: `burst_packets` back-to-back every `burst_period`.
+    std::size_t burst_packets = 0;  ///< 0 = lane disabled
+    sim::Time burst_period = sim::Time::millis(1);
+
+    sim::Time stop = sim::Time::seconds(1);  ///< lanes idle at/after stop
+  };
+
+  /// `sched` must be the scheduler owning `host` (its shard scheduler in a
+  /// parallel run).
+  StormSource(sim::Scheduler& sched, topo::Host& host, Config config);
+
+  void start();
+
+  // ---- statistics -----------------------------------------------------------
+  std::uint64_t flows_started() const { return flows_started_; }
+  /// Background flows fully emitted (every packet handed to the host).
+  std::uint64_t flows_completed() const { return flows_completed_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t incast_waves() const { return incast_waves_; }
+  std::uint64_t bursts() const { return bursts_; }
+  /// Background lane exhausted its flow budget (all packets emitted).
+  bool done() const { return flows_completed_ >= config_.flow_budget; }
+
+ private:
+  void next_flow();                ///< background lane: arrival of one flow
+  void emit_flow_packet();         ///< background lane: one packet of the flow
+  void incast_wave(std::uint64_t wave);
+  void emit_incast_packet(std::uint64_t remaining);
+  void burst(std::uint64_t n);
+  void emit_burst_packet(std::uint64_t remaining);
+  void send(std::size_t wire_bytes, std::uint16_t dst_port);
+
+  sim::Scheduler& sched_;
+  topo::Host& host_;
+  Config config_;
+  sim::Random rng_;          ///< background lane stream
+  sim::Random lane_rng_;     ///< incast/burst lane stream (independent)
+  ArrivalSampler arrivals_;
+  sim::Time packet_gap_;     ///< serialization time at the NIC rate
+
+  std::uint64_t flow_packets_left_ = 0;  ///< current background flow
+  std::size_t flow_tail_bytes_ = 0;      ///< size of its last packet
+  std::uint16_t flow_src_port_ = 10000;
+
+  std::uint64_t flows_started_ = 0;
+  std::uint64_t flows_completed_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t incast_waves_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace edp::workload
