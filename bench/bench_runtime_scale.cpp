@@ -120,6 +120,8 @@ struct Result {
   double wall_ms = 0;
   std::uint64_t events = 0;  ///< timed phase only (warmup excluded)
   std::uint64_t cross_shard = 0;
+  std::uint64_t ring_drains = 0;   ///< nonempty burst pops at barriers
+  std::uint64_t ring_drained = 0;  ///< messages moved by those bursts
   std::uint64_t digest = 0;
   double allocations_per_event = 0;  ///< packet-buffer pool misses / event
 };
@@ -168,6 +170,8 @@ Result run(std::size_t workers) {
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   r.events = rt.total_executed() - warm_events;
   r.cross_shard = rt.cross_shard_messages();
+  r.ring_drains = rt.ring_drains();
+  r.ring_drained = rt.ring_drained();
   r.allocations_per_event = static_cast<double>(allocs_after - allocs_before) /
                             static_cast<double>(r.events);
   std::uint64_t h = 1469598103934665603ULL;
@@ -204,7 +208,7 @@ int main(int argc, char** argv) {
   bool deterministic = true;
   edp::bench::TextTable table(
       {"workers", "wall ms", "events", "events/sec", "speedup", "cross-shard",
-       "allocs/event", "digest match"});
+       "ring drains", "avg burst", "allocs/event", "digest match"});
   for (const Result& r : results) {
     const bool match = r.digest == base.digest;
     deterministic = deterministic && match;
@@ -220,6 +224,13 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof buf, "%.2fx", base.wall_ms / r.wall_ms);
     row.push_back(buf);
     row.push_back(std::to_string(r.cross_shard));
+    row.push_back(std::to_string(r.ring_drains));
+    std::snprintf(buf, sizeof buf, "%.1f",
+                  r.ring_drains == 0
+                      ? 0.0
+                      : static_cast<double>(r.ring_drained) /
+                            static_cast<double>(r.ring_drains));
+    row.push_back(buf);
     std::snprintf(buf, sizeof buf, "%.4f", r.allocations_per_event);
     row.push_back(buf);
     row.push_back(match ? "yes" : "NO");
@@ -244,6 +255,11 @@ int main(int argc, char** argv) {
                                        (r.wall_ms / 1e3))
          << ", \"speedup\": " << (base.wall_ms / r.wall_ms)
          << ", \"cross_shard_messages\": " << r.cross_shard
+         << ", \"ring_drains\": " << r.ring_drains
+         << ", \"avg_drain_burst\": "
+         << (r.ring_drains == 0 ? 0.0
+                                : static_cast<double>(r.ring_drained) /
+                                      static_cast<double>(r.ring_drains))
          << ", \"allocations_per_event\": " << r.allocations_per_event << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }

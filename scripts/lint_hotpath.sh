@@ -19,11 +19,15 @@ cd "$(dirname "$0")/.."
 
 # Whole modules whose per-event paths are hot, plus the workload engine's
 # replay loop (scenario/replay/fuzzer setup code may allocate; the
-# per-event StormSource lanes must not).
+# per-event StormSource lanes must not), plus the burst-mode kernel
+# consumers in src/core: the merger's per-slot submit path and the timer
+# block's per-wake expiry path both run once per event burst.
 files=$(
   {
     find src/sim src/runtime -name '*.hpp' -o -name '*.cpp'
     ls src/workload/storm_source.hpp src/workload/storm_source.cpp
+    ls src/core/event_merger.hpp src/core/event_merger.cpp \
+       src/core/timer_wheel.hpp src/core/timer_wheel.cpp
   } | sort
 )
 status=0

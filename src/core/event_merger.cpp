@@ -17,6 +17,13 @@ EventMerger::EventMerger(sim::Scheduler& sched, MergerConfig config)
   for (auto& fifo : fifos_) {
     fifo.reserve(config_.event_fifo_depth);
   }
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    order_[k] = k;
+  }
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return config_.priority[a] > config_.priority[b];
+                   });
 }
 
 bool EventMerger::submit_packet(net::Packet packet, PacketOrigin origin) {
@@ -29,7 +36,7 @@ bool EventMerger::submit_packet(net::Packet packet, PacketOrigin origin) {
   return true;
 }
 
-bool EventMerger::submit_event(Event event) {
+bool EventMerger::admit_event(Event&& event) {
   auto& st = stats_[static_cast<std::size_t>(event.kind)];
   ++st.submitted;
   auto& fifo = fifos_[static_cast<std::size_t>(event.kind)];
@@ -38,8 +45,28 @@ bool EventMerger::submit_event(Event event) {
     return false;
   }
   fifo.push_back(std::move(event));
-  pump();
   return true;
+}
+
+bool EventMerger::submit_event(Event event) {
+  const bool ok = admit_event(std::move(event));
+  if (ok) {
+    pump();
+  }
+  return ok;
+}
+
+std::size_t EventMerger::submit_events(Event* events, std::size_t n) {
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (admit_event(std::move(events[i]))) {
+      ++accepted;
+    }
+  }
+  if (accepted > 0) {
+    pump();
+  }
+  return accepted;
 }
 
 bool EventMerger::has_work() const {
@@ -104,19 +131,11 @@ void EventMerger::run_slot() {
   // Attach pending events: up to `events_per_kind_per_slot` from each
   // kind's FIFO (the per-kind metadata fields of the SUME event bus),
   // subject to the shared per-slot budget. Kinds are visited in
-  // programmer-assigned priority order (stable by kind index on ties), so
-  // urgent events win the metadata space when it is scarce (§4 future
-  // work on access scheduling).
-  std::array<std::size_t, kNumEventKinds> order{};
-  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
-    order[k] = k;
-  }
-  std::stable_sort(order.begin(), order.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     return config_.priority[a] > config_.priority[b];
-                   });
+  // programmer-assigned priority order (precomputed at construction;
+  // stable by kind index on ties), so urgent events win the metadata
+  // space when it is scarce (§4 future work on access scheduling).
   std::size_t budget = config_.events_per_slot;
-  for (const std::size_t k : order) {
+  for (const std::size_t k : order_) {
     auto& fifo = fifos_[k];
     for (std::size_t i = 0; i < config_.events_per_kind_per_slot &&
                             !fifo.empty() && budget > 0;

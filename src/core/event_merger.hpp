@@ -98,7 +98,7 @@ class EventMerger {
   EventMerger(sim::Scheduler& sched, MergerConfig config);
 
   /// Slot consumer (the EventSwitch's pipeline dispatch).
-  std::function<void(SlotWork&&)> on_slot;
+  std::function<void(SlotWork&&)> on_slot;  // hotpath-ok: installed once, invoked in place
 
   /// Submit a packet for pipeline processing. False (and counted) if the
   /// ingress backlog is full.
@@ -107,6 +107,13 @@ class EventMerger {
   /// Submit a non-packet event. False (and counted) if that kind's FIFO is
   /// full — a genuinely dropped event, as in hardware.
   bool submit_event(Event event);
+
+  /// Submit a burst of events with a single slot-pump at the end instead of
+  /// one per event (the TimerBlock's coalesced same-tick expirations arrive
+  /// here). Per-event FIFO admission is identical to submit_event — and so
+  /// is the scheduled slot, since intermediate pumps are no-ops once the
+  /// first event has a slot pending. Returns the number accepted.
+  std::size_t submit_events(Event* events, std::size_t n);
 
   /// Return a consumed slot's event vector to the merger's pool so the next
   /// slot reuses its capacity instead of allocating. Consumers call this
@@ -162,8 +169,15 @@ class EventMerger {
   void run_slot();
   bool has_work() const;
 
+  /// Push one event into its kind FIFO (stats + overflow drop); the caller
+  /// is responsible for pumping.
+  bool admit_event(Event&& event);
+
   sim::Scheduler& sched_;
   MergerConfig config_;
+  /// Kind indices sorted by programmer-assigned priority (stable by kind
+  /// index on ties) — fixed at construction, consulted every slot.
+  std::array<std::size_t, kNumEventKinds> order_{};
   sim::RingQueue<PendingPacket> packets_;
   std::array<sim::RingQueue<Event>, kNumEventKinds> fifos_;
   /// Recycled SlotWork::events vectors (filled by run_slot, returned by the

@@ -60,9 +60,19 @@ EventSwitch::EventSwitch(sim::Scheduler& sched, EventSwitchConfig config)
     submit_if_enabled(Event::underflow(r));
   };
 
-  timers_.on_expire = [this](const TimerEventData& d) {
-    observe(EventKind::kTimer);
-    submit_if_enabled(Event::timer(d, sched_.now()));
+  // Timer expirations arrive coalesced: one burst per timer-block wake,
+  // handed to the merger with a single submit_events call (one slot pump)
+  // instead of a merger round-trip per timer.
+  timers_.on_expire_batch = [this](const TimerEventData* d, std::size_t n) {
+    timer_burst_.clear();
+    const bool deliver = deliver_[static_cast<std::size_t>(EventKind::kTimer)];
+    for (std::size_t i = 0; i < n; ++i) {
+      observe(EventKind::kTimer);
+      if (deliver) {
+        timer_burst_.push_back(Event::timer(d[i], sched_.now()));
+      }
+    }
+    merger_.submit_events(timer_burst_.data(), timer_burst_.size());
   };
 
   pktgen_.on_generate = [this](GeneratorId, net::Packet pkt) {
@@ -437,36 +447,54 @@ void EventSwitch::route(pisa::Phv&& phv) {
     deq_meta[i] = phv.user[kDeqMetaBase + i];
   }
   const std::uint8_t qid = phv.std_meta.qid;
-  const net::Packet wire = deparser_.deparse(phv);
-
-  const auto enqueue_to = [&](std::uint16_t port) {
-    if (port >= ports_.size() || qid >= config_.queues_per_port) {
-      ++counters_.bad_port_drops;
-      return;
-    }
-    tm_::QueuedPacket qp;
-    qp.rank = phv.std_meta.pifo_rank;
-    qp.deq_meta = deq_meta;
-    qp.packet = wire;  // replicas each own a copy
-    if (tm_.enqueue(port, qid, std::move(qp), enq_meta, sched_.now())) {
-      try_transmit(port);
-    }
-    // On failure the TM has already fired the overflow event.
-  };
 
   if (phv.std_meta.mcast_group != 0) {
     // Packet replication engine: one independent copy per group member.
+    // Each enqueue copies `wire` — replicas each own a copy, and the copy
+    // keeps the pooled deparse buffer recycling locally instead of being
+    // pinned in the traffic manager while queues build up (see the replay
+    // steady-state allocation gauge).
     const auto it = mcast_.find(phv.std_meta.mcast_group);
     if (it == mcast_.end()) {
       ++counters_.bad_port_drops;
       return;
     }
+    const net::Packet wire = deparser_.deparse(phv);
     for (const std::uint16_t port : it->second) {
-      enqueue_to(port);
+      if (port >= ports_.size() || qid >= config_.queues_per_port) {
+        ++counters_.bad_port_drops;
+        continue;
+      }
+      tm_::QueuedPacket qp;
+      qp.rank = phv.std_meta.pifo_rank;
+      qp.deq_meta = deq_meta;
+      qp.packet = wire;
+      if (tm_.enqueue(port, qid, std::move(qp), enq_meta, sched_.now())) {
+        try_transmit(port);
+      }
+      // On failure the TM has already fired the overflow event.
     }
     return;
   }
-  enqueue_to(phv.std_meta.egress_port);
+
+  // Unicast: deparse straight into the queued packet's own (plain, non-
+  // pooled) buffer — no intermediate pooled emit + copy-out. The queue
+  // owning a plain buffer is also what the replay steady-state allocation
+  // gauge wants: packets resident in the traffic manager must not pin
+  // pooled buffers while queues build up.
+  const std::uint16_t port = phv.std_meta.egress_port;
+  if (port >= ports_.size() || qid >= config_.queues_per_port) {
+    ++counters_.bad_port_drops;
+    return;
+  }
+  tm_::QueuedPacket qp;
+  qp.rank = phv.std_meta.pifo_rank;
+  qp.deq_meta = deq_meta;
+  deparser_.deparse_into(phv, qp.packet);
+  if (tm_.enqueue(port, qid, std::move(qp), enq_meta, sched_.now())) {
+    try_transmit(port);
+  }
+  // On failure the TM has already fired the overflow event.
 }
 
 void EventSwitch::try_transmit(std::uint16_t port) {

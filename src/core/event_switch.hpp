@@ -218,6 +218,9 @@ class EventSwitch final : public EventContext {
   EventMerger merger_;
   tm_::TrafficManager tm_;
   TimerBlock timers_;
+  /// Same-wake timer events staged for one merger submit_events call
+  /// (capacity retained across wakes).
+  std::vector<Event> timer_burst_;
   PacketGenerator pktgen_;
   pisa::Parser parser_;
   pisa::Deparser deparser_;

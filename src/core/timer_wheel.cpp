@@ -181,6 +181,7 @@ void TimerBlock::wake() {
   std::vector<TimingWheel::Expired>& expired = expired_scratch_;
   expired.clear();  // capacity retained: wakes allocate only at high-water
   wheel_.advance_to(to_tick(sched_.now()), expired);
+  delivery_scratch_.clear();
   for (const auto& e : expired) {
     // Wheel cookies hold the public id; resolve to the timer record.
     const TimerId pub = static_cast<TimerId>(e.cookie);
@@ -202,9 +203,18 @@ void TimerBlock::wake() {
     } else {
       timers_.erase(it);
     }
-    if (on_expire) {
+    if (on_expire_batch) {
+      delivery_scratch_.push_back(data);
+    } else if (on_expire) {
       on_expire(data);
     }
+  }
+  // Coalesced hand-off: same-wake expirations reach the consumer as one
+  // burst (one merger submit_events call on the switch) instead of one
+  // delivery per timer. Records and their order are exactly what the
+  // per-entry path produces — the regression tests pin this down.
+  if (on_expire_batch && !delivery_scratch_.empty()) {
+    on_expire_batch(delivery_scratch_.data(), delivery_scratch_.size());
   }
   arm();
 }

@@ -1,7 +1,5 @@
 #include "net/headers.hpp"
 
-#include "net/checksum.hpp"
-
 namespace edp::net {
 
 // ---- Ethernet --------------------------------------------------------------
@@ -78,11 +76,25 @@ void Ipv4Header::encode(Packet& p, std::size_t off) const {
 }
 
 void Ipv4Header::update_checksum() {
-  Packet scratch(kSize);
-  Ipv4Header copy = *this;
-  copy.checksum = 0;
-  copy.encode(scratch, 0);
-  checksum = internet_checksum(scratch.bytes());
+  // RFC 1071 over the 20 encoded bytes with the checksum field zeroed,
+  // computed arithmetically word-by-word — same result as encoding into a
+  // scratch buffer and summing it, without the buffer round-trip (this runs
+  // once per packet built or deparsed).
+  std::uint32_t s = 0;
+  s += (std::uint32_t{0x45} << 8) |
+       static_cast<std::uint8_t>((dscp << 2) | (ecn & 0x3));
+  s += total_length;
+  s += identification;
+  s += 0x4000;  // flags: DF set, no fragments
+  s += (std::uint32_t{ttl} << 8) | protocol;
+  s += src.value() >> 16;
+  s += src.value() & 0xffff;
+  s += dst.value() >> 16;
+  s += dst.value() & 0xffff;
+  while (s >> 16) {
+    s = (s & 0xffff) + (s >> 16);
+  }
+  checksum = static_cast<std::uint16_t>(~s);
 }
 
 bool Ipv4Header::checksum_ok() const {

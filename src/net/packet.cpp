@@ -164,81 +164,6 @@ Packet& Packet::operator=(Packet&& o) noexcept {
 
 Packet::~Packet() { release_buffer(std::move(bytes_)); }
 
-std::uint8_t Packet::u8(std::size_t off) const {
-  if (off >= bytes_.size()) {
-    assert(false && "packet read out of range");
-    return 0;
-  }
-  return bytes_[off];
-}
-
-std::uint16_t Packet::u16(std::size_t off) const {
-  if (off + 2 > bytes_.size()) {
-    assert(false && "packet read out of range");
-    return 0;
-  }
-  return static_cast<std::uint16_t>((bytes_[off] << 8) | bytes_[off + 1]);
-}
-
-std::uint32_t Packet::u32(std::size_t off) const {
-  if (off + 4 > bytes_.size()) {
-    assert(false && "packet read out of range");
-    return 0;
-  }
-  return (std::uint32_t{bytes_[off]} << 24) |
-         (std::uint32_t{bytes_[off + 1]} << 16) |
-         (std::uint32_t{bytes_[off + 2]} << 8) | bytes_[off + 3];
-}
-
-std::uint64_t Packet::u64(std::size_t off) const {
-  if (off + 8 > bytes_.size()) {
-    assert(false && "packet read out of range");
-    return 0;
-  }
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < 8; ++i) {
-    v = (v << 8) | bytes_[off + i];
-  }
-  return v;
-}
-
-void Packet::set_u8(std::size_t off, std::uint8_t v) {
-  if (off >= bytes_.size()) {
-    assert(false && "packet write out of range");
-    return;
-  }
-  bytes_[off] = v;
-}
-
-void Packet::set_u16(std::size_t off, std::uint16_t v) {
-  if (off + 2 > bytes_.size()) {
-    assert(false && "packet write out of range");
-    return;
-  }
-  bytes_[off] = static_cast<std::uint8_t>(v >> 8);
-  bytes_[off + 1] = static_cast<std::uint8_t>(v);
-}
-
-void Packet::set_u32(std::size_t off, std::uint32_t v) {
-  if (off + 4 > bytes_.size()) {
-    assert(false && "packet write out of range");
-    return;
-  }
-  for (std::size_t i = 0; i < 4; ++i) {
-    bytes_[off + i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
-  }
-}
-
-void Packet::set_u64(std::size_t off, std::uint64_t v) {
-  if (off + 8 > bytes_.size()) {
-    assert(false && "packet write out of range");
-    return;
-  }
-  for (std::size_t i = 0; i < 8; ++i) {
-    bytes_[off + i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
-  }
-}
-
 void Packet::append(std::span<const std::uint8_t> data) {
   bytes_.insert(bytes_.end(), data.begin(), data.end());
 }

@@ -6,6 +6,7 @@
 // buffers look exactly like real wire captures.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -65,20 +66,94 @@ class Packet {
   // All offsets are byte offsets from the start of the packet. Reads out of
   // range assert in debug builds and return 0 in release; writes out of
   // range assert and are dropped. Parsers must bounds-check with size().
+  //
+  // Defined inline: header encode/decode is a dense run of these, and the
+  // compiler folds adjacent byte shuffles only when it can see the bodies.
 
-  std::uint8_t u8(std::size_t off) const;
-  std::uint16_t u16(std::size_t off) const;
-  std::uint32_t u32(std::size_t off) const;
-  std::uint64_t u64(std::size_t off) const;
+  std::uint8_t u8(std::size_t off) const {
+    if (off >= bytes_.size()) {
+      assert(false && "packet read out of range");
+      return 0;
+    }
+    return bytes_[off];
+  }
 
-  void set_u8(std::size_t off, std::uint8_t v);
-  void set_u16(std::size_t off, std::uint16_t v);
-  void set_u32(std::size_t off, std::uint32_t v);
-  void set_u64(std::size_t off, std::uint64_t v);
+  std::uint16_t u16(std::size_t off) const {
+    if (off + 2 > bytes_.size()) {
+      assert(false && "packet read out of range");
+      return 0;
+    }
+    return static_cast<std::uint16_t>((bytes_[off] << 8) | bytes_[off + 1]);
+  }
+
+  std::uint32_t u32(std::size_t off) const {
+    if (off + 4 > bytes_.size()) {
+      assert(false && "packet read out of range");
+      return 0;
+    }
+    return (std::uint32_t{bytes_[off]} << 24) |
+           (std::uint32_t{bytes_[off + 1]} << 16) |
+           (std::uint32_t{bytes_[off + 2]} << 8) | bytes_[off + 3];
+  }
+
+  std::uint64_t u64(std::size_t off) const {
+    if (off + 8 > bytes_.size()) {
+      assert(false && "packet read out of range");
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v = (v << 8) | bytes_[off + i];
+    }
+    return v;
+  }
+
+  void set_u8(std::size_t off, std::uint8_t v) {
+    if (off >= bytes_.size()) {
+      assert(false && "packet write out of range");
+      return;
+    }
+    bytes_[off] = v;
+  }
+
+  void set_u16(std::size_t off, std::uint16_t v) {
+    if (off + 2 > bytes_.size()) {
+      assert(false && "packet write out of range");
+      return;
+    }
+    bytes_[off] = static_cast<std::uint8_t>(v >> 8);
+    bytes_[off + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  void set_u32(std::size_t off, std::uint32_t v) {
+    if (off + 4 > bytes_.size()) {
+      assert(false && "packet write out of range");
+      return;
+    }
+    for (std::size_t i = 0; i < 4; ++i) {
+      bytes_[off + i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
+    }
+  }
+
+  void set_u64(std::size_t off, std::uint64_t v) {
+    if (off + 8 > bytes_.size()) {
+      assert(false && "packet write out of range");
+      return;
+    }
+    for (std::size_t i = 0; i < 8; ++i) {
+      bytes_[off + i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    }
+  }
 
   /// Append raw bytes / grow with zeros.
   void append(std::span<const std::uint8_t> data);
   void pad_to(std::size_t size);
+
+  /// Drop the contents but keep the buffer's capacity (re-emit into the
+  /// same storage without reallocating).
+  void clear() { bytes_.clear(); }
+  /// Pre-size the buffer so a known-length re-emit grows it at most once.
+  void reserve(std::size_t n) { bytes_.reserve(n); }
 
   /// Remove `n` bytes from the front (decapsulation). n > size() clears.
   void strip_front(std::size_t n);

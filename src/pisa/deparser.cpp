@@ -6,6 +6,16 @@ net::Packet Deparser::deparse(const Phv& phv) const {
   // Pooled zero-size buffer: the per-layer growth below stays inside the
   // recycled capacity, so re-emitting a packet does not allocate.
   net::Packet out(std::size_t{0});
+  deparse_into(phv, out);
+  return out;
+}
+
+void Deparser::deparse_into(const Phv& phv, net::Packet& out) const {
+  out.clear();
+  // Typical re-emits keep the original framing, so the final size is the
+  // original size; reserving it up front makes the per-layer growth below
+  // at most one allocation even into a fresh buffer.
+  out.reserve(phv.packet.size());
 
   // Emit headers outermost-first by growing the buffer per layer.
   const auto grow = [&out](std::size_t n) {
@@ -70,7 +80,6 @@ net::Packet Deparser::deparse(const Phv& phv) const {
   }
 
   out.meta() = phv.packet.meta();
-  return out;
 }
 
 }  // namespace edp::pisa

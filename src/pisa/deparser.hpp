@@ -14,6 +14,13 @@ namespace edp::pisa {
 class Deparser {
  public:
   net::Packet deparse(const Phv& phv) const;
+
+  /// Same emit, but into a caller-provided packet (cleared first; capacity
+  /// is kept). The byte output is identical to deparse() — this form exists
+  /// so hot paths that hand the result to a long-lived owner (e.g. a
+  /// traffic-manager queue) can build it in place instead of emitting into
+  /// a pooled buffer and copying out of it.
+  void deparse_into(const Phv& phv, net::Packet& out) const;
 };
 
 }  // namespace edp::pisa

@@ -24,6 +24,7 @@ bool have(const Phv& phv, std::size_t off, std::size_t need) {
 
 void Parser::add_state(const std::string& name, ParseState state) {
   states_[name] = std::move(state);
+  standard_graph_ = false;  // custom graph: use the generic dispatcher
 }
 
 Parser Parser::standard() {
@@ -145,7 +146,104 @@ Parser Parser::standard() {
     return {Parser::kAccept, off + LivenessHeader::kSize};
   });
 
+  // The registered graph above is exactly the compiled parse_standard()
+  // below; flag it so parse() can skip the name-dispatched loop (add_state
+  // cleared the flag on every registration).
+  p.standard_graph_ = true;
   return p;
+}
+
+void Parser::parse_standard(Phv& phv) {
+  // Mirrors the standard() state lambdas one-for-one: same decode calls in
+  // the same order, same accept/reject offsets — only the dispatch differs.
+  const auto accept = [&phv](std::size_t off) { phv.payload_offset = off; };
+  const auto reject = [&phv](std::size_t off) {
+    phv.payload_offset = off;
+    phv.parse_error = true;
+  };
+
+  std::size_t off = 0;
+  if (!have(phv, off, EthernetHeader::kSize)) {
+    return reject(off);
+  }
+  phv.eth = EthernetHeader::decode(phv.packet, off);
+  off += EthernetHeader::kSize;
+  std::uint16_t ether_type = phv.eth->ether_type;
+
+  if (ether_type == net::kEtherTypeVlan) {
+    if (!have(phv, off, VlanHeader::kSize)) {
+      return reject(off);
+    }
+    phv.vlan = VlanHeader::decode(phv.packet, off);
+    off += VlanHeader::kSize;
+    ether_type = phv.vlan->ether_type;
+    if (ether_type != net::kEtherTypeIpv4) {
+      return accept(off);
+    }
+  }
+
+  switch (ether_type) {
+    case net::kEtherTypeIpv4:
+      break;  // continue below
+    case net::kEtherTypeHula:
+      if (!have(phv, off, HulaProbeHeader::kSize)) {
+        return reject(off);
+      }
+      phv.hula = HulaProbeHeader::decode(phv.packet, off);
+      return accept(off + HulaProbeHeader::kSize);
+    case net::kEtherTypeLiveness:
+      if (!have(phv, off, LivenessHeader::kSize)) {
+        return reject(off);
+      }
+      phv.liveness = LivenessHeader::decode(phv.packet, off);
+      return accept(off + LivenessHeader::kSize);
+    default:
+      // Carrier frames and unknown EtherTypes both accept as-is.
+      return accept(off);
+  }
+
+  if (!have(phv, off, Ipv4Header::kSize)) {
+    return reject(off);
+  }
+  phv.ipv4 = Ipv4Header::decode(phv.packet, off);
+  off += Ipv4Header::kSize;
+  switch (phv.ipv4->protocol) {
+    case net::kIpProtoTcp:
+      if (!have(phv, off, TcpHeader::kSize)) {
+        return reject(off);
+      }
+      phv.tcp = TcpHeader::decode(phv.packet, off);
+      return accept(off + TcpHeader::kSize);
+    case net::kIpProtoUdp:
+      break;  // continue below
+    default:
+      return accept(off);
+  }
+
+  if (!have(phv, off, UdpHeader::kSize)) {
+    return reject(off);
+  }
+  phv.udp = UdpHeader::decode(phv.packet, off);
+  off += UdpHeader::kSize;
+  // App protocols are recognized on either port so that replies (which
+  // carry the well-known port as the *source*) parse too.
+  if (phv.udp->dst_port == net::kPortKvCache ||
+      phv.udp->src_port == net::kPortKvCache) {
+    if (!have(phv, off, KvHeader::kSize)) {
+      return reject(off);
+    }
+    phv.kv = KvHeader::decode(phv.packet, off);
+    return accept(off + KvHeader::kSize);
+  }
+  if (phv.udp->dst_port == net::kPortIntReport ||
+      phv.udp->src_port == net::kPortIntReport) {
+    if (!have(phv, off, IntReportHeader::kSize)) {
+      return reject(off);
+    }
+    phv.int_report = IntReportHeader::decode(phv.packet, off);
+    return accept(off + IntReportHeader::kSize);
+  }
+  return accept(off);
 }
 
 Phv Parser::parse(net::Packet packet) const {
@@ -155,7 +253,12 @@ Phv Parser::parse(net::Packet packet) const {
   phv.std_meta.ingress_timestamp = packet.meta().arrival;
   phv.packet = std::move(packet);
 
-  std::string state = "start";
+  if (standard_graph_) {
+    parse_standard(phv);
+    return phv;
+  }
+
+  std::string_view state = "start";
   std::size_t off = 0;
   for (std::size_t step = 0; step < kMaxSteps; ++step) {
     if (state == kAccept) {
@@ -167,13 +270,15 @@ Phv Parser::parse(net::Packet packet) const {
       phv.parse_error = true;
       return phv;
     }
+    // Heterogeneous lookup: the view indexes the map directly, so a
+    // transition costs one hash — no temporary std::string.
     const auto it = states_.find(state);
     if (it == states_.end()) {
       phv.parse_error = true;
       return phv;
     }
-    ParseStep next = it->second(phv, off);
-    state = std::move(next.next_state);
+    const ParseStep next = it->second(phv, off);
+    state = next.next_state;
     off = next.offset;
   }
   // Exceeded the loop guard: treat as a parse error.

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "pisa/phv.hpp"
@@ -16,8 +17,11 @@
 namespace edp::pisa {
 
 /// Result of one parser state: where to go next and the new byte offset.
+/// `next_state` is a view — state names are string literals (or the keys of
+/// registered states, which outlive any parse), so transitions carry no
+/// string construction on the per-packet hot path.
 struct ParseStep {
-  std::string next_state;  ///< "accept" / "reject" end parsing
+  std::string_view next_state;  ///< "accept" / "reject" end parsing
   std::size_t offset = 0;
 };
 
@@ -29,8 +33,8 @@ using ParseState =
 /// P4-style programmable parser.
 class Parser {
  public:
-  static constexpr const char* kAccept = "accept";
-  static constexpr const char* kReject = "reject";
+  static constexpr std::string_view kAccept = "accept";
+  static constexpr std::string_view kReject = "reject";
 
   /// Empty parser; the caller supplies every state.
   Parser() = default;
@@ -40,7 +44,9 @@ class Parser {
   ///                        | hula | liveness | carrier(accept)
   static Parser standard();
 
-  /// Register (or replace) a state.
+  /// Register (or replace) a state. Adding or replacing any state drops the
+  /// parser back to the generic (name-dispatched) state machine; the
+  /// compiled fast path below only covers the untouched standard graph.
   void add_state(const std::string& name, ParseState state);
 
   /// Run the state machine from "start". On reject/truncation the PHV is
@@ -52,7 +58,23 @@ class Parser {
   static constexpr std::size_t kMaxSteps = 32;
 
  private:
-  std::unordered_map<std::string, ParseState> states_;
+  /// Direct-coded equivalent of the standard() graph — no per-transition
+  /// hash lookup or std::function dispatch. parse() takes this path while
+  /// the graph is exactly the one standard() registered (kept equivalent by
+  /// the ParserFastPathMatchesGeneric differential test).
+  static void parse_standard(Phv& phv);
+
+  /// Transparent hashing lets parse() look states up by string_view —
+  /// no std::string materialized per transition.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, ParseState, NameHash, std::equal_to<>>
+      states_;
+  bool standard_graph_ = false;  ///< true ⟺ parse() may use parse_standard
 };
 
 }  // namespace edp::pisa

@@ -23,7 +23,7 @@ void MatchActionTable::set_default_action(std::string action_name,
 }
 
 std::string MatchActionTable::hash_key(
-    const std::vector<std::uint64_t>& key) const {
+    std::span<const std::uint64_t> key) const {
   std::string s;
   s.reserve(key.size() * 8);
   for (const std::uint64_t v : key) {
@@ -50,6 +50,7 @@ bool MatchActionTable::insert(TableEntry entry) {
     }
     exact_index_.emplace(k, entries_.size());
   }
+  entry.spec_bits = specificity(entry);
   entries_.push_back(std::move(entry));
   return true;
 }
@@ -93,7 +94,7 @@ void MatchActionTable::clear() {
 }
 
 bool MatchActionTable::entry_matches(
-    const TableEntry& e, const std::vector<std::uint64_t>& key) const {
+    const TableEntry& e, std::span<const std::uint64_t> key) const {
   for (std::size_t f = 0; f < schema_.size(); ++f) {
     const std::uint64_t have = key[f];
     const KeyField& want = e.key[f];
@@ -145,7 +146,7 @@ int MatchActionTable::specificity(const TableEntry& e) const {
 }
 
 LookupResult MatchActionTable::lookup(
-    const std::vector<std::uint64_t>& key) const {
+    std::span<const std::uint64_t> key) const {
   ++lookups_;
   if (key.size() != schema_.size()) {
     ++misses_;
@@ -168,7 +169,7 @@ LookupResult MatchActionTable::lookup(
     if (!entry_matches(e, key)) {
       continue;
     }
-    const int spec = specificity(e);
+    const int spec = e.spec_bits;
     if (best == nullptr || spec > best_spec ||
         (spec == best_spec && e.priority > best->priority)) {
       best = &e;
@@ -183,11 +184,9 @@ LookupResult MatchActionTable::lookup(
   return {true, best};
 }
 
-bool MatchActionTable::apply(
-    Phv& phv,
-    const std::function<std::vector<std::uint64_t>(const Phv&)>& key_fn)
-    const {
-  const LookupResult r = lookup(key_fn(phv));
+bool MatchActionTable::apply(Phv& phv,
+                             std::span<const std::uint64_t> key) const {
+  const LookupResult r = lookup(key);
   if (r.hit) {
     if (r.entry->action) {
       r.entry->action(phv, r.entry->data);
@@ -198,6 +197,14 @@ bool MatchActionTable::apply(
     default_action_(phv, default_data_);
   }
   return false;
+}
+
+bool MatchActionTable::apply(
+    Phv& phv,
+    const std::function<std::vector<std::uint64_t>(const Phv&)>& key_fn)
+    const {
+  const std::vector<std::uint64_t> key = key_fn(phv);
+  return apply(phv, std::span<const std::uint64_t>(key));
 }
 
 }  // namespace edp::pisa

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +56,10 @@ struct TableEntry {
   Action action;
   ActionData data;
   mutable std::uint64_t hits = 0;
+  /// Matched-bits count for LPM/ternary ordering, filled in by insert()
+  /// (it depends only on the schema and key, so computing it per lookup
+  /// would redo the same popcounts on every packet).
+  int spec_bits = 0;
 };
 
 /// Result of a lookup.
@@ -92,8 +97,16 @@ class MatchActionTable {
 
   void clear();
 
-  /// Pure lookup (no action execution).
-  LookupResult lookup(const std::vector<std::uint64_t>& key) const;
+  /// Pure lookup (no action execution). The span form is the hot path:
+  /// callers pass a stack array, so per-packet lookups build no vector.
+  LookupResult lookup(std::span<const std::uint64_t> key) const;
+  LookupResult lookup(const std::vector<std::uint64_t>& key) const {
+    return lookup(std::span<const std::uint64_t>(key));
+  }
+
+  /// P4 `table.apply()` with a pre-extracted key: run the matching (or
+  /// default) action. Returns hit/miss. Allocation-free.
+  bool apply(Phv& phv, std::span<const std::uint64_t> key) const;
 
   /// P4 `table.apply()`: look up using `key_fn` to extract the key from the
   /// PHV, run the matching (or default) action. Returns hit/miss.
@@ -107,11 +120,12 @@ class MatchActionTable {
 
  private:
   bool entry_matches(const TableEntry& e,
-                     const std::vector<std::uint64_t>& key) const;
+                     std::span<const std::uint64_t> key) const;
   /// Sum of matched prefix bits, for LPM ordering (exact fields count full
-  /// width; ternary fields count popcount of mask).
+  /// width; ternary fields count popcount of mask). Cached per entry at
+  /// insert time (TableEntry::spec_bits).
   int specificity(const TableEntry& e) const;
-  std::string hash_key(const std::vector<std::uint64_t>& key) const;
+  std::string hash_key(std::span<const std::uint64_t> key) const;
 
   std::string name_;
   std::vector<MatchField> schema_;

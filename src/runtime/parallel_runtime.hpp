@@ -111,6 +111,10 @@ class ParallelRuntime {
   /// Cross-shard packets exchanged / of those, ones that hit a full ring.
   std::uint64_t cross_shard_messages() const;
   std::uint64_t overflow_messages() const;
+  /// Consumer-side burst-drain statistics: nonempty ring burst pops and the
+  /// messages they moved (ring_drained()/ring_drains() = avg burst size).
+  std::uint64_t ring_drains() const;
+  std::uint64_t ring_drained() const;
   /// Barrier windows executed by the last run_until() calls (cumulative).
   std::uint64_t windows() const { return windows_; }
 
@@ -142,6 +146,13 @@ class ParallelRuntime {
     std::vector<std::size_t> switch_local;
     std::vector<std::size_t> host_local;
     std::vector<std::size_t> link_local;
+    /// Fixed-size scratch for DPDK-style ring burst pops (worker-owned).
+    std::vector<Msg> drain_burst;
+    /// Staged deliveries handed to the scheduler as one inject_batch call.
+    std::vector<sim::Scheduler::BatchItem> inject_burst;
+    // Consumer-side drain statistics (read after the workers join).
+    std::uint64_t ring_drains = 0;    ///< burst pops that returned >= 1 msg
+    std::uint64_t ring_drained = 0;   ///< messages moved by those bursts
   };
 
   void push(Channel& ch, Msg&& m);

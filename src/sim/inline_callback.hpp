@@ -105,8 +105,10 @@ class InlineCallback {
       [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
   };
 
-  alignas(kAlign) unsigned char storage_[kCapacity];
+  // ops_ leads so that it shares a cache line with the first bytes of the
+  // closure: for the common small capture, dispatch + state is one line.
   const Ops* ops_ = nullptr;
+  alignas(kAlign) unsigned char storage_[kCapacity];
 };
 
 }  // namespace edp::sim

@@ -1,21 +1,29 @@
 // edp::sim — deterministic discrete-event scheduler.
 //
-// The simulation kernel: a 4-ary min-heap of (time, sequence) keys over
-// generation-tagged callback slots. The sequence number makes ordering total
-// and deterministic — two events scheduled for the same instant fire in
-// scheduling order, which is what makes whole-network runs bit-reproducible
-// for a given seed.
+// The simulation kernel: a two-tier pending queue — a timing wheel for the
+// near horizon plus a 4-ary min-heap of (time, sequence) keys as far-future
+// overflow — over generation-tagged callback slots. The sequence number
+// makes ordering total and deterministic: two events scheduled for the same
+// instant fire in scheduling order, which is what makes whole-network runs
+// bit-reproducible for a given seed.
 //
 // Hot-path design (docs/PERFORMANCE.md):
 //  * Callbacks live in InlineCallback slots — fixed inline storage, no heap
 //    fallback — so scheduling an event never allocates once the slot and
-//    heap vectors have reached their high-water capacity.
+//    queue vectors have reached their high-water capacity.
 //  * An EventId is (generation << 32) | slot index. cancel() is two array
-//    reads and a generation bump — O(1), no hashing — and stale heap
-//    entries are discarded lazily when they surface at the head, by
+//    reads and a generation bump — O(1), no hashing — and stale queue
+//    entries are discarded lazily when they surface in a fire burst, by
 //    comparing their recorded generation against the slot's current one.
-//  * The heap is 4-ary over a contiguous vector: ~half the depth of a
-//    binary heap, with all four children of a node in one cache line.
+//  * Near-horizon entries (within ~268 µs of the cursor) sit in a flat
+//    timing wheel (sim/wheel.hpp): O(1) insert and expire, so dense
+//    periodic timers no longer pay O(log n) each. The heap takes the far
+//    future and cascades into the wheel as the cursor advances.
+//  * Events fire in per-tick bursts: each occupied wheel bucket is drained
+//    into a POD scratch vector, sorted by (when, seq), and fired in place —
+//    exactly the heap's total order, so determinism digests are unchanged.
+//  * The overflow heap is 4-ary over a contiguous vector: ~half the depth
+//    of a binary heap, with all four children of a node in one cache line.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,7 @@
 
 #include "sim/inline_callback.hpp"
 #include "sim/time.hpp"
+#include "sim/wheel.hpp"
 
 namespace edp::sim {
 
@@ -33,16 +42,40 @@ namespace edp::sim {
 /// wraparound, so 0 is never a valid id (callers use it as "none").
 using EventId = std::uint64_t;
 
+/// Kernel tuning knobs. The wheel tier changes only the data structure
+/// holding pending entries, never the fire order, so both configurations
+/// produce bit-identical runs — use_wheel=false exists for benchmarking
+/// the wheel win (bench_sched_throughput's timer_storm) and for
+/// differential tests.
+struct SchedulerOptions {
+  bool use_wheel = true;
+  unsigned wheel_res_bits = WheelTier::kDefaultResBits;
+};
+
 /// Discrete-event scheduler. Single-threaded by design: network simulation
 /// correctness comes from the global time order, not concurrency.
 class Scheduler {
  public:
-  Scheduler();
+  /// One burst element for at_batch()/inject_batch().
+  struct BatchItem {
+    Time when;
+    InlineCallback fn;
+  };
+
+  Scheduler() : Scheduler(default_options()) {}
+  explicit Scheduler(SchedulerOptions opts);
 
   // The scheduler owns pending closures that may capture references to it;
   // moving it would dangle them.
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Process-wide default for subsequently constructed schedulers. Not
+  /// thread-safe: set it before spawning workers (benchmark main()s only).
+  static void set_default_options(SchedulerOptions opts) {
+    default_options_ = opts;
+  }
+  static SchedulerOptions default_options() { return default_options_; }
 
   /// Current simulated time. Monotonically non-decreasing.
   Time now() const { return now_; }
@@ -53,6 +86,12 @@ class Scheduler {
   /// Schedule `fn` after a relative delay (>= 0).
   EventId after(Time delay, InlineCallback fn);
 
+  /// Bulk-insert a burst of entries in one call: slots are minted and
+  /// sequence numbers assigned in array order, so the burst is totally
+  /// ordered exactly as the equivalent at() loop would be. Items' callbacks
+  /// are consumed (moved from). Wheel-tier entries are O(1) each.
+  void at_batch(BatchItem* items, std::size_t n);
+
   /// External event injection (runtime/ cross-shard deliveries): identical
   /// to at(), but documents the contract — the caller must be externally
   /// synchronized with this scheduler (the shard barrier guarantees the
@@ -62,9 +101,18 @@ class Scheduler {
     return at(when, std::move(fn));
   }
 
+  /// Batched inject: one call per drained cross-shard ring burst.
+  void inject_batch(BatchItem* items, std::size_t n) { at_batch(items, n); }
+
   /// Cancel a pending callback: O(1). Cancelling an already-fired or
   /// unknown id is a harmless no-op (returns false).
   bool cancel(EventId id);
+
+  /// Cancel a burst of ids; returns how many were genuinely pending.
+  /// Equivalent to calling cancel() in array order, but prefetches every
+  /// target slot first so the (cold) slot-line misses overlap instead of
+  /// serializing — the mod_timer reset pattern cancels in dense batches.
+  std::size_t cancel_batch(const EventId* ids, std::size_t n);
 
   /// Run every event with time <= `deadline`; leaves now() == deadline.
   /// Returns the number of callbacks executed (bounded-horizon execution:
@@ -72,7 +120,7 @@ class Scheduler {
   std::size_t run_until(Time deadline);
 
   /// Earliest pending (uncancelled) event time, or nullopt when drained.
-  /// Lazily discards cancelled entries encountered at the heap head.
+  /// Lazily discards cancelled entries it has to step over.
   std::optional<Time> next_event_time();
 
   /// Run until the queue drains (or `max_events` fire, as a runaway guard).
@@ -83,38 +131,34 @@ class Scheduler {
   bool empty() const { return live_count_ == 0; }
 
   /// Number of pending events. Exact: cancelled events leave this count
-  /// immediately, not when their heap entry is lazily collected.
+  /// immediately, not when their queue entry is lazily collected.
   std::size_t pending() const { return live_count_; }
 
   /// Total callbacks executed since construction (diagnostics).
   std::uint64_t executed() const { return executed_; }
 
+  /// Fire-burst diagnostics: bursts() counts per-tick drain cycles;
+  /// executed()/bursts() is the average burst size.
+  std::uint64_t bursts() const { return bursts_; }
+
+  /// Entries currently parked in the wheel tier (diagnostics).
+  std::size_t wheel_entries() const { return wheel_.count(); }
+
  private:
   friend class SchedulerTestPeer;  // tests force generation wraparound
 
   /// A callback slot, reused across events. `gen` tags the current
-  /// occupancy: an EventId or heap entry minted for an earlier occupancy
+  /// occupancy: an EventId or queue entry minted for an earlier occupancy
   /// carries a stale generation and is recognisably dead in O(1).
   struct Slot {
-    InlineCallback fn;
+    // Liveness check, dispatch pointer, and the first bytes of a small
+    // closure all land in the slot's first cache line (fire touches the
+    // slot cold — it was minted thousands of events earlier).
     std::uint32_t gen = 1;
     bool live = false;
+    InlineCallback fn;
   };
 
-  /// Heap key + slot reference; 24-byte POD, moved by memcpy during sifts.
-  struct HeapItem {
-    Time when;
-    std::uint64_t seq;   ///< monotonic tie-break: FIFO among same-time events
-    std::uint32_t slot;
-    std::uint32_t gen;
-  };
-
-  static bool earlier(const HeapItem& a, const HeapItem& b) {
-    if (a.when != b.when) {
-      return a.when < b.when;
-    }
-    return a.seq < b.seq;
-  }
   static std::uint32_t next_gen(std::uint32_t g) {
     ++g;
     return g == 0 ? 1 : g;  // skip 0 so an EventId is never 0
@@ -123,18 +167,40 @@ class Scheduler {
     return (static_cast<EventId>(gen) << 32) | slot;
   }
 
-  void heap_push(HeapItem item);
-  HeapItem heap_pop();
+  std::uint32_t mint_slot(InlineCallback fn);
 
-  /// Pop the heap head; fire it if live, discard it if stale.
-  /// Pre: !heap_.empty(). Returns true iff a callback executed.
-  bool pop_head();
+  /// Route an entry to the wheel (near horizon) or the heap (far future).
+  void queue_push(const QueueEntry& e);
+
+  void heap_push(QueueEntry item);
+  QueueEntry heap_pop();
+
+  /// Move the wheel cursor to `tick` and cascade heap entries whose tick
+  /// has come within the horizon into the wheel. No-op in heap-only mode.
+  void advance_cursor(std::uint64_t tick);
+
+  /// Drain tick `t0`'s entries into the scratch burst and fire them in
+  /// (when, seq) order, merging in same-tick entries scheduled by the
+  /// callbacks themselves. Respects `deadline` (events strictly after it
+  /// are re-queued) and `budget`; sets `stopped` when either cut the burst.
+  std::size_t fire_tick(std::uint64_t t0, const Time* deadline,
+                        std::size_t budget, bool& stopped);
+
+  /// Shared engine behind run()/run_until().
+  std::size_t run_core(const Time* deadline, std::size_t max_events);
+
+  static inline SchedulerOptions default_options_{};
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t bursts_ = 0;
   std::size_t live_count_ = 0;
-  std::vector<HeapItem> heap_;
+  bool use_wheel_;
+  WheelTier wheel_;
+  std::vector<QueueEntry> heap_;           ///< far-future overflow tier
+  std::vector<QueueEntry> burst_scratch_;  ///< fire_tick working set
+  std::vector<QueueEntry> sametick_scratch_;  ///< min-heap of same-tick adds
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;  ///< LIFO: hottest slot reused first
 };

@@ -1,0 +1,190 @@
+// edp::sim — near-horizon timing-wheel tier of the event kernel.
+//
+// A flat, non-lapping wheel: 2^12 buckets, each covering one
+// resolution-quantized tick (default 2^19 ps ≈ 524 ns), for a horizon of
+// ~2.1 ms past the cursor — wide enough for every rate-based app period
+// (policer refill 100 µs, liveness check 500 µs, AQM update 1 ms). The
+// scheduler keeps every pending entry whose tick lands inside
+// [cursor, cursor + kSlots) here and spills the far future to its 4-ary
+// heap; as the cursor advances, heap entries whose tick has come within
+// the horizon cascade into the wheel.
+//
+// Buckets are flat vectors that retain capacity across laps: inserts into
+// a dense bucket append contiguously (mod_timer-style reset churn lands
+// whole cancel/re-arm batches in one bucket), and draining is a single
+// sequential copy the hardware prefetcher streams — unlike a linked
+// node-slab, whose drain is a serial dependent-load chain.
+//
+// Exactness: buckets hold full-precision (when, seq) keys — quantization
+// only decides *where* an entry is stored, never *when* it fires. The
+// scheduler drains one bucket at a time into a POD scratch burst and
+// sorts it by (when, seq), so the fire order is identical to the heap's
+// total order and determinism digests are unchanged (docs/PERFORMANCE.md).
+//
+// Within the horizon, slot index = tick & kMask is a bijection, so a
+// bucket never mixes entries from different laps and insert/expire are
+// O(1) plus an occupancy-bitmap bit flip.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace edp::sim {
+
+/// Pending-event key: full-precision fire time, global sequence tie-break,
+/// and a generation-tagged callback-slot reference. 24-byte POD shared by
+/// the wheel buckets, the overflow heap, and the fire-burst scratch.
+struct QueueEntry {
+  Time when;
+  std::uint64_t seq;   ///< monotonic tie-break: FIFO among same-time events
+  std::uint32_t slot;
+  std::uint32_t gen;
+};
+
+inline bool entry_earlier(const QueueEntry& a, const QueueEntry& b) {
+  if (a.when != b.when) {
+    return a.when < b.when;
+  }
+  return a.seq < b.seq;
+}
+
+/// Functor form for std::sort: inlines per-comparison, unlike passing
+/// `entry_earlier` itself (a function pointer → indirect call each compare).
+struct EntryEarlier {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    return entry_earlier(a, b);
+  }
+};
+
+class WheelTier {
+ public:
+  static constexpr unsigned kDefaultResBits = 19;  ///< 524.288 ns per tick
+  static constexpr std::size_t kSlotBits = 12;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+  static constexpr std::size_t kMask = kSlots - 1;
+  static constexpr std::size_t kWords = kSlots / 64;  ///< occupancy bitmap
+
+  explicit WheelTier(unsigned res_bits = kDefaultResBits)
+      : res_bits_(res_bits) {}
+
+  /// Quantize an absolute time to its wheel tick.
+  std::uint64_t tick_of(Time t) const {
+    return static_cast<std::uint64_t>(t.ps()) >> res_bits_;
+  }
+
+  std::uint64_t cursor() const { return cursor_; }
+  std::size_t count() const { return count_; }
+
+  /// True iff `tick` lands inside the wheel horizon. Pre: tick >= cursor().
+  bool covers(std::uint64_t tick) const { return tick - cursor_ < kSlots; }
+
+  /// Advance the cursor. Pre: no occupied bucket in [cursor(), tick) — the
+  /// scheduler drains buckets strictly in tick order before moving on.
+  void set_cursor(std::uint64_t tick) {
+    assert(tick >= cursor_);
+    cursor_ = tick;
+  }
+
+  /// O(1) amortized insert. Pre: cursor() <= tick && covers(tick).
+  void insert(std::uint64_t tick, const QueueEntry& e) {
+    assert(tick >= cursor_ && covers(tick));
+    ensure_init();
+    const std::size_t s = tick & kMask;
+    buckets_[s].push_back(e);  // hotpath-ok: capacity retained across laps
+    words_[s >> 6] |= std::uint64_t{1} << (s & 63);
+    ++count_;
+  }
+
+  bool bucket_nonempty(std::uint64_t tick) const {
+    if (count_ == 0) {
+      return false;
+    }
+    const std::size_t s = tick & kMask;
+    return (words_[s >> 6] >> (s & 63)) & 1;
+  }
+
+  /// Visit every entry in a bucket read-only (for stale-entry scans).
+  /// Pre: initialized, which count() > 0 guarantees.
+  template <typename F>
+  void visit_bucket(std::uint64_t tick, F&& f) const {
+    for (const QueueEntry& e : buckets_[tick & kMask]) {
+      f(e);
+    }
+  }
+
+  /// Append the bucket's entries to `out` and empty it, retaining its
+  /// capacity so the steady state never re-allocates. Returns entry count.
+  std::size_t take_bucket(std::uint64_t tick, std::vector<QueueEntry>& out) {
+    assert(covers(tick));
+    const std::size_t s = tick & kMask;
+    std::vector<QueueEntry>& b = buckets_[s];
+    const std::size_t n = b.size();
+    out.insert(out.end(), b.begin(), b.end());  // hotpath-ok: capacity kept
+    b.clear();
+    clear_bit(s);
+    count_ -= n;
+    return n;
+  }
+
+  /// Drop every entry in a bucket (all known stale).
+  void clear_bucket(std::uint64_t tick) {
+    const std::size_t s = tick & kMask;
+    count_ -= buckets_[s].size();
+    buckets_[s].clear();
+    clear_bit(s);
+  }
+
+  /// Earliest occupied tick at or after the cursor; nullopt when empty.
+  /// Bitmap scan: one countr_zero per 64 buckets, so <= 64 words total.
+  std::optional<std::uint64_t> next_occupied_tick() const {
+    if (count_ == 0) {
+      return std::nullopt;
+    }
+    const std::size_t sc = cursor_ & kMask;
+    std::size_t w = sc >> 6;
+    std::uint64_t word = words_[w] & (~std::uint64_t{0} << (sc & 63));
+    for (std::size_t step = 0;; ++step) {
+      if (word != 0) {
+        const std::size_t s =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        return cursor_ + ((s - sc) & kMask);
+      }
+      if (step == kWords) {
+        break;
+      }
+      w = (w + 1) & (kWords - 1);
+      word = words_[w];
+      if (step == kWords - 1) {
+        // Wrapped back to the start word: only its low bits remain unseen.
+        word &= ~(~std::uint64_t{0} << (sc & 63));
+      }
+    }
+    assert(false && "count_ > 0 but no occupancy bit set");
+    return std::nullopt;
+  }
+
+ private:
+  void ensure_init() {
+    if (buckets_.empty()) {
+      buckets_.resize(kSlots);
+      words_.assign(kWords, 0);
+    }
+  }
+  void clear_bit(std::size_t s) {
+    words_[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+  }
+
+  unsigned res_bits_;
+  std::uint64_t cursor_ = 0;  ///< ticks < cursor_ are in the past
+  std::size_t count_ = 0;
+  std::vector<std::vector<QueueEntry>> buckets_;  ///< lazily sized to kSlots
+  std::vector<std::uint64_t> words_;  ///< bit set ⟺ bucket nonempty
+};
+
+}  // namespace edp::sim

@@ -31,9 +31,9 @@ bool L3Program::route(pisa::Phv& phv) {
     phv.std_meta.drop = true;
     return false;
   }
-  return routes_.apply(phv, [](const pisa::Phv& p) {
-    return std::vector<std::uint64_t>{p.ipv4->dst.value()};
-  });
+  // Stack key + span apply: the per-packet lookup builds no vector.
+  const std::uint64_t key[1] = {phv.ipv4->dst.value()};
+  return routes_.apply(phv, std::span<const std::uint64_t>(key));
 }
 
 void L3Program::on_ingress(pisa::Phv& phv, core::EventContext&) {

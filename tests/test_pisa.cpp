@@ -122,6 +122,123 @@ TEST(Parser, CustomStateCanBeAdded) {
   EXPECT_TRUE(custom_hit);
 }
 
+TEST(Parser, FastPathMatchesGeneric) {
+  // The compiled parse_standard() fast path must be observationally
+  // identical to the generic name-dispatched walk of the standard() graph.
+  // Re-registering any state drops a parser to the generic dispatcher, so
+  // build the generic twin by re-adding a verbatim "start" state, then run
+  // both parsers over one packet of every shape the graph distinguishes.
+  const Parser fast = Parser::standard();
+  Parser generic = Parser::standard();
+  generic.add_state("start", [](Phv&, std::size_t off) {
+    return ParseStep{"ethernet", off};
+  });
+
+  const auto mac = [](std::uint64_t v) { return MacAddress::from_u64(v); };
+  std::vector<net::Packet> corpus;
+  corpus.push_back(udp_packet());  // plain UDP
+  corpus.push_back(net::PacketBuilder()  // TCP
+                       .ethernet(mac(1), mac(2))
+                       .ipv4(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2),
+                             net::kIpProtoTcp)
+                       .tcp(1234, 80)
+                       .payload(40)
+                       .build());
+  net::KvHeader kv;
+  kv.op = net::KvHeader::kGet;
+  kv.key = 42;
+  corpus.push_back(net::PacketBuilder()  // KV, well-known port as *source*
+                       .ethernet(mac(1), mac(2))
+                       .ipv4(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2),
+                             net::kIpProtoUdp)
+                       .udp(net::kPortKvCache, 7777)
+                       .kv(kv)
+                       .build());
+  corpus.push_back(net::PacketBuilder()  // INT report
+                       .ethernet(mac(1), mac(2))
+                       .ipv4(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2),
+                             net::kIpProtoUdp)
+                       .udp(3333, net::kPortIntReport)
+                       .int_report(net::IntReportHeader{})
+                       .build());
+  corpus.push_back(net::PacketBuilder()  // VLAN-tagged IPv4/UDP
+                       .ethernet(mac(1), mac(2))
+                       .vlan(100)
+                       .ipv4(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2),
+                             net::kIpProtoUdp)
+                       .udp(1000, 2000)
+                       .payload(20)
+                       .build());
+  corpus.push_back(net::PacketBuilder()  // HULA probe
+                       .ethernet(mac(1), mac(2), net::kEtherTypeHula)
+                       .hula_probe(net::HulaProbeHeader{3, 500, 9})
+                       .pad_to(64)
+                       .build());
+  net::LivenessHeader echo;
+  echo.kind = net::LivenessHeader::kRequest;
+  corpus.push_back(net::PacketBuilder()  // liveness echo
+                       .ethernet(mac(1), mac(2), net::kEtherTypeLiveness)
+                       .liveness(echo)
+                       .pad_to(64)
+                       .build());
+  {
+    net::Packet carrier(64);  // event-metadata carrier frame
+    net::EthernetHeader eth;
+    eth.ether_type = net::kEtherTypeCarrier;
+    eth.encode(carrier, 0);
+    corpus.push_back(std::move(carrier));
+  }
+  {
+    net::Packet other(64);  // unknown EtherType: accept at L2
+    net::EthernetHeader eth;
+    eth.ether_type = 0x9999;
+    eth.encode(other, 0);
+    corpus.push_back(std::move(other));
+  }
+  corpus.push_back(net::Packet(10));  // truncated before Ethernet
+  {
+    net::Packet q(net::EthernetHeader::kSize);  // truncated after Ethernet
+    net::EthernetHeader eth;
+    eth.ether_type = net::kEtherTypeIpv4;
+    eth.encode(q, 0);
+    corpus.push_back(std::move(q));
+  }
+  {
+    // IPv4 claims UDP but the packet ends mid-UDP-header.
+    net::Packet q = net::PacketBuilder()
+                        .ethernet(mac(1), mac(2))
+                        .ipv4(Ipv4Address(1, 1, 1, 1),
+                              Ipv4Address(2, 2, 2, 2), net::kIpProtoUdp)
+                        .build();
+    corpus.push_back(std::move(q));
+  }
+
+  const Deparser deparser;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    SCOPED_TRACE("corpus packet " + std::to_string(i));
+    const Phv a = fast.parse(net::Packet(corpus[i]));
+    const Phv b = generic.parse(net::Packet(corpus[i]));
+    EXPECT_EQ(a.parse_error, b.parse_error);
+    EXPECT_EQ(a.payload_offset, b.payload_offset);
+    EXPECT_EQ(a.eth.has_value(), b.eth.has_value());
+    EXPECT_EQ(a.vlan.has_value(), b.vlan.has_value());
+    EXPECT_EQ(a.ipv4.has_value(), b.ipv4.has_value());
+    EXPECT_EQ(a.tcp.has_value(), b.tcp.has_value());
+    EXPECT_EQ(a.udp.has_value(), b.udp.has_value());
+    EXPECT_EQ(a.kv.has_value(), b.kv.has_value());
+    EXPECT_EQ(a.int_report.has_value(), b.int_report.has_value());
+    EXPECT_EQ(a.hula.has_value(), b.hula.has_value());
+    EXPECT_EQ(a.liveness.has_value(), b.liveness.has_value());
+    // Deparsing re-encodes every extracted field: byte equality means the
+    // two parsers decoded identical header contents.
+    const net::Packet da = deparser.deparse(a);
+    const net::Packet db = deparser.deparse(b);
+    ASSERT_EQ(da.size(), db.size());
+    EXPECT_TRUE(std::equal(da.bytes().begin(), da.bytes().end(),
+                           db.bytes().begin()));
+  }
+}
+
 TEST(Parser, MetadataFromPacketMeta) {
   net::Packet p = udp_packet();
   p.meta().ingress_port = 3;

@@ -93,6 +93,60 @@ TEST(SpscRing, TwoThreadStress) {
   EXPECT_TRUE(ring.empty());
 }
 
+TEST(SpscRing, PopBurstDrainsFifoWithOnePublish) {
+  runtime::SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.try_push(int(i)));
+  }
+  int out[16];
+  // Burst smaller than occupancy: takes exactly `max`, oldest first.
+  EXPECT_EQ(ring.pop_burst(out, 4), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i], i);
+  }
+  // Burst larger than occupancy: takes what's there.
+  EXPECT_EQ(ring.pop_burst(out, 16), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[i], i + 4);
+  }
+  EXPECT_EQ(ring.pop_burst(out, 16), 0u);  // empty
+  EXPECT_TRUE(ring.empty());
+  // The freed slots are reusable (head really was published).
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(ring.try_push(int(i)));
+  }
+  EXPECT_FALSE(ring.try_push(99));
+}
+
+TEST(SpscRing, PopBurstTwoThreadStress) {
+  runtime::SpscRing<int> ring(64);
+  constexpr int kCount = 20000;
+  std::thread producer([&ring] {
+    for (int i = 0; i < kCount;) {
+      if (ring.try_push(int(i))) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int burst[32];
+  int expected = 0;
+  while (expected < kCount) {
+    const std::size_t n = ring.pop_burst(burst, 32);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(burst[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
 // ---- topology under test --------------------------------------------------------
 
 topo::Host::Config host_cfg(const std::string& name, Ipv4Address ip) {

@@ -439,6 +439,204 @@ TEST(Scheduler, PendingIsExactUnderCancellation) {
   EXPECT_TRUE(sched.empty());
 }
 
+// ---- Timing-wheel tier + batch APIs -------------------------------------------
+
+namespace {
+
+/// Horizon of the default wheel in absolute time: kSlots ticks of
+/// 2^kDefaultResBits picoseconds each (~2.1 ms).
+constexpr Time wheel_horizon() {
+  return Time::picos(static_cast<std::int64_t>(WheelTier::kSlots)
+                     << WheelTier::kDefaultResBits);
+}
+
+}  // namespace
+
+TEST(Scheduler, WheelCascadeAcrossHorizonBoundary) {
+  // Entries past the wheel horizon start in the overflow heap and must
+  // cascade into the wheel — and fire in exact time order — as the cursor
+  // advances past multiple horizons.
+  Scheduler sched;
+  std::vector<int> order;
+  const Time h = wheel_horizon();
+  // One event per half-horizon, spanning five horizons, inserted shuffled.
+  const int kEvents = 10;
+  for (int i = kEvents - 1; i >= 0; --i) {
+    sched.at(Time::picos(h.ps() / 2 * (i + 1)),
+             [&order, i] { order.push_back(i); });
+  }
+  EXPECT_GT(sched.pending(), 0u);
+  sched.run();
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(sched.wheel_entries(), 0u);
+}
+
+TEST(Scheduler, CancelWorksInBothTiers) {
+  // One event within the wheel horizon, one far beyond it (heap tier);
+  // cancel must be O(1)-honest in both: pending() drops immediately and
+  // neither callback runs.
+  Scheduler sched;
+  int fired = 0;
+  const Time h = wheel_horizon();
+  const EventId near_id = sched.at(Time::nanos(100), [&] { ++fired; });
+  const EventId far_id =
+      sched.at(Time::picos(h.ps() * 10), [&] { ++fired; });
+  sched.at(Time::nanos(200), [&] { ++fired; });  // survivor (wheel)
+  sched.at(Time::picos(h.ps() * 20), [&] { ++fired; });  // survivor (heap)
+  EXPECT_EQ(sched.pending(), 4u);
+  EXPECT_TRUE(sched.cancel(near_id));
+  EXPECT_TRUE(sched.cancel(far_id));
+  EXPECT_EQ(sched.pending(), 2u);
+  EXPECT_FALSE(sched.cancel(near_id));
+  EXPECT_FALSE(sched.cancel(far_id));
+  sched.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, BatchAndSingleInsertsShareOneTotalOrder) {
+  // at_batch() mints sequence numbers in array order, so a batch interleaved
+  // with plain at() calls fires exactly as the equivalent flat at() sequence
+  // would: by (when, scheduling order).
+  Scheduler sched;
+  std::vector<int> order;
+  const Time t = Time::micros(5);
+  sched.at(t, [&] { order.push_back(0); });
+  Scheduler::BatchItem items[3];
+  items[0] = {t, InlineCallback([&] { order.push_back(1); })};
+  items[1] = {Time::micros(1), InlineCallback([&] { order.push_back(-1); })};
+  items[2] = {t, InlineCallback([&] { order.push_back(2); })};
+  sched.at_batch(items, 3);
+  sched.at(t, [&] { order.push_back(3); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3}));
+}
+
+TEST(Scheduler, CancelBatchCountsOnlyGenuinePending) {
+  Scheduler sched;
+  int fired = 0;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sched.at(Time::micros(10 + i), [&] { ++fired; }));
+  }
+  const EventId early = sched.at(Time::micros(1), [&] { ++fired; });
+  sched.run_until(Time::micros(2));  // `early` has fired
+  ids.push_back(early);              // already fired: must not count
+  ids.push_back(0);                  // never-valid id: must not count
+  EXPECT_EQ(sched.cancel_batch(ids.data(), ids.size()), 8u);
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, WheelAndHeapOnlyModesFireIdentically) {
+  // Differential check of the whole tiering machinery: a pseudo-random
+  // schedule with duplicate fire times and cancellations must produce a
+  // bit-identical (label, time) fire log whether the wheel tier is on or
+  // off — the wheel changes *where* entries wait, never the order.
+  const auto run_mode = [](bool use_wheel) {
+    Scheduler sched{SchedulerOptions{use_wheel, WheelTier::kDefaultResBits}};
+    std::vector<std::pair<int, std::int64_t>> log;
+    Random rng(0xC0FFEE);
+    std::vector<EventId> ids;
+    for (int i = 0; i < 500; ++i) {
+      // 200 distinct instants over ~3.5 wheel horizons: plenty of exact
+      // same-time collisions plus both tiers exercised.
+      const auto when =
+          Time::picos(static_cast<std::int64_t>(rng.uniform(200)) *
+                      37'000'000);
+      ids.push_back(sched.at(when, [&log, i, &sched] {
+        log.emplace_back(i, sched.now().ps());
+      }));
+    }
+    for (int i = 0; i < 500; i += 3) {
+      sched.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    sched.run();
+    return log;
+  };
+  EXPECT_EQ(run_mode(true), run_mode(false));
+}
+
+TEST(Scheduler, RunUntilDeadlineSplitsAWheelTick) {
+  // Two events share one wheel bucket (same 524 ns tick) but straddle a
+  // run_until deadline: only the due one may fire, and the later one must
+  // survive, still pending, to the next call.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(Time::picos(100'000), [&] { order.push_back(1); });
+  sched.at(Time::picos(400'000), [&] { order.push_back(2); });
+  ASSERT_EQ(WheelTier{}.tick_of(Time::picos(100'000)),
+            WheelTier{}.tick_of(Time::picos(400'000)));
+  sched.run_until(Time::picos(200'000));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_until(Time::picos(500'000));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, CallbackSchedulingIntoItsOwnTickFiresInOrder) {
+  // An event scheduled *during* a burst, landing later in the same wheel
+  // tick, must fire within that same drain — after everything earlier,
+  // before everything later (the same-tick merge heap in fire_tick).
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(Time::picos(100'000), [&] {
+    order.push_back(1);
+    sched.at(Time::picos(300'000), [&] { order.push_back(2); });
+  });
+  sched.at(Time::picos(400'000), [&] { order.push_back(3); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), Time::picos(400'000));
+}
+
+TEST(Scheduler, ScheduleAfterDrainingStaleBucketMakesProgress) {
+  // Regression for the cursor anomaly: drain a tick whose entries were all
+  // cancelled (fires nothing), then schedule again into the now-current
+  // tick — run() must fire it rather than spin or skip.
+  Scheduler sched;
+  int fired = 0;
+  const EventId a = sched.at(Time::picos(100'000), [&] { ++fired; });
+  const EventId b = sched.at(Time::picos(200'000), [&] { ++fired; });
+  sched.cancel(a);
+  sched.cancel(b);
+  sched.run_until(Time::picos(300'000));
+  EXPECT_EQ(fired, 0);
+  sched.at(Time::picos(350'000), [&] { ++fired; });
+  sched.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(WheelTier, NextOccupiedTickScansAcrossBitmapWrap) {
+  WheelTier w;
+  // Park the cursor late in the slot array so the next occupied tick sits
+  // past the bitmap's wrap point.
+  const std::uint64_t cursor = WheelTier::kSlots - 3;
+  w.set_cursor(cursor);
+  const std::uint64_t target = cursor + 7;  // wraps: (kSlots - 3 + 7) & mask
+  w.insert(target, QueueEntry{Time::zero(), 1, 0, 1});
+  ASSERT_TRUE(w.next_occupied_tick().has_value());
+  EXPECT_EQ(*w.next_occupied_tick(), target);
+  std::vector<QueueEntry> out;
+  EXPECT_EQ(w.take_bucket(target, out), 1u);
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_FALSE(w.next_occupied_tick().has_value());
+}
+
+TEST(WheelTier, BucketIsolationAcrossLaps) {
+  // Ticks one full lap apart map to the same slot index; the horizon check
+  // (covers) is what keeps them from mixing. Verify covers() draws the line
+  // exactly at kSlots ticks.
+  WheelTier w;
+  w.set_cursor(100);
+  EXPECT_TRUE(w.covers(100));
+  EXPECT_TRUE(w.covers(100 + WheelTier::kSlots - 1));
+  EXPECT_FALSE(w.covers(100 + WheelTier::kSlots));
+}
+
 // ---- InlineCallback -----------------------------------------------------------
 
 TEST(InlineCallback, InvokesAndSurvivesMove) {

@@ -255,7 +255,7 @@ TEST(Replay, DigestMatrixSeedByShards) {
   const apps::RegisteredProgram* app = find_program("cms-monitor");
   ASSERT_NE(app, nullptr);
   std::set<std::uint64_t> per_seed_digests;
-  for (std::uint64_t seed : {1, 2, 3}) {
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
     const ScenarioSpec spec = small_storm(seed);
     std::optional<std::uint64_t> digest;
     for (std::size_t shards : {1, 2, 4}) {
@@ -274,7 +274,7 @@ TEST(Replay, DigestMatrixSeedByShards) {
     per_seed_digests.insert(*digest);
   }
   // Different seeds replay different traffic.
-  EXPECT_EQ(per_seed_digests.size(), 3u);
+  EXPECT_EQ(per_seed_digests.size(), 5u);
 }
 
 TEST(Replay, SteadyStateLoopDoesNotAllocate) {
