@@ -9,11 +9,16 @@
 // while throughput is reported but not gated (it depends on the machine).
 //
 // Results are written as JSON (default ./BENCH_scenario.json, or argv[1])
-// to start the scenario-replay perf trajectory across PRs. argv[2]
-// overrides the flow count (default 20000; CI uses 100000).
+// to continue the scenario-replay perf trajectory across PRs. argv[2]
+// overrides the flow count (default 20000; CI uses 100000). argv[3], when
+// present, is a minimum 1-worker events/sec floor: the perf-gate CI job
+// passes the previous trajectory point (with slack) so a replay-throughput
+// regression fails the gate instead of drifting silently.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_scenario.json";
   const std::uint64_t flows =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20'000;
+  const double min_events_per_sec = argc > 3 ? std::strtod(argv[3], nullptr) : 0;
   const apps::RegisteredProgram* app = workload::find_program("ecn-marking");
   if (app == nullptr) {
     std::fprintf(stderr, "ecn-marking not in the registry\n");
@@ -87,6 +93,10 @@ int main(int argc, char** argv) {
        << "  \"app\": \"" << app->name << "\",\n"
        << "  \"mix\": \"web-search\",\n"
        << "  \"flows\": " << flows << ",\n"
+       << "  \"hw_threads\": "
+       << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
+       << "  \"min_events_per_sec_gate\": "
+       << edp::bench::fmt("%.0f", min_events_per_sec) << ",\n"
        << "  \"deterministic\": " << (deterministic ? "true" : "false")
        << ",\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -114,6 +124,18 @@ int main(int argc, char** argv) {
   if (!allocation_free) {
     std::fprintf(stderr, "FAIL: replay loop allocated at steady state\n");
     return 1;
+  }
+  const double base_events_per_sec =
+      static_cast<double>(base.events) / base.wall_seconds;
+  if (min_events_per_sec > 0 && base_events_per_sec < min_events_per_sec) {
+    std::fprintf(stderr,
+                 "FAIL: 1-worker replay at %.0f events/sec, gate is %.0f\n",
+                 base_events_per_sec, min_events_per_sec);
+    return 1;
+  }
+  if (min_events_per_sec > 0) {
+    std::printf("OK: 1-worker replay %.3g events/sec (gate %.3g)\n",
+                base_events_per_sec, min_events_per_sec);
   }
   return 0;
 }

@@ -1,9 +1,7 @@
 #include "runtime/parallel_runtime.hpp"
 
 #include <algorithm>
-#include <barrier>
 #include <cassert>
-#include <thread>
 
 namespace edp::runtime {
 
@@ -13,6 +11,11 @@ constexpr std::size_t kNpos = topo::ShardPlan::npos;
 /// enough to amortize the atomic head publish and the inject_batch call,
 /// small enough to keep the scratch resident in L1/L2.
 constexpr std::size_t kDrainBurst = 256;
+
+std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  constexpr std::int64_t inf = topo::ShardPlan::kNoChannel;
+  return (a >= inf - b) ? inf : a + b;
+}
 }  // namespace
 
 ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
@@ -22,15 +25,24 @@ ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
   assert(n >= 1);
   assert(plan_.switch_shard.size() == spec.num_switches());
   assert(plan_.host_shard.size() == spec.num_hosts());
+  assert(plan_.pair_lookahead_ps.size() == n * n &&
+         "plan predates the per-pair lookahead matrix; rebuild it with "
+         "topo::plan_shards");
 
   shards_.resize(n);
-  channels_.resize(n * n);
+  channels_.resize(2 * n * n);
+  pair_lookahead_ps_ = plan_.pair_lookahead_ps;
+  clock_[0].resize(n);
+  clock_[1].resize(n);
+  inflight_[0].assign(n * n, kInfinity);
+  inflight_[1].assign(n * n, kInfinity);
+  link_owner_.assign(spec.num_links(), kNpos);
+  link_local_.assign(spec.num_links(), kNpos);
   for (auto& sh : shards_) {
     sh.sched = std::make_unique<sim::Scheduler>();     // hotpath-ok: setup
     sh.net = std::make_unique<topo::Network>(*sh.sched);  // hotpath-ok: setup
     sh.switch_local.assign(spec.num_switches(), kNpos);
     sh.host_local.assign(spec.num_hosts(), kNpos);
-    sh.link_local.assign(spec.num_links(), kNpos);
     sh.drain_burst.resize(kDrainBurst);    // hotpath-ok: setup
     sh.inject_burst.reserve(kDrainBurst);  // hotpath-ok: setup
   }
@@ -49,16 +61,19 @@ ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
   }
 
   // Channels exist for every directed shard pair joined by at least one cut
-  // link (both directions: links are full duplex).
+  // link (both directions: links are full duplex), one per round parity.
   for (std::size_t l : plan_.cut_links) {
     const auto& ls = spec.link_spec(l);
     const std::size_t sa =
         ls.host_side ? plan_.host_shard[ls.a] : plan_.switch_shard[ls.a];
     const std::size_t sb = plan_.switch_shard[ls.b];
     for (auto [src, dst] : {std::pair{sa, sb}, std::pair{sb, sa}}) {
-      auto& ch = channels_[src * n + dst];
-      if (!ch) {
-        ch = std::make_unique<Channel>(options_.ring_capacity);  // hotpath-ok: setup
+      for (std::size_t parity : {std::size_t{0}, std::size_t{1}}) {
+        auto& ch =
+            channels_[parity * n * n + src * n + dst];
+        if (!ch) {
+          ch = std::make_unique<Channel>(options_.ring_capacity);  // hotpath-ok: setup
+        }
       }
     }
   }
@@ -78,17 +93,16 @@ ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
               : sh.net->connect_switches(sh.switch_local[ls.a], ls.pa,
                                          sh.switch_local[ls.b], ls.pb,
                                          ls.config);
-      sh.link_local[l] = local;
+      link_owner_[l] = sa;
+      link_local_[l] = local;
       continue;
     }
 
     // Cut link: each side transmits into the directed channel toward the
-    // peer's shard; deliveries are injected at the window barrier. The
-    // producer stamps the absolute arrival time (its now() + link delay).
+    // peer's shard (parity chosen at push time); deliveries are injected at
+    // the next round's drain. The producer stamps the absolute arrival time
+    // (its now() + link delay).
     const sim::Time delay = ls.config.delay;
-    Channel* a_to_b = channels_[sa * n + sb].get();
-    Channel* b_to_a = channels_[sb * n + sa].get();
-    assert(a_to_b && b_to_a);
 
     // B side is always a switch.
     core::EventSwitch& swb =
@@ -102,13 +116,13 @@ ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
       topo::Host& ha = shards_[sa].net->host(shards_[sa].host_local[ls.a]);
       const auto a_local =
           static_cast<std::uint32_t>(shards_[sa].host_local[ls.a]);
-      ha.connect_tx([this, a_to_b, sched_a, delay, b_local, pb](net::Packet p) {
-        push(*a_to_b, Msg{sched_a->now() + delay, /*to_host=*/false, b_local,
-                          pb, std::move(p)});
+      ha.connect_tx([this, sa, sb, sched_a, delay, b_local, pb](net::Packet p) {
+        push(sa, sb, Msg{sched_a->now() + delay, /*to_host=*/false, b_local,
+                         pb, std::move(p)});
       });
-      swb.connect_tx(pb, [this, b_to_a, sched_b, delay, a_local](net::Packet p) {
-        push(*b_to_a, Msg{sched_b->now() + delay, /*to_host=*/true, a_local, 0,
-                          std::move(p)});
+      swb.connect_tx(pb, [this, sb, sa, sched_b, delay, a_local](net::Packet p) {
+        push(sb, sa, Msg{sched_b->now() + delay, /*to_host=*/true, a_local, 0,
+                         std::move(p)});
       });
     } else {
       core::EventSwitch& swa =
@@ -116,19 +130,50 @@ ParallelRuntime::ParallelRuntime(const topo::Spec& spec, topo::ShardPlan plan,
       const auto a_local =
           static_cast<std::uint32_t>(shards_[sa].switch_local[ls.a]);
       const std::uint16_t pa = ls.pa;
-      swa.connect_tx(pa, [this, a_to_b, sched_a, delay, b_local, pb](net::Packet p) {
-        push(*a_to_b, Msg{sched_a->now() + delay, /*to_host=*/false, b_local,
-                          pb, std::move(p)});
+      swa.connect_tx(pa, [this, sa, sb, sched_a, delay, b_local, pb](net::Packet p) {
+        push(sa, sb, Msg{sched_a->now() + delay, /*to_host=*/false, b_local,
+                         pb, std::move(p)});
       });
-      swb.connect_tx(pb, [this, b_to_a, sched_b, delay, a_local, pa](net::Packet p) {
-        push(*b_to_a, Msg{sched_b->now() + delay, /*to_host=*/false, a_local,
-                          pa, std::move(p)});
+      swb.connect_tx(pb, [this, sb, sa, sched_b, delay, a_local, pa](net::Packet p) {
+        push(sb, sa, Msg{sched_b->now() + delay, /*to_host=*/false, a_local,
+                         pa, std::move(p)});
       });
+    }
+  }
+
+  // Persistent worker pool, sized to the hardware: more workers than cores
+  // just trade real work for futex ping-pong, so by default each worker
+  // multiplexes a contiguous block of shards and the pool never exceeds
+  // the machine. One worker (or one shard) runs inline on the caller.
+  std::size_t want = options_.max_workers;
+  if (want == 0) {
+    want = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  pool_size_ = std::min(n, want);
+  shards_per_worker_ = (n + pool_size_ - 1) / pool_size_;
+  bound_scratch_.assign(pool_size_, std::vector<std::int64_t>(n, kInfinity));
+  if (pool_size_ > 1) {
+    round_barrier_ = std::make_unique<std::barrier<>>(  // hotpath-ok: setup
+        static_cast<std::ptrdiff_t>(pool_size_));
+    pool_.reserve(pool_size_);
+    for (std::size_t w = 0; w < pool_size_; ++w) {
+      pool_.emplace_back([this, w] { pool_main(w); });
     }
   }
 }
 
-ParallelRuntime::~ParallelRuntime() = default;
+ParallelRuntime::~ParallelRuntime() {
+  if (!pool_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      stop_ = true;
+    }
+    pool_cv_.notify_all();
+    for (auto& t : pool_) {
+      t.join();
+    }
+  }
+}
 
 core::EventSwitch& ParallelRuntime::sw(std::size_t spec_index) {
   Shard& sh = shards_[plan_.switch_shard[spec_index]];
@@ -143,13 +188,9 @@ topo::Host& ParallelRuntime::host(std::size_t spec_index) {
 }
 
 topo::Link& ParallelRuntime::link(std::size_t spec_index) {
-  for (auto& sh : shards_) {
-    if (sh.link_local[spec_index] != kNpos) {
-      return sh.net->link(sh.link_local[spec_index]);
-    }
-  }
-  assert(false && "cut links have no Link object");
-  return shards_[0].net->link(0);  // unreachable
+  const std::size_t owner = link_owner_[spec_index];
+  assert(owner != kNpos && "cut links have no Link object");
+  return shards_[owner].net->link(link_local_[spec_index]);
 }
 
 sim::Scheduler& ParallelRuntime::scheduler_of_switch(std::size_t spec_index) {
@@ -210,20 +251,38 @@ std::uint64_t ParallelRuntime::ring_drained() const {
   return sum;
 }
 
-void ParallelRuntime::push(Channel& ch, Msg&& m) {
+void ParallelRuntime::push(std::size_t src, std::size_t dst, Msg&& m) {
+  const std::size_t parity = shards_[src].parity;
+  Channel& ch = *channel(parity, src, dst);
+#ifndef NDEBUG
+  // Barrier-ordering invariant: the producer owns this parity's channel for
+  // the whole round; the consumer drains it only in the next round, after
+  // the barrier. So push never runs concurrently with drain_inbound on the
+  // same channel, and `overflow` needs no lock.
+  int expected = 0;
+  assert((ch.debug_phase.compare_exchange_strong(expected, 1,
+                                                 std::memory_order_relaxed) ||
+          expected == 1) &&
+         "cross-shard push raced a drain: round-parity invariant broken");
+#endif
   ++ch.pushed;
-  // Once the ring has filled inside a window it cannot drain until the
-  // barrier (the consumer is busy running its own window), so after the
-  // first failed push every subsequent message must ALSO take the overflow
-  // path or FIFO order would break when the drain replays ring-then-overflow.
+  std::int64_t& mn = inflight_[parity][src * plan_.num_shards + dst];
+  mn = std::min(mn, m.deliver.ps());
+  // Once the ring has filled inside a round it cannot drain until the
+  // barrier (the consumer drains only at its next round start), so after
+  // the first failed push every subsequent message must ALSO take the
+  // overflow path or FIFO order would break when the drain replays
+  // ring-then-overflow.
   if (!ch.overflow.empty() || !ch.ring.try_push(std::move(m))) {
-    std::lock_guard<std::mutex> lock(ch.overflow_mu);
     ch.overflow.push_back(std::move(m));
     ++ch.overflowed;
   }
+#ifndef NDEBUG
+  ch.debug_phase.store(0, std::memory_order_relaxed);
+#endif
 }
 
-void ParallelRuntime::drain_inbound(std::size_t shard) {
+void ParallelRuntime::drain_inbound(std::size_t shard, std::size_t parity) {
   // Fixed source-shard order + per-ring FIFO makes the injection sequence —
   // and therefore the destination scheduler's tie-breaking ids — a pure
   // function of the plan, independent of thread timing. Batching changes
@@ -250,10 +309,16 @@ void ParallelRuntime::drain_inbound(std::size_t shard) {
     }
   };
   for (std::size_t src = 0; src < n; ++src) {
-    Channel* ch = channels_[src * n + shard].get();
+    Channel* ch = channel(parity, src, shard);
     if (!ch) {
       continue;
     }
+#ifndef NDEBUG
+    int expected = 0;
+    assert(ch->debug_phase.compare_exchange_strong(
+               expected, 2, std::memory_order_relaxed) &&
+           "cross-shard drain raced a push: round-parity invariant broken");
+#endif
     for (;;) {
       const std::size_t got =
           ch->ring.pop_burst(sh.drain_burst.data(), sh.drain_burst.size());
@@ -268,10 +333,11 @@ void ParallelRuntime::drain_inbound(std::size_t shard) {
       }
       sh.sched->inject_batch(sh.inject_burst.data(), sh.inject_burst.size());
     }
+    // Overflow replays *after* the ring so the producer-side FIFO order
+    // (ring first, then overflow once the ring filled) is preserved. The
+    // unlocked read/clear is safe: this channel's producer pushed it one
+    // round ago and is phase-separated from us by the round barrier.
     if (!ch->overflow.empty()) {
-      // Overflow replays *after* the ring so the producer-side FIFO order
-      // (ring first, then overflow once the ring filled) is preserved.
-      std::lock_guard<std::mutex> lock(ch->overflow_mu);
       sh.inject_burst.clear();
       for (auto& om : ch->overflow) {
         stage(std::move(om));
@@ -279,24 +345,167 @@ void ParallelRuntime::drain_inbound(std::size_t shard) {
       ch->overflow.clear();
       sh.sched->inject_batch(sh.inject_burst.data(), sh.inject_burst.size());
     }
+#ifndef NDEBUG
+    ch->debug_phase.store(0, std::memory_order_relaxed);
+#endif
   }
 }
 
-void ParallelRuntime::worker_loop(std::size_t shard, sim::Time start,
-                                  sim::Time deadline, sim::Time window,
-                                  std::barrier<>& bar) {
-  sim::Scheduler& sched = *shards_[shard].sched;
-  sim::Time t = start;
-  while (t < deadline) {
-    const sim::Time wend = std::min(t + window, deadline);
-    sched.run_until(wend);
-    bar.arrive_and_wait();  // every shard finished (t, wend]; rings quiescent
-    drain_inbound(shard);
-    bar.arrive_and_wait();  // every drain done; safe to produce again
-    if (shard == 0) {
-      ++windows_;
+void ParallelRuntime::compute_activity_bounds(std::size_t snap,
+                                              std::int64_t* e) const {
+  // Least fixpoint of
+  //   E_j = min(N_j, min_k(min(E_k + L(k, j), M(k, j))))
+  // where N is the published next-event time, M the published in-flight
+  // minimum and L the pair lookahead. Seed with min(N, M) — the in-flight
+  // terms do not depend on E — then relax the E_k + L edges to a fixpoint;
+  // shortest constraint paths have < n edges, so n-1 sweeps suffice.
+  const std::size_t n = plan_.num_shards;
+  const std::vector<ClockSnap>& clk = clock_[snap];
+  const std::vector<std::int64_t>& infl = inflight_[snap];
+  for (std::size_t j = 0; j < n; ++j) {
+    std::int64_t v = clk[j].next_ps;
+    for (std::size_t k = 0; k < n; ++k) {
+      v = std::min(v, infl[k * n + j]);
     }
-    t = wend;
+    e[j] = v;
+  }
+  for (std::size_t sweep = 1; sweep < n; ++sweep) {
+    bool changed = false;
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int64_t v = e[j];
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::int64_t l = pair_lookahead_ps_[k * n + j];
+        if (l != kInfinity && e[k] != kInfinity) {
+          v = std::min(v, saturating_add(e[k], l));
+        }
+      }
+      if (v < e[j]) {
+        e[j] = v;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+}
+
+bool ParallelRuntime::run_round(std::size_t worker, std::uint64_t q,
+                                sim::Time deadline, std::int64_t* e) {
+  const std::size_t n = plan_.num_shards;
+  const std::size_t parity = q & 1;
+  const std::size_t snap = (q + 1) & 1;  // previous round's publications
+  compute_activity_bounds(snap, e);
+
+  const std::size_t first = worker * shards_per_worker_;
+  const std::size_t last = std::min(n, first + shards_per_worker_);
+  for (std::size_t i = first; i < last; ++i) {
+    Shard& sh = shards_[i];
+    sh.parity = parity;
+    // Reset this shard's outbound in-flight row for the new parity before
+    // any push can happen.
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      inflight_[parity][i * n + dst] = kInfinity;
+    }
+    // Deliveries pushed during the previous round enter the queue before
+    // the window runs — they may fall inside it.
+    drain_inbound(i, snap);
+
+    // wend_i = min(deadline, min_j(E_j + L(j, i)) - 1 ps): nothing another
+    // shard does from here on can affect shard i at or before wend_i.
+    std::int64_t wend_ps = kInfinity;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int64_t l = pair_lookahead_ps_[j * n + i];
+      if (l != kInfinity && e[j] != kInfinity) {
+        wend_ps = std::min(wend_ps, saturating_add(e[j], l));
+      }
+    }
+    sim::Time wend = deadline;
+    if (wend_ps != kInfinity && sim::Time::picos(wend_ps - 1) < deadline) {
+      wend = sim::Time::picos(wend_ps - 1);
+    }
+    if (wend > sh.sched->now()) {
+      sh.sched->run_until(wend);
+    }
+    const auto next = sh.sched->next_event_time();
+    clock_[parity][i] =
+        ClockSnap{sh.sched->now().ps(), next ? next->ps() : kInfinity};
+  }
+  if (worker == 0) {
+    ++windows_;
+  }
+  if (round_barrier_) {
+    round_barrier_->arrive_and_wait();
+  }
+  // Everyone reads the same just-published snapshot, so every worker
+  // reaches the same verdict — no extra coordination needed.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (clock_[parity][i].now_ps < deadline.ps()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ParallelRuntime::run_rounds(std::size_t worker, sim::Time deadline) {
+  const std::size_t n = plan_.num_shards;
+  std::int64_t* e = bound_scratch_[worker].data();
+  std::uint64_t q = round_;
+
+  // Job entry: republish next-event times into the snapshot slot the first
+  // round will read. The caller may have scheduled (or cancelled) events on
+  // any shard since the last run, so the parked snapshot can be stale in
+  // either direction. now() is unchanged; in-flight minima persist (rings
+  // cannot be written between jobs).
+  const std::size_t entry_snap = (q + 1) & 1;
+  const std::size_t first = worker * shards_per_worker_;
+  const std::size_t last = std::min(n, first + shards_per_worker_);
+  for (std::size_t i = first; i < last; ++i) {
+    Shard& sh = shards_[i];
+    const auto next = sh.sched->next_event_time();
+    clock_[entry_snap][i] =
+        ClockSnap{sh.sched->now().ps(), next ? next->ps() : kInfinity};
+  }
+  if (round_barrier_) {
+    round_barrier_->arrive_and_wait();
+  }
+
+  while (!run_round(worker, q, deadline, e)) {
+    ++q;
+  }
+  ++q;
+  if (worker == 0) {
+    round_ = q;
+  }
+  // Publish round_ before any worker can report the job done: the next
+  // job's workers read it at entry, and without this barrier a fast worker
+  // could finish, let the caller launch the next job, and race worker 0's
+  // write above.
+  if (round_barrier_) {
+    round_barrier_->arrive_and_wait();
+  }
+}
+
+void ParallelRuntime::pool_main(std::size_t worker) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    sim::Time deadline;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_cv_.wait(lock, [&] { return stop_ || job_epoch_ != seen_epoch; });
+      if (stop_) {
+        return;
+      }
+      seen_epoch = job_epoch_;
+      deadline = job_deadline_;
+    }
+    run_rounds(worker, deadline);
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (--running_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
   }
 }
 
@@ -307,23 +516,23 @@ void ParallelRuntime::run_until(sim::Time deadline) {
   }
   if (plan_.num_shards == 1 && options_.inline_single_shard) {
     shards_[0].sched->run_until(deadline);
-    ++windows_;
+    ++windows_;  // one round: drained to the deadline in a single window
     return;
   }
-  const sim::Time window =
-      plan_.lookahead ? *plan_.lookahead : (deadline - start);
-  std::barrier<> bar(static_cast<std::ptrdiff_t>(plan_.num_shards));
-  std::vector<std::thread> workers;
-  workers.reserve(plan_.num_shards);
-  for (std::size_t s = 0; s < plan_.num_shards; ++s) {
-    workers.emplace_back(
-        [this, s, start, deadline, window, &bar] {
-          worker_loop(s, start, deadline, window, bar);
-        });
+  if (pool_size_ == 1) {
+    // Fewer cores than shards: multiplex every shard on the caller's
+    // thread. Same round loop, no barrier, no futex — the oversubscribed
+    // configuration degrades to sequential windowing instead of context-
+    // switch thrash.
+    run_rounds(0, deadline);
+    return;
   }
-  for (auto& w : workers) {
-    w.join();
-  }
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  job_deadline_ = deadline;
+  running_ = pool_size_;
+  ++job_epoch_;
+  pool_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return running_ == 0; });
 }
 
 }  // namespace edp::runtime

@@ -85,6 +85,9 @@ class Spec {
 /// A partition of a Spec into shards, plus the derived synchronization data.
 struct ShardPlan {
   static constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+  /// pair_lookahead_ps sentinel: no cut link joins the directed pair.
+  static constexpr std::int64_t kNoChannel =
+      std::numeric_limits<std::int64_t>::max();
 
   std::size_t num_shards = 1;
   std::vector<std::size_t> switch_shard;  ///< spec switch index -> shard
@@ -93,6 +96,24 @@ struct ShardPlan {
   /// Minimum delay over cut links; nullopt when there are no cut links
   /// (shards are fully independent and can run any window length).
   std::optional<sim::Time> lookahead;
+  /// Directed per-pair lookahead matrix, `[src * num_shards + dst]` in
+  /// picoseconds: the minimum delay over cut links carrying traffic from
+  /// shard `src` into shard `dst`, or kNoChannel when no such link exists.
+  /// This is the edge weight of the shard constraint graph the runtime's
+  /// adaptive windows are computed on — a message from `src` sent at local
+  /// time t cannot take effect in `dst` before t + pair_lookahead(src, dst).
+  std::vector<std::int64_t> pair_lookahead_ps;
+  /// cut_links.size() / num_links (0 when the spec has no links). Reported
+  /// so partition quality is auditable in benches and BENCH_runtime.json.
+  double cut_fraction = 0.0;
+  /// What the caller asked for before degenerate-split clamping. The auto
+  /// planner clamps num_shards to the switch count so no shard is empty
+  /// (an empty shard still costs a barrier participant every window);
+  /// num_shards < requested_shards means the clamp fired.
+  std::size_t requested_shards = 0;
+  /// Shards owning neither a switch nor a host (possible only with an
+  /// explicit assignment; the auto planner always yields 0).
+  std::size_t empty_shards = 0;
 
   bool is_cut(std::size_t link) const {
     for (std::size_t c : cut_links) {
@@ -101,6 +122,17 @@ struct ShardPlan {
       }
     }
     return false;
+  }
+
+  /// Directed lookahead from shard `src` into shard `dst`; nullopt when no
+  /// cut link joins the pair in that direction.
+  std::optional<sim::Time> pair_lookahead(std::size_t src,
+                                          std::size_t dst) const {
+    const std::int64_t ps = pair_lookahead_ps[src * num_shards + dst];
+    if (ps == kNoChannel) {
+      return std::nullopt;
+    }
+    return sim::Time::picos(ps);
   }
 };
 
@@ -115,9 +147,23 @@ ShardPlan plan_shards(const Spec& spec, std::size_t num_shards,
                       std::vector<std::size_t> switch_shard,
                       std::vector<std::size_t> host_shard = {});
 
-/// Default partition: contiguous blocks of switches (switch i goes to shard
-/// i * num_shards / num_switches), hosts co-located with their first switch.
-/// Deterministic, so a (spec, num_shards) pair always yields the same plan.
+/// Default partition: topology-aware greedy graph growing. Each shard is
+/// seeded with the lowest-index unassigned switch and grown by repeatedly
+/// absorbing the unassigned switch with the most links into the shard
+/// (ties broken by lowest index), until the shard reaches its share of the
+/// total node weight (switches + attached hosts). This keeps connected
+/// regions together, so far fewer links are cut than under a blind index
+/// split — cut traffic and the cut fraction reported in the plan drop
+/// accordingly. Deterministic: a (spec, num_shards) pair always yields the
+/// same plan. `num_shards` is clamped to the switch count (empty shards
+/// would barrier every window for nothing); the clamp is visible as
+/// requested_shards > num_shards.
 ShardPlan plan_shards(const Spec& spec, std::size_t num_shards);
+
+/// The pre-adaptive-planner default: contiguous blocks of switches (switch
+/// i goes to shard i * num_shards / num_switches), hosts co-located with
+/// their first switch. Kept for fixed-plan determinism baselines and
+/// planner A/B comparisons; also clamps num_shards to the switch count.
+ShardPlan plan_shards_contiguous(const Spec& spec, std::size_t num_shards);
 
 }  // namespace edp::topo
