@@ -1,0 +1,321 @@
+// Optimizer throughput harness (docs/ANALYSIS.md §optimizer).
+//
+// Drives the identical sustained near-line-rate load — three sources at a
+// third of line rate each, 64 flows per source, all converging on one 10G
+// egress at ~95% utilization — through microburst-shared twice:
+// naively (multi-ported SharedRegister, every event merger-queued) and
+// through `analysis::optimize_program` against linerate-tor (aggregated
+// state, enqueue/dequeue handlers fused at the TM observation point,
+// proven-default handlers suppressed). Gates:
+//
+//   * fused-pipeline throughput >= 1.2x naive (the PR's acceptance bar);
+//   * settled per-slot occupancy identical naive vs optimized (the
+//     transforms change staleness, never the converged value);
+//   * measured drain staleness bounded: the optimizer's predicted bound
+//     models *sustained* worst-case demand, and the bench's line-rate
+//     trains starve the drain for up to one burst cycle on top of that —
+//     so the ceiling is bound + burst-cycle span. A staleness that grew
+//     with total run length (unbounded backlog) smashes through it.
+//
+// Results are written as JSON (default ./BENCH_optimizer.json, or argv[1])
+// for the perf-gate trajectory. argv[2] overrides packets per source
+// (default 60000).
+#include <algorithm>
+#include <ctime>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/optimizer.hpp"
+#include "apps/microburst.hpp"
+#include "apps/registry.hpp"
+#include "common.hpp"
+#include "core/event_switch.hpp"
+#include "net/packet_builder.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace edp;
+
+constexpr double kPortRate = 10e9;          // every port 10G
+constexpr std::uint16_t kSourcePorts[] = {0, 2, 3};
+constexpr int kFlowsPerSource = 64;
+constexpr int kPacketBytes = 1500;
+/// Aggregate offered load on the egress port. Just under saturation keeps
+/// every packet on the full enqueue/dequeue/transmit event path (drops
+/// would skip the buffer events fusion accelerates) while the queue stays
+/// busy enough that idle-cycle drains actually interleave with updates.
+constexpr double kUtilization = 0.95;
+/// Packets per line-rate train (microburst arrival shape).
+constexpr std::uint32_t kBurstLen = 32;
+/// CPU-time repeats per pipeline; the best (fastest) run is reported.
+/// Naive/optimized runs interleave, so ambient load (e.g. a CI runner's
+/// writeback after the build) perturbs both variants alike; five repeats
+/// give each variant a realistic shot at one unperturbed measurement.
+constexpr int kRepeats = 5;
+
+const net::Ipv4Address kDst(10, 0, 1, 1);   // registry route: 10/8 -> port 1
+
+struct RunResult {
+  std::uint64_t packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t sim_events = 0;   ///< scheduler callbacks executed
+  double cpu_seconds = 0;
+  double packets_per_sec = 0;
+  std::uint64_t transforms = 0;
+  std::uint64_t staleness_bound_cycles = 0;
+  std::uint64_t staleness_max_cycles = 0;
+  std::uint64_t agg_drained = 0;
+  std::vector<std::int64_t> occupancy;      // settled per-slot ground truth
+};
+
+core::EventSwitchConfig cfg() {
+  core::EventSwitchConfig c;
+  c.num_ports = 4;
+  c.port_rate_bps = kPortRate;
+  c.queue_limits.max_bytes = 1 << 20;
+  c.queue_limits.max_packets = 1 << 13;
+  return c;
+}
+
+/// One self-rescheduling source: `packets` frames of kPacketBytes,
+/// round-robining kFlowsPerSource source addresses, sent as line-rate
+/// trains of kBurstLen frames separated by idle gaps sized so the three
+/// sources together average kUtilization of the egress rate — the
+/// microburst arrival shape the app is built for. Scheduling one callback
+/// at a time keeps the generator's own event-queue footprint constant, and
+/// the per-flow frames are built ONCE up front and copied per send — header
+/// encoding is generator overhead that would otherwise dominate both
+/// pipelines equally and dilute the dispatch-path difference under test.
+void install_source(sim::Scheduler& sched, core::EventSwitch& sw,
+                    std::uint16_t port, std::uint64_t packets) {
+  auto state = std::make_shared<std::uint64_t>(0);
+  auto frames = std::make_shared<std::vector<net::Packet>>();
+  for (int f = 0; f < kFlowsPerSource; ++f) {
+    const net::Ipv4Address src(10, 0, port, 1 + f);
+    frames->push_back(net::make_udp_packet(src, kDst, 1000 + port,
+                                           7, kPacketBytes));
+  }
+  const sim::Time line_gap = sim::Time::nanos(
+      static_cast<std::int64_t>(8.0 * kPacketBytes / kPortRate * 1e9));
+  // Mean inter-packet time that yields kUtilization/3 per source; the
+  // burst compresses kBurstLen packets to line rate, the pause repays the
+  // difference.
+  const sim::Time mean_gap = sim::Time::nanos(static_cast<std::int64_t>(
+      8.0 * kPacketBytes / kPortRate * 3.0 / kUtilization * 1e9));
+  const sim::Time pause =
+      line_gap + (mean_gap - line_gap) * static_cast<std::int64_t>(kBurstLen);
+  auto fire = std::make_shared<std::function<void()>>();
+  *fire = [state, frames, packets, port, line_gap, pause, fire, &sched, &sw] {
+    if (*state >= packets) {
+      return;
+    }
+    const std::uint32_t n = static_cast<std::uint32_t>((*state)++);
+    sw.receive(port, net::Packet((*frames)[n % kFlowsPerSource]));
+    const bool end_of_burst = (n + 1) % kBurstLen == 0;
+    sched.at(sched.now() + (end_of_burst ? pause : line_gap),
+             [fire] { (*fire)(); });
+  };
+  // Offset the sources slightly so their first frames don't collide on one
+  // simulated instant (deterministic either way, just less degenerate).
+  sched.at(sim::Time::nanos(10 * port), [fire] { (*fire)(); });
+}
+
+RunResult run(const apps::RegisteredProgram& entry, bool optimize,
+              std::uint64_t packets_per_source) {
+  sim::Scheduler sched;
+  core::EventSwitch sw(sched, cfg());
+
+  std::unique_ptr<core::EventProgram> program;
+  RunResult r;
+  if (optimize) {
+    analysis::AnalyzerOptions options;
+    options.lint = entry.lint;
+    options.model = analysis::find_hardware_model("linerate-tor");
+    options.rates = entry.rates;
+    const analysis::OptimizationResult opt =
+        analysis::optimize_program(entry.name, entry.factory, options);
+    if (!opt.feasible || !opt.transformed) {
+      std::fprintf(stderr, "optimizer did not transform %s into a feasible "
+                           "program\n%s", entry.name.c_str(),
+                   opt.format(false).c_str());
+      std::exit(2);
+    }
+    program = opt.optimized_factory();
+    sw.set_program(program.get());
+    sw.set_dispatch_plan(opt.plan);
+    r.transforms = opt.transforms.size();
+    for (const analysis::StalenessBound& b : opt.staleness) {
+      r.staleness_bound_cycles =
+          std::max(r.staleness_bound_cycles, b.bound_cycles);
+    }
+  } else {
+    program = entry.factory();
+    sw.set_program(program.get());
+  }
+  program->visit_aggregated(
+      [&sw](core::AggregatedRegister& reg) { sw.register_aggregated(reg); });
+
+  std::uint64_t tx = 0;
+  for (std::uint16_t p = 0; p < 4; ++p) {
+    sw.connect_tx(p, [&tx](net::Packet) { ++tx; });
+  }
+  for (const std::uint16_t port : kSourcePorts) {
+    install_source(sched, sw, port, packets_per_source);
+  }
+
+  // Process CPU time, not wall: the bench is single-threaded, so CPU time
+  // is the real per-packet compute cost — and unlike wall it is immune to
+  // ambient machine load (a busy CI runner inflates both variants' wall by
+  // the same absolute amount, which compresses the ratio because the
+  // optimized run is shorter).
+  timespec t0{}, t1{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &t0);
+  r.sim_events = sched.run();
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &t1);
+
+  program->visit_aggregated([&r](core::AggregatedRegister& reg) {
+    r.staleness_max_cycles = reg.staleness_max();
+    r.agg_drained = reg.drained();
+  });
+  sw.settle();
+
+  r.packets = packets_per_source * (sizeof(kSourcePorts) / sizeof(*kSourcePorts));
+  r.tx_packets = tx;
+  r.cpu_seconds = static_cast<double>(t1.tv_sec - t0.tv_sec) +
+                   static_cast<double>(t1.tv_nsec - t0.tv_nsec) * 1e-9;
+  r.packets_per_sec = static_cast<double>(r.packets) / r.cpu_seconds;
+  auto* mb = dynamic_cast<apps::MicroburstProgram*>(program.get());
+  if (mb != nullptr) {
+    for (std::size_t s = 0; s < mb->config().num_regs; ++s) {
+      r.occupancy.push_back(mb->occupancy(static_cast<std::uint32_t>(s)));
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edp;
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_optimizer.json";
+  const std::uint64_t packets_per_source =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 60'000;
+
+  const apps::RegisteredProgram* entry = nullptr;
+  for (const auto& e : apps::program_registry()) {
+    if (e.name == "microburst-shared") {
+      entry = &e;
+    }
+  }
+  if (entry == nullptr) {
+    std::fprintf(stderr, "microburst-shared not in the registry\n");
+    return 2;
+  }
+
+  bench::section(
+      "Optimizer: fused physical pipeline vs naive merger dispatch "
+      "(paper par.4, Fig. 3)");
+  std::printf("Workload: 3 sources (%d flows each, %dB frames, %llu packets "
+              "each) offering %.0f%%\nof one 10G egress on "
+              "microburst-shared; best of %d runs per pipeline.\n\n",
+              kFlowsPerSource, kPacketBytes,
+              static_cast<unsigned long long>(packets_per_source),
+              kUtilization * 100.0, kRepeats);
+
+  // Best-of-N on CPU time: the simulated work is identical across
+  // repeats, so the fastest run is the least-perturbed measurement.
+  RunResult naive = run(*entry, /*optimize=*/false, packets_per_source);
+  RunResult opt = run(*entry, /*optimize=*/true, packets_per_source);
+  for (int rep = 1; rep < kRepeats; ++rep) {
+    const RunResult n = run(*entry, /*optimize=*/false, packets_per_source);
+    if (n.cpu_seconds < naive.cpu_seconds) {
+      naive = n;
+    }
+    const RunResult o = run(*entry, /*optimize=*/true, packets_per_source);
+    if (o.cpu_seconds < opt.cpu_seconds) {
+      opt = o;
+    }
+  }
+
+  const double speedup = opt.packets_per_sec / naive.packets_per_sec;
+  bench::TextTable table({"pipeline", "packets", "tx", "sim events",
+                          "cpu s", "packets/sec", "transforms",
+                          "staleness max/bound (cyc)"});
+  table.add_row({"naive (merger-queued)", bench::fmt("%llu", naive.packets),
+                 bench::fmt("%llu", naive.tx_packets),
+                 bench::fmt("%llu", naive.sim_events),
+                 bench::fmt("%.3f", naive.cpu_seconds),
+                 bench::fmt("%.3g", naive.packets_per_sec), "0", "-"});
+  table.add_row({"optimized (fused)", bench::fmt("%llu", opt.packets),
+                 bench::fmt("%llu", opt.tx_packets),
+                 bench::fmt("%llu", opt.sim_events),
+                 bench::fmt("%.3f", opt.cpu_seconds),
+                 bench::fmt("%.3g", opt.packets_per_sec),
+                 bench::fmt("%llu", opt.transforms),
+                 bench::fmt("%llu/%llu", opt.staleness_max_cycles,
+                            opt.staleness_bound_cycles)});
+  table.print();
+  std::printf("\nSpeedup (optimized / naive): %.2fx (gate: >= 1.20x)\n",
+              speedup);
+
+  const bool occupancy_equal = naive.occupancy == opt.occupancy;
+  // Drain opportunities recur once per burst cycle (kBurstLen packets at
+  // the mean pace); a pending delta can age at most that long before the
+  // pause drains it, plus the sustained-load sweep bound itself.
+  const double mean_gap_s =
+      8.0 * kPacketBytes / kPortRate * 3.0 / kUtilization;
+  const std::uint64_t burst_cycle_budget =
+      opt.staleness_bound_cycles +
+      static_cast<std::uint64_t>(
+          kBurstLen * mean_gap_s *
+          analysis::find_hardware_model("linerate-tor")->clock_hz);
+  const bool staleness_sane =
+      opt.agg_drained == 0 || opt.staleness_max_cycles <= burst_cycle_budget;
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"optimizer\",\n"
+       << "  \"app\": \"microburst-shared\",\n"
+       << "  \"target\": \"linerate-tor\",\n"
+       << "  \"packets\": " << naive.packets << ",\n"
+       << "  \"naive_packets_per_sec\": "
+       << bench::fmt("%.0f", naive.packets_per_sec) << ",\n"
+       << "  \"optimized_packets_per_sec\": "
+       << bench::fmt("%.0f", opt.packets_per_sec) << ",\n"
+       << "  \"speedup\": " << bench::fmt("%.3f", speedup) << ",\n"
+       << "  \"transforms\": " << opt.transforms << ",\n"
+       << "  \"staleness_bound_cycles\": " << opt.staleness_bound_cycles
+       << ",\n"
+       << "  \"staleness_max_cycles\": " << opt.staleness_max_cycles << ",\n"
+       << "  \"agg_drained\": " << opt.agg_drained << ",\n"
+       << "  \"occupancy_equal\": " << (occupancy_equal ? "true" : "false")
+       << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  bool ok = true;
+  if (!occupancy_equal) {
+    std::fprintf(stderr, "FAIL: settled occupancy diverged between naive "
+                         "and optimized runs\n");
+    ok = false;
+  }
+  if (!staleness_sane) {
+    std::fprintf(stderr,
+                 "FAIL: measured staleness %llu cycles exceeds the "
+                 "bound+burst budget %llu (predicted sustained bound %llu)\n",
+                 static_cast<unsigned long long>(opt.staleness_max_cycles),
+                 static_cast<unsigned long long>(burst_cycle_budget),
+                 static_cast<unsigned long long>(opt.staleness_bound_cycles));
+    ok = false;
+  }
+  if (speedup < 1.2) {
+    std::fprintf(stderr, "FAIL: fused pipeline at %.2fx naive, gate is "
+                         "1.20x\n", speedup);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -27,17 +27,25 @@ echo "=== lint_hotpath ==="
 ./scripts/lint_hotpath.sh
 
 # Static feasibility analysis: every registered program must lint clean
-# (docs/ANALYSIS.md), both unconstrained and mapped onto the most
-# constrained built-in hardware target.
+# unconstrained (docs/ANALYSIS.md). Against the most constrained built-in
+# target the *naive* lint is expected dirty (microburst-shared's 3-ported
+# register is the optimizer's acceptance case, exit 1); the invariant is
+# that the optimizer resolves everything (exit 0), with the exit-code
+# contract itself regression-tested.
 echo "=== edp_lint ==="
 ./build/tools/edp_lint
-./build/tools/edp_lint --target linerate-tor
+./build/tools/edp_lint --target linerate-tor || [[ $? -eq 1 ]]
+./build/tools/edp_lint --optimize --target linerate-tor
+./scripts/check_lint_exit_codes.sh ./build/tools/edp_lint
 
 # Scenario engine smoke (docs/WORKLOAD.md): seed x shard digest stability
-# for a forwarding app, plus a parallel replay of the FRR path.
+# for a forwarding app, a parallel replay of the FRR path, and an
+# optimized microburst replay (digest must match the naive run above it).
 echo "=== edp_scen ==="
 ./build/tools/edp_scen matrix --app ecn-marking --flows 2000
 ./build/tools/edp_scen run --app fast-reroute --flows 1000 --shards 2
+./build/tools/edp_scen run --app microburst-shared --flows 2000
+./build/tools/edp_scen run --app microburst-shared --flows 2000 --optimize
 
 if [[ -f build-release/CMakeCache.txt ]]; then
   cmake -B build-release -S .

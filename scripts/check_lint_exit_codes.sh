@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Regression test for edp_lint's exit-code contract (see the header of
+# tools/edp_lint.cpp): the status must be identical across every output
+# format (text, json, sarif) and every target/--optimize combination —
+#
+#   0  every linted program clean (notes allowed)
+#   1  at least one warning or error
+#   2  usage error (unknown flag, program, target or format)
+#
+# The dirty case is real, not synthetic: microburst-shared's 3-ported
+# SharedRegister fails linerate-tor naively (multiport-unrealizable), and
+# the same invocation under --optimize resolves it back to exit 0.
+#
+# Usage: check_lint_exit_codes.sh <path-to-edp_lint>
+set -u
+
+lint="${1:?usage: check_lint_exit_codes.sh <path-to-edp_lint>}"
+fail=0
+
+expect() {
+  local want="$1"
+  shift
+  "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "check_lint_exit_codes: FAIL: '$*' exited $got, want $want"
+    fail=1
+  else
+    echo "check_lint_exit_codes: ok exit $want: ${*#"$lint"}"
+  fi
+}
+
+# -- 0: clean (the unconstrained target flags nothing; the optimizer
+#       resolves everything the constrained target flags) ---------------------
+expect 0 "$lint"
+expect 0 "$lint" --format=json
+expect 0 "$lint" --format=sarif
+expect 0 "$lint" --optimize
+expect 0 "$lint" --optimize --target linerate-tor
+expect 0 "$lint" --optimize --target linerate-tor --format=json
+expect 0 "$lint" --optimize --target linerate-tor --format=sarif
+
+# -- 1: findings, uniformly across formats ------------------------------------
+expect 1 "$lint" --target linerate-tor
+expect 1 "$lint" --target linerate-tor --format=json
+expect 1 "$lint" --target linerate-tor --format=sarif
+expect 1 "$lint" microburst-shared --target linerate-tor
+
+# -- 2: usage errors -----------------------------------------------------------
+expect 2 "$lint" --no-such-flag
+expect 2 "$lint" no-such-program
+expect 2 "$lint" --target no-such-target
+expect 2 "$lint" --format=xml
+expect 2 "$lint" --target
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_lint_exit_codes: OK"
+fi
+exit "$fail"

@@ -21,13 +21,15 @@ cd "$(dirname "$0")/.."
 # replay loop (scenario/replay/fuzzer setup code may allocate; the
 # per-event StormSource lanes must not), plus the burst-mode kernel
 # consumers in src/core: the merger's per-slot submit path and the timer
-# block's per-wake expiry path both run once per event burst.
+# block's per-wake expiry path both run once per event burst, and the
+# optimizer's fused-dispatch plan is consulted on every TM event.
 files=$(
   {
     find src/sim src/runtime -name '*.hpp' -o -name '*.cpp'
     ls src/workload/storm_source.hpp src/workload/storm_source.cpp
     ls src/core/event_merger.hpp src/core/event_merger.cpp \
-       src/core/timer_wheel.hpp src/core/timer_wheel.cpp
+       src/core/timer_wheel.hpp src/core/timer_wheel.cpp \
+       src/core/dispatch_plan.hpp
   } | sort
 )
 status=0

@@ -7,12 +7,17 @@ required top-level fields, the tool.driver rule catalogue, and the shape
 of every result (ruleId resolution, level vocabulary, locations).
 
 Usage:
-    validate_sarif.py <file.sarif>
-    validate_sarif.py --run <edp_lint> [edp_lint args...]
+    validate_sarif.py [--require-rules=a,b,c] <file.sarif>
+    validate_sarif.py [--require-rules=a,b,c] --run <edp_lint> [args...]
 
 With --run the linter is executed and its stdout validated; a linter exit
 status of 1 (findings present) is fine — only 2+ (usage error) or a crash
 fails the validation.
+
+--require-rules asserts the named rule ids are declared in every run's
+tool.driver.rules catalogue (presence in the catalogue, not in results —
+a fully feasible optimizer run legitimately emits no
+unresolvable-constraint results).
 """
 
 import json
@@ -32,7 +37,7 @@ def require(cond, msg):
         fail(msg)
 
 
-def validate(doc):
+def validate(doc, required_rules=()):
     require(isinstance(doc, dict), "top level must be a JSON object")
     require(doc.get("version") == "2.1.0",
             f"version must be '2.1.0', got {doc.get('version')!r}")
@@ -57,6 +62,10 @@ def validate(doc):
                     f"rules[{j}].shortDescription.text missing")
             rule_ids.append(rule["id"])
         require(len(rule_ids) == len(set(rule_ids)), "duplicate rule ids")
+        for rid in required_rules:
+            require(rid in rule_ids,
+                    f"runs[{i}] rule catalogue is missing required rule "
+                    f"{rid!r}")
 
         results = run.get("results", [])
         require(isinstance(results, list),
@@ -93,6 +102,12 @@ def validate(doc):
 
 
 def main(argv):
+    required_rules = []
+    for arg in list(argv[1:]):
+        if arg.startswith("--require-rules="):
+            required_rules.extend(
+                r for r in arg.split("=", 1)[1].split(",") if r)
+            argv.remove(arg)
     if len(argv) >= 3 and argv[1] == "--run":
         proc = subprocess.run(argv[2:], capture_output=True, text=True)
         # Exit 1 = findings exist, which is expected on constrained targets.
@@ -110,7 +125,7 @@ def main(argv):
         doc = json.loads(raw)
     except json.JSONDecodeError as e:
         fail(f"output is not valid JSON: {e}")
-    validate(doc)
+    validate(doc, required_rules)
     print("validate_sarif: OK")
     return 0
 

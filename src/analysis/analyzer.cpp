@@ -6,56 +6,71 @@
 
 namespace edp::analysis {
 
-Report analyze_program(const std::string& name, const ProgramFactory& factory,
-                       const AnalyzerOptions& options) {
-  Report report;
-  report.program = name;
+namespace {
+
+RecordingContext::Config make_config(bool event_architecture) {
+  RecordingContext::Config config;
+  config.event_architecture = event_architecture;
+  return config;
+}
+
+}  // namespace
+
+ProgramTraces::ProgramTraces()
+    : event_ctx(make_config(/*event_architecture=*/true)),
+      baseline_ctx(make_config(/*event_architecture=*/false)) {}
+
+ProgramTraces extract_traces(const ProgramFactory& factory,
+                             const AnalyzerOptions& options) {
+  ProgramTraces traces;
+  DriveOptions drive_options;
+  drive_options.ingress_repeats = options.stimulus_repeats;
 
   // Phase 1: trace extraction on the event architecture. The probe is
   // process-global, so it is installed only while this instance runs.
-  RecordingContext::Config event_config;
-  event_config.event_architecture = true;
-  RecordingContext event_ctx(event_config);
-  DriveLog event_log;
-  DriveOptions drive_options;
-  drive_options.ingress_repeats = options.stimulus_repeats;
   {
     const std::unique_ptr<core::EventProgram> program = factory();
-    TraceProbe probe(event_ctx);
+    TraceProbe probe(traces.event_ctx);
     ProbeInstallation installed(&probe);
-    event_log = drive_all(*program, event_ctx, drive_options);
-    report.ir = probe.take_ir();
+    traces.event_log = drive_all(*program, traces.event_ctx, drive_options);
+    traces.ir = probe.take_ir();
   }
-  report.matrix = report.ir.to_matrix();
-  report.graph = build_graph(event_ctx, event_log);
+  traces.graph = build_graph(traces.event_ctx, traces.event_log);
 
   // Phase 2: chain simulation on a fresh instance (fresh guard state).
-  std::vector<ChainRun> chains;
   {
     const std::unique_ptr<core::EventProgram> program = factory();
-    RecordingContext chain_ctx(event_config);
-    chains = simulate_chains(*program, chain_ctx, options.max_chain_steps);
+    RecordingContext chain_ctx(make_config(/*event_architecture=*/true));
+    traces.chains =
+        simulate_chains(*program, chain_ctx, options.max_chain_steps);
   }
 
   // Phase 3: baseline architecture, for the resource lint.
-  RecordingContext::Config baseline_config;
-  baseline_config.event_architecture = false;
-  RecordingContext baseline_ctx(baseline_config);
   {
     const std::unique_ptr<core::EventProgram> program = factory();
-    drive_all(*program, baseline_ctx, drive_options);
+    drive_all(*program, traces.baseline_ctx, drive_options);
   }
+  return traces;
+}
+
+Report analyze_traces(const std::string& name, const ProgramTraces& traces,
+                      const AnalyzerOptions& options) {
+  Report report;
+  report.program = name;
+  report.ir = traces.ir;
+  report.matrix = traces.ir.to_matrix();
+  report.graph = traces.graph;
 
   const HardwareModel& model =
       options.model != nullptr ? *options.model : unconstrained_model();
 
   port_budget_pass(report.matrix, report.findings);
-  report.mapping = pipeline_mapping_pass(report.ir, report.graph, event_ctx,
-                                         model, options.rates,
-                                         report.findings);
-  amplification_pass(report.graph, chains, report.findings);
-  resource_lint_pass(event_ctx, event_log, baseline_ctx, report.matrix,
-                     options.lint, report.findings);
+  report.mapping = pipeline_mapping_pass(report.ir, report.graph,
+                                         traces.event_ctx, model,
+                                         options.rates, report.findings);
+  amplification_pass(report.graph, traces.chains, report.findings);
+  resource_lint_pass(traces.event_ctx, traces.event_log, traces.baseline_ctx,
+                     report.matrix, options.lint, report.findings);
 
   // Deterministic finding order: two analyses of the same program must
   // format byte-identically, whatever order the passes appended in.
@@ -65,6 +80,11 @@ Report analyze_program(const std::string& name, const ProgramFactory& factory,
                             std::tie(b.code, b.subject, b.message);
                    });
   return report;
+}
+
+Report analyze_program(const std::string& name, const ProgramFactory& factory,
+                       const AnalyzerOptions& options) {
+  return analyze_traces(name, extract_traces(factory, options), options);
 }
 
 }  // namespace edp::analysis

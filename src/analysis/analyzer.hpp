@@ -35,6 +35,31 @@ struct AnalyzerOptions {
   std::size_t stimulus_repeats = 3;
 };
 
+/// Everything the passes consume, extracted once per program variant. The
+/// optimizer re-extracts traces after a transform and re-runs the passes
+/// over them, so extraction and judgement are separate entry points.
+struct ProgramTraces {
+  ProgramTraces();
+
+  RecordingContext event_ctx;     ///< event-architecture facility log
+  DriveLog event_log;
+  DataflowIr ir;
+  EventGraph graph;
+  std::vector<ChainRun> chains;
+  RecordingContext baseline_ctx;  ///< baseline architecture, for the lint
+};
+
+/// Phases 1-3 of the analysis: drive fresh instances from `factory` under
+/// the trace probe, in chain mode, and on the baseline architecture.
+ProgramTraces extract_traces(const ProgramFactory& factory,
+                             const AnalyzerOptions& options);
+
+/// Run the verification passes over already-extracted traces. The caller
+/// may mutate `traces.ir` between extraction and judgement (the optimizer
+/// marks constant-folded registers this way).
+Report analyze_traces(const std::string& name, const ProgramTraces& traces,
+                      const AnalyzerOptions& options);
+
 /// Run all passes over the program `factory` builds. `name` labels the
 /// report (typically the registry name).
 Report analyze_program(const std::string& name, const ProgramFactory& factory,

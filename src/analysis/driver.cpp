@@ -188,6 +188,24 @@ tm_::EnqueueRecord make_enqueue(const PacketDrive& d, sim::Time now,
   return r;
 }
 
+/// Installs the default-handler trace for the current scope (see
+/// core::exchange_default_handler_trace), restoring the previous mask.
+class DefaultTraceInstallation {
+ public:
+  explicit DefaultTraceInstallation(std::uint32_t* mask)
+      : previous_(core::exchange_default_handler_trace(mask)) {}
+  ~DefaultTraceInstallation() {
+    core::exchange_default_handler_trace(previous_);
+  }
+
+  DefaultTraceInstallation(const DefaultTraceInstallation&) = delete;
+  DefaultTraceInstallation& operator=(const DefaultTraceInstallation&) =
+      delete;
+
+ private:
+  std::uint32_t* previous_;
+};
+
 tm_::DequeueRecord make_dequeue(const PacketDrive& d, sim::Time now,
                                 bool deep) {
   tm_::DequeueRecord r;
@@ -212,6 +230,14 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
   const std::vector<Stimulus> stimuli = make_stimuli();
   DriveLog log;
 
+  // Record which handlers run the base-class default body, and which were
+  // driven at all — together they prove which events a program ignores.
+  DefaultTraceInstallation trace(&log.default_mask);
+  const auto mark = [&log](Handler h) {
+    log.driven_mask |= 1u << static_cast<unsigned>(h);
+  };
+
+  mark(Handler::kAttach);
   ctx.begin_drive(Handler::kAttach);
   program.on_attach(ctx);
 
@@ -288,13 +314,16 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
     for (const bool deep : {false, true}) {
       ctx.set_queue_bytes(deep ? options.deep_queue_bytes
                                : shallow_queue_bytes);
+      mark(Handler::kEnqueue);
       ctx.begin_drive(Handler::kEnqueue);
       program.on_enqueue(make_enqueue(d, ctx.now(), deep), ctx);
+      mark(Handler::kDequeue);
       ctx.begin_drive(Handler::kDequeue);
       program.on_dequeue(make_dequeue(d, ctx.now(), deep), ctx);
     }
     ctx.set_queue_bytes(shallow_queue_bytes);
     {
+      mark(Handler::kOverflow);
       ctx.begin_drive(Handler::kOverflow);
       tm_::DropRecord drop;
       drop.port = 1;
@@ -305,6 +334,7 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
       program.on_overflow(drop, ctx);
     }
     {
+      mark(Handler::kTransmit);
       ctx.begin_drive(Handler::kTransmit);
       core::TransmitRecord tx;
       tx.port = 1;
@@ -314,6 +344,7 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
     }
   }
   {
+    mark(Handler::kUnderflow);
     ctx.begin_drive(Handler::kUnderflow);
     tm_::UnderflowRecord uf;
     uf.port = 1;
@@ -328,6 +359,7 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
       if (c.kind != ActionKind::kSetTimer || !c.accepted) {
         continue;
       }
+      mark(Handler::kTimer);
       ctx.begin_drive(Handler::kTimer);
       core::TimerEventData t;
       t.timer_id = static_cast<std::uint32_t>(c.id);
@@ -340,10 +372,12 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
 
   // Control / link / user events.
   {
+    mark(Handler::kControl);
     ctx.begin_drive(Handler::kControl);
     program.on_control(core::ControlEventData{}, ctx);
   }
   for (const bool up : {false, true}) {
+    mark(Handler::kLinkStatus);
     ctx.begin_drive(Handler::kLinkStatus);
     core::LinkStatusEventData ls;
     ls.port = 1;
@@ -357,11 +391,15 @@ DriveLog drive_all(core::EventProgram& program, RecordingContext& ctx,
       if (c.kind != ActionKind::kRaiseUserEvent || !c.accepted) {
         continue;
       }
+      mark(Handler::kUser);
       ctx.begin_drive(Handler::kUser);
       program.on_user(c.user, ctx);
     }
   }
 
+  for (const PacketDrive& d : log.packet_drives) {
+    mark(d.handler);
+  }
   return log;
 }
 

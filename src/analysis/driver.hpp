@@ -56,6 +56,25 @@ struct PacketDrive {
 
 struct DriveLog {
   std::vector<PacketDrive> packet_drives;
+  /// Handlers invoked at least once during the drive (bit index = the
+  /// analysis Handler enum, which matches core::ProgramHandler).
+  std::uint32_t driven_mask = 0;
+  /// Handlers whose *default* (base-class) body ran during the drive, via
+  /// core::exchange_default_handler_trace. driven && default means the
+  /// program does not override the handler — provably a no-op, so the
+  /// optimizer may suppress that event's delivery entirely.
+  std::uint32_t default_mask = 0;
+
+  bool driven(Handler h) const {
+    return (driven_mask >> static_cast<unsigned>(h)) & 1u;
+  }
+  bool provably_default(Handler h) const {
+    return driven(h) && ((default_mask >> static_cast<unsigned>(h)) & 1u);
+  }
+  /// Driven and never hit the default body: the program overrides it.
+  bool overridden(Handler h) const {
+    return driven(h) && !((default_mask >> static_cast<unsigned>(h)) & 1u);
+  }
 };
 
 /// One chain-mode run from one seed stimulus.

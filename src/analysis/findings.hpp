@@ -38,6 +38,7 @@ enum class Pass : std::uint8_t {
   kPipelineMapping,
   kAmplification,
   kResourceLint,
+  kOptimizer,  ///< transform diagnostics from src/analysis/optimizer.hpp
 };
 
 std::string_view to_string(Severity severity);
@@ -98,6 +99,9 @@ inline constexpr std::size_t kNumRealizations = 4;
 struct RegisterUsage {
   std::string name;
   bool aggregated = false;  ///< AggregatedRegister vs SharedRegister
+  /// Constant-folded by the optimizer: never written outside on_attach, so
+  /// it compiles to match-action constants — no ports, no stage capacity.
+  bool folded = false;
   std::size_t size = 0;
   int ports = 1;  ///< configured budget (SharedRegister); 1 for aggregated
 

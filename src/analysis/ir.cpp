@@ -48,6 +48,9 @@ void TraceProbe::on_register_access(const core::RegisterAccessEvent& e) {
   raw.access.declared_thread = e.declared_thread;
   raw.access.cell = e.index;
   raw.access.seq = e.seq;
+  raw.access.has_rmw_values = e.has_rmw_values;
+  raw.access.rmw_old = e.rmw_old;
+  raw.access.rmw_new = e.rmw_new;
   raw.handler = ctx_->current_handler();
   raw.drive = ctx_->drive_index();
   raw_.push_back(raw);
@@ -282,6 +285,7 @@ AccessMatrix DataflowIr::to_matrix() const {
     RegisterUsage usage;
     usage.name = reg.name;
     usage.aggregated = reg.aggregated;
+    usage.folded = reg.folded;
     usage.size = reg.size;
     usage.ports = reg.ports;
     matrix.registers.push_back(std::move(usage));
@@ -331,6 +335,11 @@ std::string DataflowIr::format() const {
   for (const DepEdge& e : deps) {
     os << "  dep " << registers[e.from].name << " -> " << registers[e.to].name
        << " [" << to_string(e.witness) << "]\n";
+  }
+  for (const IrRegister& reg : registers) {
+    if (reg.folded) {
+      os << "  folded: " << reg.name << " (constant match-action table)\n";
+    }
   }
   if (cyclic) {
     os << "  dependency cycle:";

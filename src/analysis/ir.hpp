@@ -61,6 +61,11 @@ struct IrAccess {
   /// Process-wide stamp; used for ordering only (never printed, so two
   /// analyses of the same program format identically).
   std::uint64_t seq = 0;
+  /// Observed old/new cell values for integral RMWs (register_probe.hpp);
+  /// the optimizer derives aggregation merge functions from the deltas.
+  bool has_rmw_values = false;
+  std::int64_t rmw_old = 0;
+  std::int64_t rmw_new = 0;
 };
 
 /// One handler activation (one begin_drive window) and its ordered trace.
@@ -74,6 +79,11 @@ struct IrActivation {
 struct IrRegister {
   std::string name;
   bool aggregated = false;
+  /// Set by the optimizer's constant-fold transform: the register is never
+  /// written outside on_attach, so its lookups compile to match-action
+  /// constants. A folded register keeps its dependency edges (ordering)
+  /// but consumes no stage capacity and no register port.
+  bool folded = false;
   std::size_t size = 0;
   int ports = 1;
 };

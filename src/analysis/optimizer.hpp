@@ -1,0 +1,104 @@
+// edp::analysis — the IR-driven pipeline optimizer (paper §4, Figure 3).
+//
+// From linter to compiler: the verification passes *report* why a program
+// cannot map onto a constrained target; the optimizer *rewrites* the
+// program and then mandatorily re-verifies the rewrite with the same
+// passes. Three verified transforms:
+//
+//   1. aggregation-insertion — a SharedRegister whose naive mapping fails
+//      on port constraints, and whose enqueue/dequeue-thread accesses are
+//      all coalescible RMW deltas (the merge function is derived from the
+//      old/new values the register probe observed), is re-realized as an
+//      AggregatedRegister: a single-ported main array plus enq/deq side
+//      arrays drained during idle cycles. Each insertion carries a
+//      staleness bound computed from the target's idle-cycle budget.
+//   2. pipeline-merging — the per-event logical pipelines are fused into
+//      one physical pipeline, expressed as a core::DispatchPlan the
+//      EventSwitch executes directly: handlers proven to run the default
+//      body are suppressed (their events are never constructed), handlers
+//      that only coalesce deltas into aggregation side arrays are fused
+//      inline at the point the architecture observes the event, and
+//      registers never written after on_attach constant-fold into
+//      match-action entries (no ports, no stage capacity).
+//   3. re-verification — port-budget, pipeline-mapping and amplification
+//      re-run over the transformed traces; any constraint the transforms
+//      cannot resolve is reported precisely as `unresolvable-constraint`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "core/dispatch_plan.hpp"
+
+namespace edp::analysis {
+
+/// One applied transform, for the diagnostics and the text report.
+struct TransformRecord {
+  /// "aggregation-insertion", "constant-fold", "suppress-default",
+  /// "fuse-handler".
+  std::string kind;
+  std::string subject;  ///< register or handler the transform rewrote
+  std::string detail;
+};
+
+/// The bounded-staleness contract an aggregation insertion buys (paper §4:
+/// "the programmer needs to be aware of the staleness").
+struct StalenessBound {
+  std::string reg;
+  double demand_per_sec = 0.0;     ///< aggregated updates/s
+  double idle_rate_per_sec = 0.0;  ///< idle cycles/s left by slot+carrier
+  /// Worst-case age of a pending delta under sustained load: one full
+  /// drain sweep over both side arrays, 2*size entries at one idle cycle
+  /// each. Meaningful only when `stable`.
+  double bound_seconds = 0.0;
+  std::uint64_t bound_cycles = 0;
+  /// Drain bandwidth exceeds demand — staleness is bounded at all.
+  bool stable = false;
+};
+
+/// Everything `optimize_program` produced: the naive and re-verified
+/// reports, the transform list, the staleness contracts, the optimizer's
+/// own diagnostics, and the executable artifacts (factory + dispatch plan)
+/// the simulator runs directly.
+struct OptimizationResult {
+  std::string program;
+  std::string target;
+
+  Report naive;      ///< verification of the program as written
+  Report optimized;  ///< mandatory re-verification after the transforms
+
+  bool transformed = false;  ///< at least one rewrite was applied
+  /// Re-verification found no errors and every port-constraint candidate
+  /// was resolvable.
+  bool feasible = false;
+
+  std::vector<TransformRecord> transforms;
+  std::vector<StalenessBound> staleness;
+  /// Optimizer findings (Pass::kOptimizer): transform-applied,
+  /// staleness-bound, unresolvable-constraint.
+  std::vector<Finding> diagnostics;
+
+  /// The flattened physical pipeline: build the program with
+  /// `optimized_factory` and install `plan` via
+  /// EventSwitch::set_dispatch_plan.
+  core::DispatchPlan plan;
+  ProgramFactory optimized_factory;
+
+  /// The optimized report with the optimizer diagnostics merged in (what
+  /// the JSON/SARIF serializers consume), deterministically sorted.
+  Report combined() const;
+
+  /// Findings-style text report; verbose appends the optimized Report dump.
+  std::string format(bool verbose = false) const;
+};
+
+/// Run the optimizer: verify `factory`'s program naively, apply the
+/// transforms the traces prove safe, re-verify, and derive the dispatch
+/// plan. `options.model` selects the target (nullptr = unconstrained).
+OptimizationResult optimize_program(const std::string& name,
+                                    const ProgramFactory& factory,
+                                    const AnalyzerOptions& options = {});
+
+}  // namespace edp::analysis

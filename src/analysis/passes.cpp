@@ -127,6 +127,9 @@ EventGraph build_graph(const RecordingContext& ctx, const DriveLog& log) {
 namespace {
 
 void check_shared(const RegisterUsage& reg, std::vector<Finding>& findings) {
+  if (reg.folded) {
+    return;  // constant-folded to match-action entries: no ports to budget
+  }
   const std::vector<Handler> accessing = reg.accessing_handlers();
   std::set<core::ThreadId> threads;
   for (const Handler h : accessing) {
@@ -401,11 +404,17 @@ PipelineMapping pipeline_mapping_pass(const DataflowIr& ir,
           }
         }
       }
-      while (stage < load.size() && load[stage] >= capacity) {
-        ++stage;
+      // A folded register is a constant match-action table: it keeps its
+      // position in the dependency order but consumes no stateful-ALU /
+      // register slot in the stage.
+      const bool folded = ir.registers[r].folded;
+      if (!folded) {
+        while (stage < load.size() && load[stage] >= capacity) {
+          ++stage;
+        }
       }
       placed[r] = stage;
-      if (stage < load.size()) {
+      if (!folded && stage < load.size()) {
         ++load[stage];
       }
       m.stages_used = std::max(m.stages_used, stage + 1);
@@ -455,6 +464,26 @@ PipelineMapping pipeline_mapping_pass(const DataflowIr& ir,
     return t == core::ThreadId::kIngress || t == core::ThreadId::kEgress;
   };
   for (std::size_t r = 0; r < n; ++r) {
+    if (ir.registers[r].folded) {
+      continue;  // constants: no ports contended, nothing to drain
+    }
+    // A SharedRegister declared with more same-cycle ports than the target
+    // stage memory physically provides cannot be realized at this line
+    // rate no matter how its accesses schedule (§4: multi-ported SRAM is a
+    // low-line-rate luxury). This is the constraint the optimizer's
+    // aggregation-insertion transform resolves.
+    if (!model.unconstrained && !ir.registers[r].aggregated &&
+        ir.registers[r].ports > model.register_ports_per_stage) {
+      std::ostringstream msg;
+      msg << "declares " << ir.registers[r].ports
+          << " same-cycle register port(s) but " << model.name
+          << " stage memory provides " << model.register_ports_per_stage
+          << " — multi-ported stateful SRAM is not realizable at this line "
+             "rate; re-realize as an AggregatedRegister with side arrays "
+             "(paper §4) or retarget";
+      add(findings, Severity::kError, Pass::kPipelineMapping,
+          "multiport-unrealizable", ir.registers[r].name, msg.str());
+    }
     bool packet = false;
     // Per event thread: any access, any non-aggregable access, and the
     // summed rate of its aggregable accesses.

@@ -28,6 +28,8 @@ std::string_view to_string(Pass pass) {
       return "amplification";
     case Pass::kResourceLint:
       return "resource-lint";
+    case Pass::kOptimizer:
+      return "optimizer";
   }
   return "?";
 }

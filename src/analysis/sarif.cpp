@@ -102,6 +102,19 @@ const std::vector<RuleInfo>& finding_rules() {
       {"unused-meta",
        "ingress attaches enq/deq metadata no buffer-event handler "
        "observably consumes"},
+      {"multiport-unrealizable",
+       "SharedRegister declares more same-cycle ports than the target's "
+       "stage memory provides — multi-ported stateful SRAM is not "
+       "realizable at line rate"},
+      {"transform-applied",
+       "the optimizer rewrote this register or handler (aggregation "
+       "insertion, constant fold, handler fusion, or default suppression)"},
+      {"staleness-bound",
+       "bounded-staleness contract of an aggregation insertion: worst-case "
+       "age of a pending delta under the target's idle-cycle drain budget"},
+      {"unresolvable-constraint",
+       "the optimizer's transforms cannot resolve this constraint; the "
+       "program does not map onto the target even optimized"},
   };
   return rules;
 }

@@ -69,6 +69,27 @@ void MicroburstProgram::on_dequeue(const tm_::DequeueRecord& e,
   }
 }
 
+bool MicroburstProgram::realize_aggregated(std::string_view reg) {
+  if (reg != "bufSize_reg") {
+    return false;
+  }
+  if (agg_) {
+    return true;  // already aggregated (idempotent)
+  }
+  config_.state = StateModel::kAggregated;
+  shared_.reset();
+  agg_ = std::make_unique<core::AggregatedRegister>("bufSize_reg",
+                                                    config_.num_regs);
+  return true;
+}
+
+void MicroburstProgram::visit_aggregated(
+    const std::function<void(core::AggregatedRegister&)>& visit) {
+  if (agg_) {
+    visit(*agg_);
+  }
+}
+
 void MicroburstProgram::detect(std::uint32_t flow_id, std::int64_t occupancy,
                                sim::Time now) {
   const std::uint32_t s = slot(flow_id);

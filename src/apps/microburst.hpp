@@ -54,6 +54,13 @@ class MicroburstProgram : public topo::L3Program {
   void on_dequeue(const tm_::DequeueRecord& e,
                   core::EventContext& ctx) override;
 
+  /// Optimizer hook (paper §4): switch bufSize_reg from the multi-ported
+  /// shared realization to the single-ported main + side-array aggregated
+  /// realization. Fresh instances only (state starts at zero either way).
+  bool realize_aggregated(std::string_view reg) override;
+  void visit_aggregated(
+      const std::function<void(core::AggregatedRegister&)>& visit) override;
+
   const std::vector<CulpritDetection>& detections() const {
     return detections_;
   }

@@ -118,6 +118,10 @@ std::vector<RegisteredProgram> build_registry() {
     c.state = StateModel::kAggregated;
     r.push_back({"microburst-aggregated", l3_factory<MicroburstProgram>(c),
                  none, dc_mix, "src/apps/microburst.cpp"});
+    // microburst-shared is the optimizer's acceptance target: its 3-port
+    // SharedRegister cannot map onto linerate-tor naively, but
+    // `edp_lint --optimize` rewrites it into the aggregated realization
+    // (MicroburstProgram::realize_aggregated) and proves the result.
     c.state = StateModel::kShared;
     r.push_back({"microburst-shared", l3_factory<MicroburstProgram>(c),
                  none, dc_mix, "src/apps/microburst.cpp"});

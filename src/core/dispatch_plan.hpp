@@ -1,0 +1,75 @@
+// edp::core — the fused physical-pipeline dispatch plan (paper §4, Fig. 3).
+//
+// The optimizer (src/analysis/optimizer.hpp) merges a program's logical
+// event pipelines into one physical pipeline. At execution time that merge
+// is a per-EventKind decision the EventSwitch consults on its hot path:
+//
+//   kQueued     — the seed behavior: wrap the record in an Event, hand it
+//                 to the Event Merger, deliver it in a pipeline slot.
+//   kSuppressed — the program provably runs the default (empty) handler
+//                 for this event; skip Event construction and delivery
+//                 entirely. Architectural counters still tick.
+//   kFused      — the handler only coalesces deltas into aggregation side
+//                 arrays; run it inline at the point the architecture
+//                 observes the event (the TM callback), inside the same
+//                 pipeline slot, instead of queueing a carrier slot.
+//
+// This header is on the per-event hot path and is covered by
+// scripts/lint_hotpath.sh: no heap, no std::function — the fused dispatch
+// is a branch over a POD array plus direct calls through the templated
+// continuation functors the switch passes in.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/event.hpp"
+
+namespace edp::core {
+
+enum class DispatchMode : std::uint8_t {
+  kQueued = 0,   ///< merger-delivered carrier slot (seed behavior)
+  kSuppressed,   ///< proven-default handler: no event constructed
+  kFused,        ///< handler inlined at the observation point
+};
+
+/// Per-EventKind dispatch decisions. Value-semantic POD; the default plan
+/// (all kQueued) reproduces the unoptimized switch exactly.
+struct DispatchPlan {
+  std::array<DispatchMode, kNumEventKinds> mode{};
+
+  DispatchMode of(EventKind kind) const {
+    return mode[static_cast<std::size_t>(kind)];
+  }
+  void set(EventKind kind, DispatchMode m) {
+    mode[static_cast<std::size_t>(kind)] = m;
+  }
+  std::size_t count(DispatchMode m) const {
+    std::size_t n = 0;
+    for (const DispatchMode x : mode) {
+      n += static_cast<std::size_t>(x == m);
+    }
+    return n;
+  }
+};
+
+/// Hot-path dispatch through a plan entry: `fused` runs the handler inline,
+/// `queue` submits a merger event, suppression falls through. Template
+/// functors keep this allocation- and indirection-free.
+template <typename Record, typename FusedFn, typename QueueFn>
+inline void dispatch_via_plan(DispatchMode mode, const Record& record,
+                              FusedFn&& fused, QueueFn&& queue) {
+  switch (mode) {
+    case DispatchMode::kFused:
+      fused(record);
+      return;
+    case DispatchMode::kSuppressed:
+      return;
+    case DispatchMode::kQueued:
+      break;
+  }
+  queue(record);
+}
+
+}  // namespace edp::core

@@ -4,20 +4,75 @@ namespace edp::core {
 
 // Default handlers are intentionally empty: a program opts into exactly the
 // events it needs. Defined out-of-line to anchor the vtable in this TU.
+//
+// Each default body additionally marks itself in the installed
+// default-handler trace (analysis drives only; nullptr on the production
+// path, one branch per delivered event). A driven handler whose bit is set
+// provably does nothing, which is what lets the optimizer suppress its
+// event delivery.
 
-void EventProgram::on_ingress(pisa::Phv&, EventContext&) {}
-void EventProgram::on_egress(pisa::Phv&, EventContext&) {}
-void EventProgram::on_recirculate(pisa::Phv&, EventContext&) {}
-void EventProgram::on_generated(pisa::Phv&, EventContext&) {}
-void EventProgram::on_enqueue(const tm_::EnqueueRecord&, EventContext&) {}
-void EventProgram::on_dequeue(const tm_::DequeueRecord&, EventContext&) {}
-void EventProgram::on_overflow(const tm_::DropRecord&, EventContext&) {}
-void EventProgram::on_underflow(const tm_::UnderflowRecord&, EventContext&) {}
-void EventProgram::on_transmit(const TransmitRecord&, EventContext&) {}
-void EventProgram::on_timer(const TimerEventData&, EventContext&) {}
-void EventProgram::on_control(const ControlEventData&, EventContext&) {}
-void EventProgram::on_link_status(const LinkStatusEventData&, EventContext&) {}
-void EventProgram::on_user(const UserEventData&, EventContext&) {}
-void EventProgram::on_attach(EventContext&) {}
+namespace {
+std::uint32_t* g_default_trace = nullptr;
+
+inline void note_default(ProgramHandler h) {
+  if (g_default_trace != nullptr) {
+    *g_default_trace |= 1u << static_cast<std::uint32_t>(h);
+  }
+}
+}  // namespace
+
+std::uint32_t* exchange_default_handler_trace(std::uint32_t* mask) {
+  std::uint32_t* prev = g_default_trace;
+  g_default_trace = mask;
+  return prev;
+}
+
+void EventProgram::on_ingress(pisa::Phv&, EventContext&) {
+  note_default(ProgramHandler::kIngress);
+}
+void EventProgram::on_egress(pisa::Phv&, EventContext&) {
+  note_default(ProgramHandler::kEgress);
+}
+void EventProgram::on_recirculate(pisa::Phv&, EventContext&) {
+  note_default(ProgramHandler::kRecirculate);
+}
+void EventProgram::on_generated(pisa::Phv&, EventContext&) {
+  note_default(ProgramHandler::kGenerated);
+}
+void EventProgram::on_enqueue(const tm_::EnqueueRecord&, EventContext&) {
+  note_default(ProgramHandler::kEnqueue);
+}
+void EventProgram::on_dequeue(const tm_::DequeueRecord&, EventContext&) {
+  note_default(ProgramHandler::kDequeue);
+}
+void EventProgram::on_overflow(const tm_::DropRecord&, EventContext&) {
+  note_default(ProgramHandler::kOverflow);
+}
+void EventProgram::on_underflow(const tm_::UnderflowRecord&, EventContext&) {
+  note_default(ProgramHandler::kUnderflow);
+}
+void EventProgram::on_transmit(const TransmitRecord&, EventContext&) {
+  note_default(ProgramHandler::kTransmit);
+}
+void EventProgram::on_timer(const TimerEventData&, EventContext&) {
+  note_default(ProgramHandler::kTimer);
+}
+void EventProgram::on_control(const ControlEventData&, EventContext&) {
+  note_default(ProgramHandler::kControl);
+}
+void EventProgram::on_link_status(const LinkStatusEventData&, EventContext&) {
+  note_default(ProgramHandler::kLinkStatus);
+}
+void EventProgram::on_user(const UserEventData&, EventContext&) {
+  note_default(ProgramHandler::kUser);
+}
+void EventProgram::on_attach(EventContext&) {
+  note_default(ProgramHandler::kAttach);
+}
+
+bool EventProgram::realize_aggregated(std::string_view) { return false; }
+
+void EventProgram::visit_aggregated(
+    const std::function<void(AggregatedRegister&)>&) {}
 
 }  // namespace edp::core

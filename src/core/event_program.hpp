@@ -14,6 +14,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string_view>
 
 #include "core/event.hpp"
 #include "core/packet_generator.hpp"
@@ -21,7 +23,37 @@
 
 namespace edp::core {
 
+class AggregatedRegister;
+
 using TimerId = std::uint32_t;
+
+/// Handler identity for the default-handler trace, aligned with the
+/// analyzer's Handler enum (attach first, then the 13 data-plane events).
+enum class ProgramHandler : std::uint8_t {
+  kAttach = 0,
+  kIngress,
+  kEgress,
+  kRecirculate,
+  kGenerated,
+  kTransmit,
+  kEnqueue,
+  kDequeue,
+  kOverflow,
+  kUnderflow,
+  kTimer,
+  kControl,
+  kLinkStatus,
+  kUser,
+};
+inline constexpr std::size_t kNumProgramHandlers = 14;
+
+/// Install a bitmask (nullptr to uninstall) that each *default* handler
+/// body sets its ProgramHandler bit in when invoked. The analysis driver
+/// installs one around its drives: a handler that was driven but only ever
+/// hit the default body is provably a no-op, so the optimizer may elide
+/// its event delivery entirely. Returns the previously installed mask.
+/// Single-threaded analysis use only, like the register probe.
+std::uint32_t* exchange_default_handler_trace(std::uint32_t* mask);
 
 /// Facilities the architecture exposes to event handlers.
 class EventContext {
@@ -116,6 +148,21 @@ class EventProgram {
   /// configure timers and packet generators (P4's control-plane-free
   /// initialization; on baseline architectures those calls fail).
   virtual void on_attach(EventContext& ctx);
+
+  // -- optimizer hooks (src/analysis/optimizer.hpp) ----------------------------
+
+  /// Ask the program to re-realize the named SharedRegister as an
+  /// AggregatedRegister (paper §4 side arrays). Called by the optimizer's
+  /// aggregation-insertion transform on a *fresh* instance, before any
+  /// traffic. Returns true if the register is now aggregated (idempotent);
+  /// the default declines every request.
+  virtual bool realize_aggregated(std::string_view reg);
+
+  /// Visit every live AggregatedRegister so the execution environment can
+  /// register it for idle-cycle drains (EventSwitch::register_aggregated).
+  /// Setup-time only — never on the per-event path.
+  virtual void visit_aggregated(
+      const std::function<void(AggregatedRegister&)>& visit);
 
   // -- enq/deq metadata helpers (paper §2 microburst.p4 idiom) -----------------
   static void set_enq_meta(pisa::Phv& phv, std::size_t word,

@@ -43,21 +43,62 @@ EventSwitch::EventSwitch(sim::Scheduler& sched, EventSwitchConfig config)
 
   merger_.on_slot = [this](SlotWork&& work) { process_slot(std::move(work)); };
 
+  // TM events consult the dispatch plan (paper §4, Fig. 3): the default
+  // plan queues a merger event (seed behavior); a fused plan runs the
+  // handler inline in the slot that observed the event; a suppressed plan
+  // (proven-default handler) skips the event entirely. Counters tick at
+  // observe() regardless, so the plan is invisible to the replay digest.
   tm_.on_enqueue = [this](const tm_::EnqueueRecord& r) {
     observe(EventKind::kEnqueue);
-    submit_if_enabled(Event::enqueue(r));
+    dispatch_via_plan(
+        plan_.of(EventKind::kEnqueue), r,
+        [this](const tm_::EnqueueRecord& rec) {
+          if (program_ != nullptr) {
+            program_->on_enqueue(rec, *this);
+          }
+        },
+        [this](const tm_::EnqueueRecord& rec) {
+          submit_if_enabled(Event::enqueue(rec));
+        });
   };
   tm_.on_dequeue = [this](const tm_::DequeueRecord& r) {
     observe(EventKind::kDequeue);
-    submit_if_enabled(Event::dequeue(r));
+    dispatch_via_plan(
+        plan_.of(EventKind::kDequeue), r,
+        [this](const tm_::DequeueRecord& rec) {
+          if (program_ != nullptr) {
+            program_->on_dequeue(rec, *this);
+          }
+        },
+        [this](const tm_::DequeueRecord& rec) {
+          submit_if_enabled(Event::dequeue(rec));
+        });
   };
   tm_.on_drop = [this](const tm_::DropRecord& r) {
     observe(EventKind::kBufferOverflow);
-    submit_if_enabled(Event::overflow(r));
+    dispatch_via_plan(
+        plan_.of(EventKind::kBufferOverflow), r,
+        [this](const tm_::DropRecord& rec) {
+          if (program_ != nullptr) {
+            program_->on_overflow(rec, *this);
+          }
+        },
+        [this](const tm_::DropRecord& rec) {
+          submit_if_enabled(Event::overflow(rec));
+        });
   };
   tm_.on_underflow = [this](const tm_::UnderflowRecord& r) {
     observe(EventKind::kBufferUnderflow);
-    submit_if_enabled(Event::underflow(r));
+    dispatch_via_plan(
+        plan_.of(EventKind::kBufferUnderflow), r,
+        [this](const tm_::UnderflowRecord& rec) {
+          if (program_ != nullptr) {
+            program_->on_underflow(rec, *this);
+          }
+        },
+        [this](const tm_::UnderflowRecord& rec) {
+          submit_if_enabled(Event::underflow(rec));
+        });
   };
 
   // Timer expirations arrive coalesced: one burst per timer-block wake,
@@ -128,6 +169,9 @@ bool EventSwitch::control_event(const ControlEventData& data) {
     ++counters_.refused_ops;
     return false;
   }
+  if (plan_.of(EventKind::kControlPlane) == DispatchMode::kSuppressed) {
+    return true;  // proven-default handler: accepted, nothing would run
+  }
   return merger_.submit_event(Event::control(data, sched_.now()));
 }
 
@@ -148,6 +192,20 @@ void EventSwitch::set_multicast_group(std::uint16_t group_id,
 
 void EventSwitch::register_aggregated(AggregatedRegister& reg) {
   aggregated_.push_back(&reg);
+}
+
+void EventSwitch::set_dispatch_plan(const DispatchPlan& plan) {
+  plan_ = plan;
+  // Suppressed kinds outside the TM callbacks (timer, link status, control,
+  // user, transmit) are filtered at their existing delivery gates; fusion
+  // is only defined for TM events, so any other kFused entry degrades to
+  // queued delivery. One-way by design: install the plan once, after
+  // set_program and before traffic.
+  for (std::size_t k = 0; k < kNumEventKinds; ++k) {
+    if (plan_.mode[k] == DispatchMode::kSuppressed) {
+      deliver_[k] = false;
+    }
+  }
 }
 
 void EventSwitch::settle() {
@@ -242,6 +300,9 @@ bool EventSwitch::raise_user_event(const UserEventData& data) {
   if (!config_.event_architecture) {
     ++counters_.refused_ops;
     return false;
+  }
+  if (plan_.of(EventKind::kUser) == DispatchMode::kSuppressed) {
+    return true;  // proven-default handler: accepted, nothing would run
   }
   return merger_.submit_event(Event::user(data, sched_.now()));
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/aggregated_register.hpp"
+#include "core/dispatch_plan.hpp"
 #include "core/event.hpp"
 #include "core/event_merger.hpp"
 #include "core/event_program.hpp"
@@ -142,6 +143,14 @@ class EventSwitch final : public EventContext {
   /// Register program state for idle-cycle aggregation drains (§4).
   void register_aggregated(AggregatedRegister& reg);
 
+  /// Install an optimizer-emitted dispatch plan (paper §4, Fig. 3: the
+  /// merged physical pipeline). Fused TM events run their handler inline
+  /// at the observation point; suppressed kinds skip Event construction
+  /// and delivery. The default plan (all kQueued) is the seed behavior.
+  /// Call after set_program, before traffic.
+  void set_dispatch_plan(const DispatchPlan& plan);
+  const DispatchPlan& dispatch_plan() const { return plan_; }
+
   /// Apply all pending aggregated deltas (end-of-run settling for tests).
   void settle();
 
@@ -227,6 +236,7 @@ class EventSwitch final : public EventContext {
   EventProgram* program_ = nullptr;
   std::vector<PortState> ports_;
   std::vector<AggregatedRegister*> aggregated_;
+  DispatchPlan plan_;
   std::array<bool, kNumEventKinds> deliver_{};
   SwitchCounters counters_;
   std::uint64_t next_trace_id_ = 1;

@@ -67,6 +67,13 @@ struct RegisterAccessEvent {
   /// gives the analyzer a total order over accesses so it can distinguish
   /// read-before-write from write-only traces (the dataflow IR).
   std::uint64_t seq = 0;
+  /// For integral RMW accesses the register also reports the observed
+  /// old/new cell values. The optimizer derives the aggregation merge
+  /// function from these (new - old = the coalescible delta); non-integral
+  /// or non-RMW accesses leave has_rmw_values false.
+  bool has_rmw_values = false;
+  std::int64_t rmw_old = 0;
+  std::int64_t rmw_new = 0;
 };
 
 /// Implemented by the analyzer's recorder.

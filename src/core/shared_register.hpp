@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/register_probe.hpp"
@@ -61,13 +62,16 @@ class SharedRegister {
     cells_[index % cells_.size()] = value;
   }
 
-  /// Atomic read-modify-write (one port use).
+  /// Atomic read-modify-write (one port use). The probe fires after the
+  /// update so integral registers can report the observed old/new values —
+  /// the optimizer derives aggregation merge functions from those deltas.
   template <typename Fn>
   T rmw(std::size_t index, Fn&& fn, ThreadId thread, std::uint64_t cycle) {
     account(thread, cycle);
-    probe(RegisterOp::kRmw, thread, index);
     T& cell = cells_[index % cells_.size()];
+    const T before = cell;
     cell = fn(cell);
+    probe_rmw(thread, index, before, cell);
     return cell;
   }
 
@@ -110,6 +114,22 @@ class SharedRegister {
           this, name_, RegisterRealization::kShared, op, thread, index,
           cells_.size(), ports_});
     }
+  }
+
+  void probe_rmw(ThreadId thread, std::size_t index, const T& before,
+                 const T& after) const {
+    if (active_register_probe() == nullptr) {
+      return;
+    }
+    RegisterAccessEvent access{this,   name_, RegisterRealization::kShared,
+                               RegisterOp::kRmw, thread, index,
+                               cells_.size(),    ports_};
+    if constexpr (std::is_integral_v<T>) {
+      access.has_rmw_values = true;
+      access.rmw_old = static_cast<std::int64_t>(before);
+      access.rmw_new = static_cast<std::int64_t>(after);
+    }
+    report_register_access(access);
   }
 
   std::string name_;

@@ -8,7 +8,10 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/optimizer.hpp"
 #include "apps/fast_reroute.hpp"
+#include "apps/microburst.hpp"
+#include "core/aggregated_register.hpp"
 #include "net/packet.hpp"
 #include "runtime/parallel_runtime.hpp"
 #include "topo/routing.hpp"
@@ -92,10 +95,36 @@ ScenarioOutcome replay(const ScenarioSpec& base_spec,
 
   // Device under test: a fresh instance from the registry factory, with
   // routes installed exactly as the analyzer sees them (10/8 -> port 1 for
-  // L3 apps, i.e. the sink).
-  const std::unique_ptr<core::EventProgram> dut_program = app.factory();
+  // L3 apps, i.e. the sink). Under `optimize`, the instance comes from the
+  // optimizer's rewritten factory and runs its dispatch plan.
+  std::unique_ptr<core::EventProgram> dut_program;
+  std::uint64_t transforms_applied = 0;
+  std::uint64_t staleness_bound_cycles = 0;
+  if (options.optimize) {
+    analysis::AnalyzerOptions aopt;
+    aopt.lint = app.lint;
+    aopt.model = analysis::find_hardware_model(options.optimize_target);
+    aopt.rates = app.rates;
+    const analysis::OptimizationResult opt =
+        analysis::optimize_program(app.name, app.factory, aopt);
+    dut_program = opt.optimized_factory();
+    rt.sw(map.dut).set_dispatch_plan(opt.plan);
+    transforms_applied = opt.transforms.size();
+    for (const analysis::StalenessBound& b : opt.staleness) {
+      staleness_bound_cycles =
+          std::max(staleness_bound_cycles, b.bound_cycles);
+    }
+  } else {
+    dut_program = app.factory();
+  }
   configure_dut_routes(*dut_program);
   rt.sw(map.dut).set_program(dut_program.get());
+  // Register any aggregated state for idle-cycle drains (paper §4). Drains
+  // mutate only the registers' internal split, never an event observation,
+  // so the outcome digest is unaffected.
+  dut_program->visit_aggregated([&](core::AggregatedRegister& reg) {
+    rt.sw(map.dut).register_aggregated(reg);
+  });
 
   // Edge routers: local hosts via /32 down-routes, everything else up the
   // uplink — with the structural loop-breaker (scenario.hpp).
@@ -236,6 +265,34 @@ ScenarioOutcome replay(const ScenarioSpec& base_spec,
     h = mix_host(h, rt.host(host));
   }
   out.digest = h;
+
+  out.optimized = options.optimize;
+  out.transforms_applied = transforms_applied;
+  out.staleness_bound_cycles = staleness_bound_cycles;
+  // Aggregation stats are captured *before* settling: settle() drains every
+  // pending delta at once, which would record end-of-run staleness that no
+  // hardware drain schedule ever exhibits.
+  dut_program->visit_aggregated([&](core::AggregatedRegister& reg) {
+    out.agg_staleness_max_cycles =
+        std::max(out.agg_staleness_max_cycles, reg.staleness_max());
+    out.agg_drained += reg.drained();
+    out.agg_backlog_max =
+        std::max<std::uint64_t>(out.agg_backlog_max, reg.backlog_max());
+  });
+  // Settle so the app-state digest compares ground truth (main + pending
+  // deltas applied) — order-independent sums, so naive and optimized
+  // replays must agree exactly.
+  rt.sw(map.dut).settle();
+  if (const auto* mb =
+          dynamic_cast<apps::MicroburstProgram*>(dut_program.get())) {
+    out.detections = mb->detections().size();
+    std::uint64_t ah = 1469598103934665603ULL;
+    for (std::uint32_t s = 0;
+         s < static_cast<std::uint32_t>(mb->config().num_regs); ++s) {
+      ah = fnv_mix(ah, static_cast<std::uint64_t>(mb->occupancy(s)));
+    }
+    out.app_state_digest = ah;
+  }
 
   const auto& dut_counters = rt.sw(map.dut).counters();
   out.dut_tx_packets = dut_counters.tx_packets;

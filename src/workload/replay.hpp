@@ -29,6 +29,13 @@ struct ReplayOptions {
   /// engine's default, proven result-neutral by the runtime's repeated-run
   /// property; lets callers sample progress.
   sim::Time chunk = sim::Time::millis(50);
+  /// Build the DUT through the optimizer (src/analysis/optimizer.hpp):
+  /// apply the verified transforms, install the dispatch plan, and fill the
+  /// optimizer fields of the outcome. The differential-correctness tests
+  /// replay each scenario with and without this flag.
+  bool optimize = false;
+  /// Hardware target the optimizer rewrites for.
+  std::string optimize_target = "linerate-tor";
 };
 
 struct ScenarioOutcome {
@@ -56,6 +63,24 @@ struct ScenarioOutcome {
   /// Packet-buffer pool growth per event after the warmup chunk — the
   /// replay loop's allocation gauge (0 at steady state).
   double allocations_per_event = 0;
+
+  // ---- optimizer differential observables (ReplayOptions::optimize) ------
+  bool optimized = false;            ///< DUT ran the optimized program
+  std::uint64_t transforms_applied = 0;
+  /// Predicted worst-case staleness (max over the optimizer's per-register
+  /// bounds, cycles); 0 when nothing is aggregated.
+  std::uint64_t staleness_bound_cycles = 0;
+  /// Measured aggregation stats, captured *before* settling (settle drains
+  /// everything at once and would record meaningless staleness).
+  std::uint64_t agg_staleness_max_cycles = 0;
+  std::uint64_t agg_drained = 0;
+  std::uint64_t agg_backlog_max = 0;
+  /// App-level detections (MicroburstProgram; 0 for other apps).
+  std::uint64_t detections = 0;
+  /// FNV digest over the app's settled ground-truth state (microburst
+  /// per-slot occupancy; 0 for other apps). Order-independent, so it must
+  /// match exactly between naive and optimized replays.
+  std::uint64_t app_state_digest = 0;
 };
 
 /// Replay `spec` against registered program `app`. The app factory builds a

@@ -13,14 +13,22 @@
 //                                   sim-unconstrained — nothing flagged)
 //   edp_lint --format=json|sarif    machine-readable output (SARIF 2.1.0
 //                                   feeds GitHub code scanning)
+//   edp_lint --optimize             run the IR-driven optimizer: apply the
+//                                   verified transforms (aggregation
+//                                   insertion, pipeline merging) and
+//                                   re-verify against the target
 //
-// Exit status: 0 when every linted program is clean (notes allowed),
-// 1 when any warning or error was found, 2 on usage errors.
+// Exit status — identical across every format (text, json, sarif) and
+// every target/optimize combination, enforced by
+// scripts/check_lint_exit_codes.sh: 0 when every linted program is clean
+// (notes allowed), 1 when any warning or error was found, 2 on usage
+// errors.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "analysis/optimizer.hpp"
 #include "analysis/sarif.hpp"
 #include "apps/registry.hpp"
 
@@ -28,6 +36,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool list = false;
   bool list_targets = false;
+  bool optimize = false;
   std::string format = "text";
   std::string target = "sim-unconstrained";
   std::vector<std::string> selected;
@@ -39,6 +48,8 @@ int main(int argc, char** argv) {
       list = true;
     } else if (arg == "--list-targets") {
       list_targets = true;
+    } else if (arg == "--optimize") {
+      optimize = true;
     } else if (arg == "--target") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "edp_lint: --target needs a model name\n");
@@ -56,13 +67,15 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "-h" || arg == "--help") {
       std::printf(
-          "usage: edp_lint [-v] [--list] [--list-targets]\n"
+          "usage: edp_lint [-v] [--list] [--list-targets] [--optimize]\n"
           "                [--target <model>] [--format=text|json|sarif]\n"
           "                [program...]\n"
           "Statically verifies event programs: register port budgets "
           "(paper par.4),\nhardware pipeline mapping (stage depth, port "
           "schedule, aggregation drain\nbudget), event-amplification "
-          "cycles, and resource-usage lints.\n");
+          "cycles, and resource-usage lints.\nWith --optimize, also applies "
+          "the verified transforms (aggregation\ninsertion, pipeline "
+          "merging) and re-verifies the rewritten program.\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "edp_lint: unknown option '%s'\n", arg.c_str());
@@ -122,8 +135,18 @@ int main(int argc, char** argv) {
     options.lint = entry.lint;
     options.model = model;
     options.rates = entry.rates;
-    edp::analysis::Report report =
-        edp::analysis::analyze_program(entry.name, entry.factory, options);
+    edp::analysis::Report report;
+    std::string text;
+    if (optimize) {
+      const edp::analysis::OptimizationResult result =
+          edp::analysis::optimize_program(entry.name, entry.factory, options);
+      report = result.combined();
+      text = result.format(verbose);
+    } else {
+      report =
+          edp::analysis::analyze_program(entry.name, entry.factory, options);
+      text = report.format(verbose);
+    }
     ++linted;
     if (!report.clean()) {
       ++dirty;
@@ -131,7 +154,7 @@ int main(int argc, char** argv) {
     if (format == "text") {
       // Print clean programs only in verbose mode; findings always print.
       if (verbose || !report.findings.empty()) {
-        std::fputs(report.format(verbose).c_str(), stdout);
+        std::fputs(text.c_str(), stdout);
       }
     } else {
       reports.push_back(std::move(report));
@@ -141,9 +164,10 @@ int main(int argc, char** argv) {
 
   if (format == "text") {
     std::printf(
-        "edp_lint: %d program(s) linted against %s, %d with warnings or "
+        "edp_lint: %d program(s) %s against %s, %d with warnings or "
         "errors\n",
-        linted, target.c_str(), dirty);
+        linted, optimize ? "optimized and re-verified" : "linted",
+        target.c_str(), dirty);
   } else {
     std::vector<edp::analysis::ReportSource> rs;
     rs.reserve(reports.size());

@@ -19,6 +19,9 @@
 //   --incast N   --incast-flow-bytes N  --bursts N
 //   --flap sink|aux|source:IDX:DOWN_US:UP_US   (repeatable)
 //   --shards N   --no-rates (ignore the app's registry EventRates)
+//   --optimize [--optimize-target MODEL]   build the DUT through the
+//       IR optimizer (docs/ANALYSIS.md): verified transforms + dispatch
+//       plan, with aggregation staleness observables in the output
 //
 // Exit status: 0 success / all gates pass, 1 gate failure or fuzzer
 // finding, 2 usage errors.
@@ -29,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/hardware_model.hpp"
 #include "apps/registry.hpp"
 #include "workload/fuzzer.hpp"
 #include "workload/replay.hpp"
@@ -203,6 +207,16 @@ int parse_flag(Cli& cli, int argc, char** argv, int i) {
     cli.options.use_registry_rates = false;
     return 1;
   }
+  if (arg == "--optimize") {
+    cli.options.optimize = true;
+    return 1;
+  }
+  if (arg == "--optimize-target") {
+    const char* v = need("a hardware model name");
+    if (!v) return -1;
+    cli.options.optimize_target = v;
+    return 2;
+  }
   return 0;
 }
 
@@ -229,6 +243,17 @@ void print_outcome(const ScenarioOutcome& o) {
           ? static_cast<double>(o.flows_started) / o.wall_seconds
           : 0.0,
       o.allocations_per_event);
+  if (o.optimized) {
+    std::printf(
+        "  %-18s optimized: transforms=%llu staleness=%llu/%llu cycles "
+        "(max/bound) drained=%llu backlog_max=%llu\n",
+        "",
+        static_cast<unsigned long long>(o.transforms_applied),
+        static_cast<unsigned long long>(o.agg_staleness_max_cycles),
+        static_cast<unsigned long long>(o.staleness_bound_cycles),
+        static_cast<unsigned long long>(o.agg_drained),
+        static_cast<unsigned long long>(o.agg_backlog_max));
+  }
 }
 
 int cmd_list() {
@@ -392,6 +417,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     i += consumed;
+  }
+  if (cli.options.optimize &&
+      edp::analysis::find_hardware_model(cli.options.optimize_target) ==
+          nullptr) {
+    std::fprintf(stderr, "edp_scen: unknown --optimize-target '%s'\n",
+                 cli.options.optimize_target.c_str());
+    return 2;
   }
   if (command == "list") return cmd_list();
   if (command == "run") return cmd_run(cli);
