@@ -46,12 +46,25 @@ expect 1 "$lint" --target linerate-tor --format=json
 expect 1 "$lint" --target linerate-tor --format=sarif
 expect 1 "$lint" microburst-shared --target linerate-tor
 
+# -- --fail-on: the threshold moves the 0/1 boundary, never the contract ------
+# Unconstrained, several programs carry needs-aggregation notes: counting
+# notes flips the clean run to 1, while raising the bar to errors keeps the
+# constrained naive run (warnings only after optimization candidates are
+# real errors) at its severity-faithful code.
+expect 1 "$lint" --fail-on=note
+expect 0 "$lint" --fail-on=error
+expect 1 "$lint" --target linerate-tor --fail-on=error
+expect 0 "$lint" --optimize --target linerate-tor --fail-on=warning
+expect 1 "$lint" --optimize --target linerate-tor --fail-on=note
+expect 1 "$lint" microburst-shared --target linerate-tor --fail-on=note
+
 # -- 2: usage errors -----------------------------------------------------------
 expect 2 "$lint" --no-such-flag
 expect 2 "$lint" no-such-program
 expect 2 "$lint" --target no-such-target
 expect 2 "$lint" --format=xml
 expect 2 "$lint" --target
+expect 2 "$lint" --fail-on=bogus
 
 if [ "$fail" -eq 0 ]; then
   echo "check_lint_exit_codes: OK"

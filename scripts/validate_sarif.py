@@ -7,8 +7,10 @@ required top-level fields, the tool.driver rule catalogue, and the shape
 of every result (ruleId resolution, level vocabulary, locations).
 
 Usage:
-    validate_sarif.py [--require-rules=a,b,c] <file.sarif>
-    validate_sarif.py [--require-rules=a,b,c] --run <edp_lint> [args...]
+    validate_sarif.py [--require-rules=a,b,c] [--codes-from=findings.hpp] \
+        <file.sarif>
+    validate_sarif.py [--require-rules=a,b,c] [--codes-from=findings.hpp] \
+        --run <edp_lint> [args...]
 
 With --run the linter is executed and its stdout validated; a linter exit
 status of 1 (findings present) is fine — only 2+ (usage error) or a crash
@@ -18,7 +20,14 @@ fails the validation.
 tool.driver.rules catalogue (presence in the catalogue, not in results —
 a fully feasible optimizer run legitimately emits no
 unresolvable-constraint results).
+
+--codes-from parses the kFindingCodes array out of the given findings.hpp
+(the passes' single source of truth) and fails if the SARIF rule catalogue
+is not exactly that list, in that order — so sarif.cpp's catalogue cannot
+silently drift from the finding codes the passes emit.
 """
+
+import re
 
 import json
 import subprocess
@@ -37,7 +46,20 @@ def require(cond, msg):
         fail(msg)
 
 
-def validate(doc, required_rules=()):
+def parse_finding_codes(path):
+    """Extract the kFindingCodes array from findings.hpp."""
+    with open(path, encoding="utf-8") as f:
+        src = f.read()
+    m = re.search(r"kFindingCodes\[\]\s*=\s*\{(.*?)\};", src, re.DOTALL)
+    if not m:
+        fail(f"no kFindingCodes[] array found in {path}")
+    codes = re.findall(r'"([a-z0-9-]+)"', m.group(1))
+    if not codes:
+        fail(f"kFindingCodes[] in {path} parsed to an empty list")
+    return codes
+
+
+def validate(doc, required_rules=(), expected_codes=None):
     require(isinstance(doc, dict), "top level must be a JSON object")
     require(doc.get("version") == "2.1.0",
             f"version must be '2.1.0', got {doc.get('version')!r}")
@@ -66,6 +88,10 @@ def validate(doc, required_rules=()):
             require(rid in rule_ids,
                     f"runs[{i}] rule catalogue is missing required rule "
                     f"{rid!r}")
+        if expected_codes is not None:
+            require(rule_ids == expected_codes,
+                    f"runs[{i}] rule catalogue drifted from kFindingCodes: "
+                    f"sarif={rule_ids} expected={expected_codes}")
 
         results = run.get("results", [])
         require(isinstance(results, list),
@@ -103,10 +129,14 @@ def validate(doc, required_rules=()):
 
 def main(argv):
     required_rules = []
+    expected_codes = None
     for arg in list(argv[1:]):
         if arg.startswith("--require-rules="):
             required_rules.extend(
                 r for r in arg.split("=", 1)[1].split(",") if r)
+            argv.remove(arg)
+        elif arg.startswith("--codes-from="):
+            expected_codes = parse_finding_codes(arg.split("=", 1)[1])
             argv.remove(arg)
     if len(argv) >= 3 and argv[1] == "--run":
         proc = subprocess.run(argv[2:], capture_output=True, text=True)
@@ -125,7 +155,7 @@ def main(argv):
         doc = json.loads(raw)
     except json.JSONDecodeError as e:
         fail(f"output is not valid JSON: {e}")
-    validate(doc, required_rules)
+    validate(doc, required_rules, expected_codes)
     print("validate_sarif: OK")
     return 0
 

@@ -68,6 +68,10 @@ Report analyze_traces(const std::string& name, const ProgramTraces& traces,
   report.mapping = pipeline_mapping_pass(report.ir, report.graph,
                                          traces.event_ctx, model,
                                          options.rates, report.findings);
+  report.values = value_analysis_pass(report.ir, report.graph,
+                                      traces.event_ctx, model, options.rates,
+                                      options.widths, report.mapping,
+                                      options.value, report.findings);
   amplification_pass(report.graph, traces.chains, report.findings);
   resource_lint_pass(traces.event_ctx, traces.event_log, traces.baseline_ctx,
                      report.matrix, options.lint, report.findings);

@@ -31,6 +31,12 @@ struct AnalyzerOptions {
   /// unset is derived from the model and the recorded timer/generator
   /// periods.
   EventRates rates;
+  /// Per-register bit-width annotations for the value analysis's overflow
+  /// check (registry annotations; unannotated registers assume the
+  /// simulator's 64-bit cells).
+  RegisterWidths widths;
+  /// Value-analysis horizon / width / buffer knobs.
+  ValueAnalysisOptions value;
   /// Bounded multi-stimulus exploration (DriveOptions::ingress_repeats).
   std::size_t stimulus_repeats = 3;
 };

@@ -38,11 +38,44 @@ enum class Pass : std::uint8_t {
   kPipelineMapping,
   kAmplification,
   kResourceLint,
-  kOptimizer,  ///< transform diagnostics from src/analysis/optimizer.hpp
+  kOptimizer,       ///< transform diagnostics from src/analysis/optimizer.hpp
+  kValueAnalysis,   ///< abstract-interpretation value domain (value_analysis.hpp)
 };
 
 std::string_view to_string(Severity severity);
 std::string_view to_string(Pass pass);
+
+/// The complete finding-code vocabulary, in SARIF rule-catalogue order.
+/// This is the single source of truth shared by sarif.cpp's rule catalogue
+/// and scripts/validate_sarif.py --codes-from (which parses this array), so
+/// the machine-readable catalogue cannot drift from the passes. Extend it
+/// whenever a pass grows a new code; a ctest asserts finding_rules() matches.
+inline constexpr std::string_view kFindingCodes[] = {
+    "port-overcommit",
+    "needs-aggregation",
+    "thread-attribution",
+    "agg-main-misuse",
+    "agg-array-misuse",
+    "stage-overflow",
+    "port-schedule-conflict",
+    "aggregation-starvation",
+    "unguarded-cycle",
+    "guarded-cycle",
+    "runaway-chain",
+    "unchecked-facility",
+    "zero-id",
+    "dead-meta-write",
+    "unused-meta",
+    "multiport-unrealizable",
+    "transform-applied",
+    "staleness-bound",
+    "unresolvable-constraint",
+    "register-overflow",
+    "merge-noncommutative",
+    "staleness-value-error",
+    "queue-occupancy-unbounded",
+    "missing-rates",
+};
 
 struct Finding {
   Severity severity = Severity::kNote;

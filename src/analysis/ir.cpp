@@ -51,6 +51,7 @@ void TraceProbe::on_register_access(const core::RegisterAccessEvent& e) {
   raw.access.has_rmw_values = e.has_rmw_values;
   raw.access.rmw_old = e.rmw_old;
   raw.access.rmw_new = e.rmw_new;
+  raw.access.rmw_linear = e.rmw_linear;
   raw.handler = ctx_->current_handler();
   raw.drive = ctx_->drive_index();
   raw_.push_back(raw);

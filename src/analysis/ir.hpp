@@ -66,6 +66,9 @@ struct IrAccess {
   bool has_rmw_values = false;
   std::int64_t rmw_old = 0;
   std::int64_t rmw_new = 0;
+  /// The update function tested translation-equivariant at probe time
+  /// (register_probe.hpp): the delta is independent of the starting value.
+  bool rmw_linear = true;
 };
 
 /// One handler activation (one begin_drive window) and its ordered trace.

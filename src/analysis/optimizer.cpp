@@ -123,6 +123,13 @@ std::string aggregation_blocker(const DataflowIr& ir, std::size_t reg) {
     return "RMW deltas are not integral — no merge function can be derived "
            "from the observed old/new values";
   }
+  // The value analysis's soundness precondition: deferring deltas through
+  // side arrays reorders them, so a witness that the update discards prior
+  // state makes the derived sum-merge a determinism hazard, not a rewrite.
+  const std::string witness = merge_commutativity_blocker(ir, reg);
+  if (!witness.empty()) {
+    return "derived merge function is not commutative: " + witness;
+  }
   return "";
 }
 
@@ -380,6 +387,10 @@ OptimizationResult optimize_program(const std::string& name,
     b.demand_per_sec = d.demand;
     b.idle_rate_per_sec = result.optimized.mapping.idle_rate;
     b.stable = !d.starved && b.idle_rate_per_sec > 0.0;
+    if (const RegisterValueInfo* vi =
+            result.optimized.values.find(d.name)) {
+      b.max_abs_delta = vi->max_abs_delta;
+    }
     std::ostringstream msg;
     if (b.stable) {
       const std::size_t size = traces.ir.registers[d.reg].size;
@@ -387,11 +398,14 @@ OptimizationResult optimize_program(const std::string& name,
           2.0 * static_cast<double>(size) / b.idle_rate_per_sec;
       b.bound_cycles = static_cast<std::uint64_t>(
           std::ceil(b.bound_seconds * model.clock_hz));
+      b.value_error_bound = static_cast<double>(b.max_abs_delta) *
+                            b.demand_per_sec * b.bound_seconds;
       msg << "aggregated updates at " << rate_str(b.demand_per_sec)
           << " drain into " << rate_str(b.idle_rate_per_sec)
           << " idle cycles; worst-case staleness is one sweep of 2x" << size
           << " side entries = " << micros_str(b.bound_seconds) << " ("
-          << b.bound_cycles << " cycles)";
+          << b.bound_cycles << " cycles), value error <= "
+          << b.value_error_bound;
     } else {
       msg << "aggregated updates at " << rate_str(b.demand_per_sec)
           << " exceed the " << rate_str(b.idle_rate_per_sec)

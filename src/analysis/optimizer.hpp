@@ -56,6 +56,11 @@ struct StalenessBound {
   std::uint64_t bound_cycles = 0;
   /// Drain bandwidth exceeds demand — staleness is bounded at all.
   bool stable = false;
+  /// The staleness bound in *value* units (value-analysis pass): the main
+  /// array deviates from the true sum by at most max |observed delta| x the
+  /// updates that arrive within one staleness window. 0 when unstable.
+  std::int64_t max_abs_delta = 0;
+  double value_error_bound = 0.0;
 };
 
 /// Everything `optimize_program` produced: the naive and re-verified

@@ -249,14 +249,11 @@ std::string rate_str(double rate) {
   return os.str();
 }
 
-/// Worst-case events/s per handler: a declared rate wins; otherwise packet
-/// handlers follow the model's line rate, timers and generators the periods
-/// the program itself recorded, and downstream handlers the rates that
-/// feed them through the event graph.
-std::array<double, kNumHandlers> derive_rates(const EventGraph& graph,
-                                              const RecordingContext& ctx,
-                                              const HardwareModel& model,
-                                              const EventRates& rates) {
+}  // namespace
+
+std::array<double, kNumHandlers> derive_event_rates(
+    const EventGraph& graph, const RecordingContext& ctx,
+    const HardwareModel& model, const EventRates& rates) {
   std::array<double, kNumHandlers> rate{};
   const auto idx = [](Handler h) { return static_cast<std::size_t>(h); };
   const auto resolve = [&](Handler h, double derived) {
@@ -329,8 +326,6 @@ std::array<double, kNumHandlers> derive_rates(const EventGraph& graph,
   resolve(Handler::kUser, user);
   return rate;
 }
-
-}  // namespace
 
 PipelineMapping pipeline_mapping_pass(const DataflowIr& ir,
                                       const EventGraph& graph,
@@ -449,7 +444,7 @@ PipelineMapping pipeline_mapping_pass(const DataflowIr& ir,
 
   // ---- rates and the cycle budget ----
   const std::array<double, kNumHandlers> rate =
-      derive_rates(graph, ctx, model, rates);
+      derive_event_rates(graph, ctx, model, rates);
   m.slot_rate = std::min(rate[idx(Handler::kIngress)] +
                              rate[idx(Handler::kRecirculate)] +
                              rate[idx(Handler::kGenerated)],

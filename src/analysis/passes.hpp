@@ -35,6 +35,15 @@ struct LintOverrides {
 /// facility calls recorded alongside it.
 EventGraph build_graph(const RecordingContext& ctx, const DriveLog& log);
 
+/// Worst-case events/s per handler: a declared rate wins; otherwise packet
+/// handlers follow the model's line rate, timers and generators the periods
+/// the program itself recorded, and downstream handlers the rates that feed
+/// them through the event graph. Shared by the pipeline-mapping and value
+/// passes so both budget against the same arrival model.
+std::array<double, kNumHandlers> derive_event_rates(
+    const EventGraph& graph, const RecordingContext& ctx,
+    const HardwareModel& model, const EventRates& rates);
+
 void port_budget_pass(const AccessMatrix& matrix,
                       std::vector<Finding>& findings);
 

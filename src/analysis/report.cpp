@@ -30,6 +30,8 @@ std::string_view to_string(Pass pass) {
       return "resource-lint";
     case Pass::kOptimizer:
       return "optimizer";
+    case Pass::kValueAnalysis:
+      return "value-analysis";
   }
   return "?";
 }
@@ -284,6 +286,7 @@ std::string Report::format(bool verbose) const {
     os << "event graph:\n" << graph.format();
     os << "dataflow IR:\n" << ir.format();
     os << "pipeline mapping:\n" << mapping.format(ir.registers);
+    os << "value analysis:\n" << values.format();
   }
   if (findings.empty()) {
     os << "  no findings\n";

@@ -12,6 +12,7 @@
 #include "analysis/findings.hpp"
 #include "analysis/hardware_model.hpp"
 #include "analysis/ir.hpp"
+#include "analysis/value_analysis.hpp"
 
 namespace edp::analysis {
 
@@ -21,6 +22,7 @@ struct Report {
   EventGraph graph;
   DataflowIr ir;
   PipelineMapping mapping;
+  ValueAnalysis values;
   std::vector<Finding> findings;
 
   bool has(Severity at_least) const;

@@ -115,6 +115,26 @@ const std::vector<RuleInfo>& finding_rules() {
       {"unresolvable-constraint",
        "the optimizer's transforms cannot resolve this constraint; the "
        "program does not map onto the target even optimized"},
+      {"register-overflow",
+       "the interval domain's worst-case growth under the declared event "
+       "rates escapes the register's annotated bit width within the "
+       "analysis horizon — the counter wraps"},
+      {"merge-noncommutative",
+       "observed event-thread updates discard prior state (same new value "
+       "from different old values), so the derived aggregation merge "
+       "function is order-sensitive; the optimizer refuses the rewrite"},
+      {"staleness-value-error",
+       "the cycle staleness bound translated into worst-case value "
+       "deviation: max |delta| x events arriving per staleness window for "
+       "an aggregated register"},
+      {"queue-occupancy-unbounded",
+       "occupancy-tracking register whose admission-side increments are "
+       "never closed by a matching decrement — its interval grows past any "
+       "finite traffic-manager buffer"},
+      {"missing-rates",
+       "handler writes register state but declares no EventRates entry and "
+       "the pass derives a zero rate — the value and drain budgets are "
+       "vacuous for it"},
   };
   return rules;
 }

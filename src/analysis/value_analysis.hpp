@@ -1,0 +1,174 @@
+// edp::analysis — abstract-interpretation value analysis over the
+// sequenced dataflow IR (edp-verify v3).
+//
+// The PR 4 IR records *how* handlers touch registers (ordered traces with
+// observed RMW old/new values); the PR 9 optimizer bounds the *staleness*
+// of aggregated state in cycles. This pass closes the remaining gap: what
+// can the *values* do? It runs an interval + congruence domain per
+// (register, cell-class), seeded at the registers' zero-initialized state,
+// folds in the per-handler observed deltas ([min, max] over activations),
+// propagates unobservable values (plain writes, non-integral RMWs) through
+// the dependency chains to a fixpoint, and scales the per-handler growth by
+// the same worst-case event rates the pipeline-mapping pass budgets with.
+//
+// Four finding families come out of the domain:
+//
+//   * register-overflow      — the inferred interval escapes the register's
+//                              annotated bit width on the target within the
+//                              configured horizon (counter wrap).
+//   * merge-noncommutative   — an event-thread RMW failed the runtime
+//                              translation-equivariance probe (f(v+1)-(v+1)
+//                              != f(v)-v), so it is not a pure delta and the
+//                              optimizer's sum-of-deltas merge function is
+//                              unsound; optimize_program treats this as a
+//                              hard aggregation blocker.
+//   * staleness-value-error  — the PR 9 cycle staleness bound translated
+//                              into a worst-case *value deviation*:
+//                              max |delta| x events arriving per staleness
+//                              window (the paper's bandwidth-vs-accuracy
+//                              trade-off as a number).
+//   * queue-occupancy-unbounded — an occupancy-tracking register whose
+//                              admission-side increments are never closed by
+//                              a service-side decrement, so its interval
+//                              grows past any finite TM buffer.
+//
+// Like every trace-grounded pass here, the deltas are *observed*, not
+// proven: the domain is sound relative to the recorded stimulus drives, and
+// anything the probe could not see (plain writes, value-dependent updates
+// reached through a dependency edge) widens to top instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/hardware_model.hpp"
+#include "analysis/ir.hpp"
+#include "tm/buffer_pool.hpp"
+
+namespace edp::analysis {
+
+class RecordingContext;
+
+/// Per-register hardware bit-width annotations, declared in the program
+/// registry next to the EventRates. Cells are signed (the simulator's
+/// int64_t registers); an unannotated register falls back to
+/// ValueAnalysisOptions::default_width_bits.
+struct RegisterWidths {
+  void set(std::string name, unsigned bits) {
+    for (auto& w : widths_) {
+      if (w.first == name) {
+        w.second = bits;
+        return;
+      }
+    }
+    widths_.emplace_back(std::move(name), bits);
+  }
+  unsigned get(const std::string& name, unsigned fallback) const {
+    for (const auto& w : widths_) {
+      if (w.first == name) {
+        return w.second;
+      }
+    }
+    return fallback;
+  }
+  bool empty() const { return widths_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, unsigned>> widths_;
+};
+
+struct ValueAnalysisOptions {
+  /// Horizon the growth rates are integrated over before the width check —
+  /// "does this counter survive one second of worst-case traffic?".
+  double horizon_seconds = 1.0;
+  /// Width assumed for unannotated registers (the simulator's int64 cells).
+  unsigned default_width_bits = 64;
+  /// TM packet-buffer capacity the occupancy check closes against; defaults
+  /// to the traffic manager's own default configuration.
+  double buffer_bytes = static_cast<double>(tm_::BufferPool::Config{}.total_bytes);
+};
+
+/// One register's abstract value after the horizon. `top` means the domain
+/// could not bound the cells at all (unobserved plain writes, non-integral
+/// RMWs, or a tainted dependency chain).
+struct ValueInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool top = false;
+};
+
+struct RegisterValueInfo {
+  std::size_t reg = 0;
+  std::string name;
+  unsigned width_bits = 64;
+
+  /// Cells start at 0; `top` when any write was unobservable or a
+  /// dependency chain from a top register reaches this register.
+  bool opaque = false;
+  bool has_event_deltas = false;  ///< any observed RMW delta outside attach
+
+  /// Observed per-activation delta bounds over all handlers.
+  std::int64_t delta_min = 0;
+  std::int64_t delta_max = 0;
+  /// Largest single-access |delta| — the unit of staleness value error.
+  std::int64_t max_abs_delta = 0;
+
+  /// Interval growth in value-units/s: positive deltas x their handler's
+  /// worst-case rate (up), negative deltas likewise (down, <= 0).
+  double growth_up = 0.0;
+  double growth_down = 0.0;
+
+  /// Congruence: every reachable cell value satisfies v == 0 (mod g).
+  /// g == 0 means no delta was ever observed (constant zero); g == 1 is
+  /// the trivial top congruence.
+  std::uint64_t congruence = 0;
+
+  ValueInterval after_horizon;
+};
+
+/// The staleness-value-error contract of one aggregated register: the
+/// worst-case deviation between the main array and the true value while
+/// deltas wait in the side arrays.
+struct ValueErrorBound {
+  std::size_t reg = 0;
+  std::string name;
+  double staleness_seconds = 0.0;   ///< PR 9 bound: 2 x size / idle rate
+  double events_per_window = 0.0;   ///< worst-case updates per window
+  std::int64_t max_abs_delta = 0;
+  double bound = 0.0;               ///< max |delta| x events per window
+  bool stable = false;              ///< drain keeps up; the error is bounded
+};
+
+struct ValueAnalysis {
+  std::vector<RegisterValueInfo> registers;
+  std::vector<ValueErrorBound> value_errors;
+
+  const RegisterValueInfo* find(const std::string& name) const;
+  std::string format() const;
+};
+
+/// Why the optimizer's sum-of-deltas merge function is unsound for this
+/// register; empty when every observed event-thread update commutes. The
+/// witness is concrete: an RMW whose update function failed the probe's
+/// translation-equivariance check (shared_register.hpp re-evaluates the
+/// functor at v+1 and v-1) — the new value is not old + constant-delta
+/// (overwrite/max/clamp-like), so deferring and reordering it through side
+/// arrays or shards changes the result.
+std::string merge_commutativity_blocker(const DataflowIr& ir, std::size_t reg);
+
+/// Run the value analysis and append its findings. `mapping` supplies the
+/// drain accounting the staleness-value-error bounds build on; `rates` and
+/// `ctx` feed the same worst-case rate derivation the mapping pass used.
+/// Unconstrained models report the domain but only emit the registry-facing
+/// notes (missing-rates, merge-noncommutative as a note).
+ValueAnalysis value_analysis_pass(const DataflowIr& ir, const EventGraph& graph,
+                                  const RecordingContext& ctx,
+                                  const HardwareModel& model,
+                                  const EventRates& rates,
+                                  const RegisterWidths& widths,
+                                  const PipelineMapping& mapping,
+                                  const ValueAnalysisOptions& options,
+                                  std::vector<Finding>& findings);
+
+}  // namespace edp::analysis

@@ -65,12 +65,12 @@ std::vector<RegisteredProgram> build_registry() {
     c.successor_ports = {2, 3};
     r.push_back({"chain-replication",
                  [c]() { return std::make_unique<ChainNodeProgram>(c); },
-                 none, dc_mix, "src/apps/chain_replication.cpp"});
+                 none, dc_mix, "src/apps/chain_replication.cpp", {}});
   }
   r.push_back({"cms-monitor", l3_factory<CmsMonitorProgram>(CmsMonitorConfig{}),
-               none, dc_mix, "src/apps/cms_monitor.cpp"});
+               none, dc_mix, "src/apps/cms_monitor.cpp", {}});
   r.push_back({"ecn-marking", l3_factory<MultiBitEcnProgram>(EcnMarkConfig{}),
-               member_state_buffers, dc_mix, "src/apps/ecn_marking.cpp"});
+               member_state_buffers, dc_mix, "src/apps/ecn_marking.cpp", {}});
   {
     FairAqmConfig c;
     c.send_reports = true;
@@ -78,18 +78,18 @@ std::vector<RegisteredProgram> build_registry() {
     c.monitor_ip = net::Ipv4Address(10, 9, 9, 9);
     c.self_ip = net::Ipv4Address(10, 0, 0, 254);
     r.push_back({"fair-aqm", l3_factory<FairAqmProgram>(c),
-                 member_state_buffers, dc_mix, "src/apps/aqm.cpp"});
+                 member_state_buffers, dc_mix, "src/apps/aqm.cpp", {}});
   }
   r.push_back({"fast-reroute",
                []() { return std::make_unique<FrrProgram>(4); }, none, dc_mix,
-               "src/apps/fast_reroute.cpp"});
+               "src/apps/fast_reroute.cpp", {}});
   {
     HulaSpineConfig c;
     c.num_tors = 2;
     c.tor_port = {1, 2};
     r.push_back({"hula-spine",
                  [c]() { return std::make_unique<HulaSpineProgram>(c); },
-                 none, dc_mix, "src/apps/hula.cpp"});
+                 none, dc_mix, "src/apps/hula.cpp", {}});
   }
   {
     HulaTorConfig c;
@@ -98,12 +98,12 @@ std::vector<RegisteredProgram> build_registry() {
     c.uplink_ports = {1, 2};
     r.push_back({"hula-tor",
                  [c]() { return std::make_unique<HulaTorProgram>(c); },
-                 member_state_buffers, dc_mix, "src/apps/hula.cpp"});
+                 member_state_buffers, dc_mix, "src/apps/hula.cpp", {}});
   }
   r.push_back({"int-aggregator",
                l3_factory<IntAggregatorProgram>(IntAggregatorConfig{}),
                member_state_buffers, control_paced,
-               "src/apps/int_aggregator.cpp"});
+               "src/apps/int_aggregator.cpp", {}});
   {
     LivenessConfig c;
     c.self_id = 1;
@@ -111,20 +111,27 @@ std::vector<RegisteredProgram> build_registry() {
     c.monitor_port = 3;
     r.push_back({"liveness",
                  [c]() { return std::make_unique<LivenessProgram>(c); },
-                 none, control_paced, "src/apps/liveness.cpp"});
+                 none, control_paced, "src/apps/liveness.cpp", {}});
   }
   {
     MicroburstConfig c;
     c.state = StateModel::kAggregated;
+    // bufSize_reg tracks per-flow queued bytes; real switch byte counters
+    // are 48-bit. At dc_mix rates (~1.4e8 pkt/s x 700B) the interval grows
+    // ~1e11/s — comfortably inside 2^47 over the 1s analysis horizon, and
+    // the annotation makes the overflow check meaningful rather than
+    // vacuous at the 64-bit default.
+    analysis::RegisterWidths burst_widths;
+    burst_widths.set("bufSize_reg", 48);
     r.push_back({"microburst-aggregated", l3_factory<MicroburstProgram>(c),
-                 none, dc_mix, "src/apps/microburst.cpp"});
+                 none, dc_mix, "src/apps/microburst.cpp", burst_widths});
     // microburst-shared is the optimizer's acceptance target: its 3-port
     // SharedRegister cannot map onto linerate-tor naively, but
     // `edp_lint --optimize` rewrites it into the aggregated realization
     // (MicroburstProgram::realize_aggregated) and proves the result.
     c.state = StateModel::kShared;
     r.push_back({"microburst-shared", l3_factory<MicroburstProgram>(c),
-                 none, dc_mix, "src/apps/microburst.cpp"});
+                 none, dc_mix, "src/apps/microburst.cpp", burst_widths});
   }
   r.push_back({"meter-policer",
                []() -> std::unique_ptr<core::EventProgram> {
@@ -133,9 +140,9 @@ std::vector<RegisteredProgram> build_registry() {
                  p->add_route(net::Ipv4Address(10, 0, 0, 0), 8, 1);
                  return p;
                },
-               none, dc_mix, "src/apps/policer.cpp"});
+               none, dc_mix, "src/apps/policer.cpp", {}});
   r.push_back({"ndp-trim", l3_factory<NdpTrimProgram>(NdpTrimConfig{}),
-               member_state_buffers, mtu_data, "src/apps/ndp_trim.cpp"});
+               member_state_buffers, mtu_data, "src/apps/ndp_trim.cpp", {}});
   {
     NetCacheConfig c;
     c.client_port = 0;
@@ -143,25 +150,25 @@ std::vector<RegisteredProgram> build_registry() {
     c.server_ip = net::Ipv4Address(10, 0, 1, 2);
     r.push_back({"netcache",
                  [c]() { return std::make_unique<NetCacheProgram>(c); },
-                 none, kv_mix, "src/apps/netcache.cpp"});
+                 none, kv_mix, "src/apps/netcache.cpp", {}});
   }
   r.push_back({"pie-aqm", l3_factory<PieAqmProgram>(PieConfig{}), none, dc_mix,
-               "src/apps/aqm.cpp"});
+               "src/apps/aqm.cpp", {}});
   r.push_back({"rate-measurement",
                l3_factory<RateMeasureProgram>(RateMeasureConfig{}), none,
-               dc_mix, "src/apps/rate_measurement.cpp"});
+               dc_mix, "src/apps/rate_measurement.cpp", {}});
   r.push_back({"snappy-baseline", l3_factory<SnappyProgram>(SnappyConfig{}),
-               none, dc_mix, "src/apps/snappy_baseline.cpp"});
+               none, dc_mix, "src/apps/snappy_baseline.cpp", {}});
   r.push_back({"swing-state",
                []() {
                  return std::make_unique<SwingStateProgram>(SwingStateConfig{});
                },
-               none, dc_mix, "src/apps/swing_state.cpp"});
+               none, dc_mix, "src/apps/swing_state.cpp", {}});
   r.push_back({"timer-token-bucket",
                l3_factory<TimerTokenBucketProgram>(TokenBucketConfig{}),
-               none, dc_mix, "src/apps/policer.cpp"});
+               none, dc_mix, "src/apps/policer.cpp", {}});
   r.push_back({"wfq", l3_factory<WfqProgram>(WfqConfig{}),
-               member_state_buffers, dc_mix, "src/apps/wfq.cpp"});
+               member_state_buffers, dc_mix, "src/apps/wfq.cpp", {}});
   return r;
 }
 

@@ -24,6 +24,14 @@ struct RegisteredProgram {
   /// Repo-relative path of the program's implementation, for SARIF
   /// code-scanning annotations.
   std::string source;
+  /// Register bit-width annotations for the value analysis's overflow
+  /// check; unannotated registers assume the simulator's 64-bit cells.
+  /// Audit note: only the microburst variants expose probed register
+  /// externs today — the other programs keep member state or counters the
+  /// probe does not see, so there is nothing to annotate (the value pass
+  /// emits `missing-rates` the moment a writer handler appears without a
+  /// declared rate, so a silent gap cannot reopen).
+  analysis::RegisterWidths widths;
 };
 
 /// Every shipped program, in stable (alphabetical) order.

@@ -1,6 +1,7 @@
 #include "core/aggregated_register.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace edp::core {
@@ -37,6 +38,24 @@ void AggregatedRegister::probe(RegisterRealization realization, RegisterOp op,
   }
 }
 
+void AggregatedRegister::probe_rmw(RegisterRealization realization,
+                                   std::size_t idx, std::int64_t old_v,
+                                   std::int64_t new_v) const {
+  if (active_register_probe() == nullptr) {
+    return;
+  }
+  RegisterAccessEvent access{this, name_, realization, RegisterOp::kRmw,
+                             ThreadId::kOther, idx, main_.size(),
+                             /*ports=*/1};
+  // Aggregation updates are sums by construction — the side array coalesces
+  // `delta[i] += d` — so the update is a pure delta (rmw_linear stays true)
+  // and the value analysis can derive |delta| bounds from old/new.
+  access.has_rmw_values = true;
+  access.rmw_old = old_v;
+  access.rmw_new = new_v;
+  report_register_access(access);
+}
+
 std::int64_t AggregatedRegister::packet_read(std::size_t idx,
                                              std::uint64_t cycle) {
   main_.ports().try_acquire(cycle);
@@ -48,18 +67,22 @@ std::int64_t AggregatedRegister::packet_add(std::size_t idx,
                                             std::int64_t delta,
                                             std::uint64_t cycle) {
   main_.ports().try_acquire(cycle);
-  probe(RegisterRealization::kAggregatedMain, RegisterOp::kRmw, idx);
-  return main_.rmw(idx, [delta](std::int64_t v) { return v + delta; });
+  const std::int64_t old_v = main_.read(idx);
+  const std::int64_t new_v =
+      main_.rmw(idx, [delta](std::int64_t v) { return v + delta; });
+  probe_rmw(RegisterRealization::kAggregatedMain, idx, old_v, new_v);
+  return new_v;
 }
 
 void AggregatedRegister::agg_add(AggArray& arr, std::size_t idx,
                                  std::int64_t delta, std::uint64_t cycle) {
-  probe(&arr == &enq_ ? RegisterRealization::kAggregatedEnq
-                      : RegisterRealization::kAggregatedDeq,
-        RegisterOp::kRmw, idx);
   const std::size_t i = idx % arr.delta.size();
   arr.ports.try_acquire(cycle);
+  const std::int64_t old_v = arr.delta[i];
   arr.delta[i] += delta;
+  probe_rmw(&arr == &enq_ ? RegisterRealization::kAggregatedEnq
+                          : RegisterRealization::kAggregatedDeq,
+            idx, old_v, arr.delta[i]);
   if (!arr.in_fifo[i]) {
     arr.in_fifo[i] = 1;
     arr.dirty_since[i] = cycle;
@@ -68,6 +91,9 @@ void AggregatedRegister::agg_add(AggArray& arr, std::size_t idx,
   }
   // If the coalesced delta returns to zero the entry stays queued; hardware
   // would still apply a zero delta (one wasted drain cycle), so we keep it.
+  const std::int64_t pending = enq_.delta[i] + deq_.delta[i];
+  value_error_max_ =
+      std::max(value_error_max_, pending < 0 ? -pending : pending);
 }
 
 void AggregatedRegister::enqueue_add(std::size_t idx, std::int64_t delta,

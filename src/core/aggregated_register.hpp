@@ -111,6 +111,11 @@ class AggregatedRegister {
   /// Staleness of drained entries, in cycles (recorded at application).
   std::uint64_t drained() const { return drained_; }
   std::uint64_t staleness_max() const { return staleness_max_; }
+  /// Largest |pending_error| any cell ever reached — the worst observed
+  /// deviation between the main array and the true value, sampled at every
+  /// aggregation update. The dynamic ground truth for the value analysis's
+  /// static staleness-value-error bound.
+  std::int64_t value_error_max() const { return value_error_max_; }
   double staleness_mean() const {
     return drained_ == 0
                ? 0.0
@@ -142,6 +147,10 @@ class AggregatedRegister {
   /// Report one access to the installed RegisterProbe, if any.
   void probe(RegisterRealization realization, RegisterOp op,
              std::size_t idx) const;
+  /// Report an RMW with its observed old/new values (sum updates, so the
+  /// probe's linearity flag stays true).
+  void probe_rmw(RegisterRealization realization, std::size_t idx,
+                 std::int64_t old_v, std::int64_t new_v) const;
   /// Apply the oldest entry of `arr` to main; false if arr is clean.
   bool apply_one(AggArray& arr, std::uint64_t cycle);
   void note_backlog();
@@ -157,6 +166,7 @@ class AggregatedRegister {
   std::uint64_t staleness_sum_ = 0;
   std::uint64_t staleness_max_ = 0;
   std::size_t backlog_max_ = 0;
+  std::int64_t value_error_max_ = 0;
 };
 
 }  // namespace edp::core

@@ -74,6 +74,13 @@ struct RegisterAccessEvent {
   bool has_rmw_values = false;
   std::int64_t rmw_old = 0;
   std::int64_t rmw_new = 0;
+  /// Translation-equivariance of the RMW's update function, tested by the
+  /// reporting register at probe time: fn(v + k) - (v + k) == fn(v) - v for
+  /// the probed offsets, i.e. the update is a pure delta independent of the
+  /// current value. False marks overwrite/saturate-style updates whose
+  /// deferred reordering (aggregation side arrays, shards) changes the
+  /// result — the value analysis's merge-commutativity witness.
+  bool rmw_linear = true;
 };
 
 /// Implemented by the analyzer's recorder.

@@ -65,13 +65,30 @@ class SharedRegister {
   /// Atomic read-modify-write (one port use). The probe fires after the
   /// update so integral registers can report the observed old/new values —
   /// the optimizer derives aggregation merge functions from those deltas.
+  /// Under an active probe the update function is additionally evaluated at
+  /// `before +/- 1` (without committing) to test translation-equivariance:
+  /// a pure delta update yields the same delta at every starting value,
+  /// while overwrite/saturate updates do not — the value analysis's
+  /// merge-commutativity witness. Update functions must therefore be pure
+  /// (they already must be: the register may retry them under contention
+  /// models), and the extra evaluations only happen on analysis drives.
   template <typename Fn>
   T rmw(std::size_t index, Fn&& fn, ThreadId thread, std::uint64_t cycle) {
     account(thread, cycle);
     T& cell = cells_[index % cells_.size()];
     const T before = cell;
     cell = fn(cell);
-    probe_rmw(thread, index, before, cell);
+    if (active_register_probe() != nullptr) {
+      bool linear = true;
+      if constexpr (std::is_integral_v<T>) {
+        const T d = static_cast<T>(cell - before);
+        const T up = static_cast<T>(before + 1);
+        const T down = static_cast<T>(before - 1);
+        linear = static_cast<T>(fn(up) - up) == d &&
+                 static_cast<T>(fn(down) - down) == d;
+      }
+      probe_rmw(thread, index, before, cell, linear);
+    }
     return cell;
   }
 
@@ -117,10 +134,7 @@ class SharedRegister {
   }
 
   void probe_rmw(ThreadId thread, std::size_t index, const T& before,
-                 const T& after) const {
-    if (active_register_probe() == nullptr) {
-      return;
-    }
+                 const T& after, bool linear) const {
     RegisterAccessEvent access{this,   name_, RegisterRealization::kShared,
                                RegisterOp::kRmw, thread, index,
                                cells_.size(),    ports_};
@@ -128,6 +142,7 @@ class SharedRegister {
       access.has_rmw_values = true;
       access.rmw_old = static_cast<std::int64_t>(before);
       access.rmw_new = static_cast<std::int64_t>(after);
+      access.rmw_linear = linear;
     }
     report_register_access(access);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -100,11 +101,13 @@ ScenarioOutcome replay(const ScenarioSpec& base_spec,
   std::unique_ptr<core::EventProgram> dut_program;
   std::uint64_t transforms_applied = 0;
   std::uint64_t staleness_bound_cycles = 0;
+  std::uint64_t value_error_bound = 0;
   if (options.optimize) {
     analysis::AnalyzerOptions aopt;
     aopt.lint = app.lint;
     aopt.model = analysis::find_hardware_model(options.optimize_target);
     aopt.rates = app.rates;
+    aopt.widths = app.widths;
     const analysis::OptimizationResult opt =
         analysis::optimize_program(app.name, app.factory, aopt);
     dut_program = opt.optimized_factory();
@@ -113,6 +116,11 @@ ScenarioOutcome replay(const ScenarioSpec& base_spec,
     for (const analysis::StalenessBound& b : opt.staleness) {
       staleness_bound_cycles =
           std::max(staleness_bound_cycles, b.bound_cycles);
+      if (b.stable) {
+        value_error_bound = std::max(
+            value_error_bound,
+            static_cast<std::uint64_t>(std::ceil(b.value_error_bound)));
+      }
     }
   } else {
     dut_program = app.factory();
@@ -278,7 +286,13 @@ ScenarioOutcome replay(const ScenarioSpec& base_spec,
     out.agg_drained += reg.drained();
     out.agg_backlog_max =
         std::max<std::uint64_t>(out.agg_backlog_max, reg.backlog_max());
+    if (options.record_value_error) {
+      out.agg_value_error_max = std::max(
+          out.agg_value_error_max,
+          static_cast<std::uint64_t>(reg.value_error_max()));
+    }
   });
+  out.value_error_bound = value_error_bound;
   // Settle so the app-state digest compares ground truth (main + pending
   // deltas applied) — order-independent sums, so naive and optimized
   // replays must agree exactly.

@@ -36,6 +36,10 @@ struct ReplayOptions {
   bool optimize = false;
   /// Hardware target the optimizer rewrites for.
   std::string optimize_target = "linerate-tor";
+  /// Capture the aggregated registers' observed worst-case value deviation
+  /// (AggregatedRegister::value_error_max) alongside the optimizer's static
+  /// staleness-value-error bound, so tests can assert observed <= bound.
+  bool record_value_error = true;
 };
 
 struct ScenarioOutcome {
@@ -75,6 +79,12 @@ struct ScenarioOutcome {
   std::uint64_t agg_staleness_max_cycles = 0;
   std::uint64_t agg_drained = 0;
   std::uint64_t agg_backlog_max = 0;
+  /// Observed worst-case |main - true| deviation across aggregated cells
+  /// (ReplayOptions::record_value_error), and the static
+  /// staleness-value-error bound it must stay under (value-analysis pass;
+  /// 0 when nothing is aggregated or the bound is unstable).
+  std::uint64_t agg_value_error_max = 0;
+  std::uint64_t value_error_bound = 0;
   /// App-level detections (MicroburstProgram; 0 for other apps).
   std::uint64_t detections = 0;
   /// FNV digest over the app's settled ground-truth state (microburst

@@ -697,6 +697,7 @@ TEST(AnalysisRegistry, AllShippedProgramsMapOntoLinerateTor) {
     options.lint = entry.lint;
     options.model = tor_model();
     options.rates = entry.rates;
+    options.widths = entry.widths;
     const Report report =
         analysis::analyze_program(entry.name, entry.factory, options);
     if (report.clean()) {

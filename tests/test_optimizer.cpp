@@ -50,6 +50,7 @@ OptimizationResult optimize_app(const apps::RegisteredProgram& entry) {
   options.lint = entry.lint;
   options.model = tor_model();
   options.rates = entry.rates;
+  options.widths = entry.widths;
   return analysis::optimize_program(entry.name, entry.factory, options);
 }
 

@@ -1,0 +1,521 @@
+// Tests for edp::analysis::value_analysis_pass — the abstract-interpretation
+// value analysis (edp-verify v3).
+//
+// Static side: fixture programs plant one value-domain defect each
+// (overflow against an annotated width, a non-commutative event-thread
+// update, an occupancy counter nobody decrements, a writer handler the rate
+// model knows nothing about) and the assertions match on the stable finding
+// codes. Dynamic side: storm replays of the aggregated microburst apps
+// assert the *observed* worst-case value deviation stays under the static
+// staleness-value-error bound — the paper's bandwidth-vs-accuracy
+// trade-off, checked end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/hardware_model.hpp"
+#include "analysis/optimizer.hpp"
+#include "analysis/sarif.hpp"
+#include "analysis/value_analysis.hpp"
+#include "apps/registry.hpp"
+#include "core/event_program.hpp"
+#include "core/shared_register.hpp"
+#include "workload/replay.hpp"
+
+namespace edp {
+namespace {
+
+using analysis::Finding;
+using analysis::Report;
+using analysis::Severity;
+
+template <typename Program>
+Report analyze(const std::string& name,
+               analysis::AnalyzerOptions options = {}) {
+  return analysis::analyze_program(
+      name, [] { return std::make_unique<Program>(); }, options);
+}
+
+const analysis::HardwareModel* tor_model() {
+  return analysis::find_hardware_model("linerate-tor");
+}
+
+const apps::RegisteredProgram* find_app(std::string_view name) {
+  for (const apps::RegisteredProgram& entry : apps::program_registry()) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+const Finding* find_code(const Report& report, std::string_view code) {
+  for (const Finding& f : report.findings) {
+    if (f.code == code) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+analysis::AnalyzerOptions app_options(const apps::RegisteredProgram& app,
+                                      const analysis::HardwareModel* model) {
+  analysis::AnalyzerOptions options;
+  options.lint = app.lint;
+  options.model = model;
+  options.rates = app.rates;
+  options.widths = app.widths;
+  return options;
+}
+
+// ---- fixture programs -------------------------------------------------------
+
+/// Pure +2 counter on the packet thread: the congruence domain must learn
+/// v == 0 (mod 2), and a narrow width annotation must trip the overflow
+/// check with the aliasing caveat.
+class EvenCounterProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    ctr_.rmw(0, [](std::uint64_t v) { return v + 2; },
+             core::ThreadId::kIngress, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> ctr_{"even_ctr", 4, /*ports=*/1};
+};
+
+/// An EWMA-style gauge updated from the enqueue thread: v/2 + c is not a
+/// translation (f(v+1)-(v+1) != f(v)-v at every v), so the optimizer's
+/// sum-of-deltas merge is unsound and the 3-port constraint must stay
+/// unresolved.
+class EwmaGaugeProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    ewma_.rmw(0, [](std::int64_t v) { return v + 1; },
+              core::ThreadId::kIngress, ctx.cycle());
+  }
+  void on_enqueue(const tm_::EnqueueRecord&,
+                  core::EventContext& ctx) override {
+    ewma_.rmw(0, [](std::int64_t v) { return v / 2 + 9; },
+              core::ThreadId::kEnqueue, ctx.cycle());
+  }
+  void on_dequeue(const tm_::DequeueRecord&,
+                  core::EventContext& ctx) override {
+    ewma_.rmw(0, [](std::int64_t v) { return v - 1; },
+              core::ThreadId::kDequeue, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::int64_t> ewma_{"ewma_gauge", 1, /*ports=*/3};
+};
+
+/// Occupancy accounting with the decrement forgotten: the admission-side
+/// increment never closes, so the interval outgrows any TM buffer.
+class LeakyOccupancyProgram : public core::EventProgram {
+ public:
+  void on_enqueue(const tm_::EnqueueRecord&,
+                  core::EventContext& ctx) override {
+    occ_.rmw(0, [](std::uint64_t v) { return v + 1; },
+             core::ThreadId::kEnqueue, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> occ_{"leaky_occ", 1, /*ports=*/1};
+};
+
+/// A control-plane handler that writes state, with no declared rate and no
+/// derivable one: the overflow and drain budgets silently ignore it unless
+/// the registry audit note fires.
+class UnratedControlWriterProgram : public core::EventProgram {
+ public:
+  void on_control(const core::ControlEventData&,
+                  core::EventContext& ctx) override {
+    cfg_.rmw(0, [](std::uint64_t v) { return v + 1; },
+             core::ThreadId::kOther, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> cfg_{"ctl_cfg", 1, /*ports=*/1};
+};
+
+/// Read-only from the packet thread: no event deltas, nothing to flag.
+class ReadOnlyProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    std::uint64_t v = 0;
+    ro_.read(0, v, core::ThreadId::kIngress, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> ro_{"ro_table", 2, /*ports=*/1};
+};
+
+/// A blind write taints its register, and a read of that register feeding a
+/// later RMW taints the dependent one too — both must widen to top instead
+/// of carrying a fake interval into the overflow check.
+class BlindWriteChainProgram : public core::EventProgram {
+ public:
+  void on_ingress(pisa::Phv&, core::EventContext& ctx) override {
+    src_.write(0, 42, core::ThreadId::kIngress, ctx.cycle());
+    std::uint64_t v = 0;
+    src_.read(0, v, core::ThreadId::kIngress, ctx.cycle());
+    dst_.rmw(0, [v](std::uint64_t x) { return x + v; },
+             core::ThreadId::kIngress, ctx.cycle());
+  }
+
+ private:
+  core::SharedRegister<std::uint64_t> src_{"blind_src", 1, /*ports=*/1};
+  core::SharedRegister<std::uint64_t> dst_{"blind_dst", 1, /*ports=*/1};
+};
+
+// ---- the abstract domain on the shipped apps --------------------------------
+
+TEST(ValueAnalysis, MicroburstDomainIsGroundedInObservedDeltas) {
+  const apps::RegisteredProgram* app = find_app("microburst-shared");
+  ASSERT_NE(app, nullptr);
+  // The registry audit annotates the byte counter at 48 bits.
+  EXPECT_EQ(app->widths.get("bufSize_reg", 64), 48u);
+
+  const Report report = analysis::analyze_program(
+      app->name, app->factory, app_options(*app, tor_model()));
+  const analysis::RegisterValueInfo* info =
+      report.values.find("bufSize_reg");
+  ASSERT_NE(info, nullptr) << report.values.format();
+  EXPECT_FALSE(info->opaque);
+  EXPECT_TRUE(info->has_event_deltas);
+  // Enqueue adds packet bytes, dequeue subtracts them.
+  EXPECT_GT(info->delta_max, 0);
+  EXPECT_LT(info->delta_min, 0);
+  EXPECT_GT(info->max_abs_delta, 0);
+  EXPECT_GT(info->growth_up, 0.0);
+  EXPECT_LT(info->growth_down, 0.0);
+  EXPECT_FALSE(info->after_horizon.top);
+  EXPECT_GT(info->after_horizon.hi, 0.0);
+
+  // 2^47 comfortably holds one second of worst-case byte growth: the
+  // annotated width must analyze clean.
+  EXPECT_EQ(find_code(report, "register-overflow"), nullptr)
+      << report.format(false);
+  // Dequeue closes every enqueue increment.
+  EXPECT_EQ(find_code(report, "queue-occupancy-unbounded"), nullptr);
+  // Both updates are pure deltas — the probe must not cry wolf.
+  EXPECT_EQ(find_code(report, "merge-noncommutative"), nullptr);
+  // Every handler the registry rate model needs is declared or derivable.
+  EXPECT_EQ(find_code(report, "missing-rates"), nullptr);
+}
+
+TEST(ValueAnalysis, AllRegisteredAppsCarryNoValueFindingsUnconstrained) {
+  for (const apps::RegisteredProgram& app : apps::program_registry()) {
+    analysis::AnalyzerOptions options = app_options(app, nullptr);
+    const Report report =
+        analysis::analyze_program(app.name, app.factory, options);
+    EXPECT_EQ(find_code(report, "register-overflow"), nullptr) << app.name;
+    EXPECT_EQ(find_code(report, "queue-occupancy-unbounded"), nullptr)
+        << app.name;
+    EXPECT_EQ(find_code(report, "merge-noncommutative"), nullptr) << app.name;
+    EXPECT_EQ(find_code(report, "missing-rates"), nullptr) << app.name;
+  }
+}
+
+// ---- register-overflow ------------------------------------------------------
+
+TEST(ValueAnalysis, NarrowWidthAnnotationTripsOverflow) {
+  const apps::RegisteredProgram* app = find_app("microburst-shared");
+  ASSERT_NE(app, nullptr);
+  analysis::AnalyzerOptions options = app_options(*app, tor_model());
+  options.widths.set("bufSize_reg", 24);  // ~1e11 bytes/s >> 2^23
+  const Report report =
+      analysis::analyze_program(app->name, app->factory, options);
+  const Finding* f = find_code(report, "register-overflow");
+  ASSERT_NE(f, nullptr) << report.format(false);
+  EXPECT_EQ(f->severity, Severity::kError);
+  EXPECT_EQ(f->subject, "bufSize_reg");
+  EXPECT_NE(f->message.find("24-bit range"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("wraps after"), std::string::npos) << f->message;
+}
+
+TEST(ValueAnalysis, OverflowReportsCongruenceAliasing) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  options.widths.set("even_ctr", 16);
+  const Report report = analyze<EvenCounterProgram>("even-counter", options);
+  const analysis::RegisterValueInfo* info = report.values.find("even_ctr");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->congruence, 2u);
+  const Finding* f = find_code(report, "register-overflow");
+  ASSERT_NE(f, nullptr) << report.format(false);
+  // A +2 counter wrapping a 16-bit register lands on even values again —
+  // the wrap aliases a plausible reading, which is the dangerous case.
+  EXPECT_NE(f->message.find("mod 2"), std::string::npos) << f->message;
+}
+
+TEST(ValueAnalysis, UnconstrainedTargetNeverFlagsOverflow) {
+  analysis::AnalyzerOptions options;
+  options.widths.set("even_ctr", 8);
+  const Report report = analyze<EvenCounterProgram>("even-counter", options);
+  EXPECT_EQ(find_code(report, "register-overflow"), nullptr);
+}
+
+// ---- merge-noncommutative ---------------------------------------------------
+
+TEST(ValueAnalysis, EwmaGaugeFailsTheLinearityProbe) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  const Report report = analyze<EwmaGaugeProgram>("ewma-gauge", options);
+  const Finding* f = find_code(report, "merge-noncommutative");
+  ASSERT_NE(f, nullptr) << report.format(false);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->subject, "ewma_gauge");
+  EXPECT_NE(f->message.find("on_enqueue"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("not a pure delta"), std::string::npos)
+      << f->message;
+
+  // Unconstrained it is advisory only.
+  const Report plain = analyze<EwmaGaugeProgram>("ewma-gauge");
+  const Finding* note = find_code(plain, "merge-noncommutative");
+  ASSERT_NE(note, nullptr);
+  EXPECT_EQ(note->severity, Severity::kNote);
+}
+
+TEST(ValueAnalysis, NoncommutativeMergeBlocksAggregationRewrite) {
+  // The contrast pair the optimizer must distinguish: microburst-shared's
+  // +/- byte deltas aggregate fine...
+  const apps::RegisteredProgram* burst = find_app("microburst-shared");
+  ASSERT_NE(burst, nullptr);
+  const analysis::OptimizationResult good = analysis::optimize_program(
+      burst->name, burst->factory, app_options(*burst, tor_model()));
+  EXPECT_TRUE(good.feasible) << good.format(false);
+
+  // ...while the EWMA gauge, an identical 3-port shape, must be refused:
+  // deferring v/2 + c through sum-merged side arrays changes the result.
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  const analysis::OptimizationResult bad = analysis::optimize_program(
+      "ewma-gauge", [] { return std::make_unique<EwmaGaugeProgram>(); },
+      options);
+  EXPECT_FALSE(bad.feasible) << bad.format(false);
+  const Finding* blocked = nullptr;
+  for (const Finding& f : bad.diagnostics) {
+    if (f.code == "unresolvable-constraint" && f.subject == "ewma_gauge") {
+      blocked = &f;
+    }
+  }
+  ASSERT_NE(blocked, nullptr) << bad.format(false);
+  EXPECT_NE(blocked->message.find("not commutative"), std::string::npos)
+      << blocked->message;
+  bool aggregated = false;
+  for (const analysis::TransformRecord& t : bad.transforms) {
+    aggregated = aggregated || (t.kind == "aggregation-insertion" &&
+                                t.subject == "ewma_gauge");
+  }
+  EXPECT_FALSE(aggregated);
+}
+
+// ---- staleness-value-error --------------------------------------------------
+
+TEST(ValueAnalysis, StalenessValueErrorMatchesOptimizerBound) {
+  const apps::RegisteredProgram* app = find_app("microburst-shared");
+  ASSERT_NE(app, nullptr);
+  const analysis::OptimizationResult result = analysis::optimize_program(
+      app->name, app->factory, app_options(*app, tor_model()));
+  ASSERT_EQ(result.staleness.size(), 1u);
+  const analysis::StalenessBound& sb = result.staleness[0];
+  EXPECT_GT(sb.max_abs_delta, 0);
+  EXPECT_GT(sb.value_error_bound, 0.0);
+
+  ASSERT_EQ(result.optimized.values.value_errors.size(), 1u)
+      << result.optimized.values.format();
+  const analysis::ValueErrorBound& vb =
+      result.optimized.values.value_errors[0];
+  EXPECT_EQ(vb.name, "bufSize_reg");
+  EXPECT_TRUE(vb.stable);
+  EXPECT_EQ(vb.max_abs_delta, sb.max_abs_delta);
+  // Same window, same demand, same unit — the two layers must agree.
+  EXPECT_DOUBLE_EQ(vb.staleness_seconds, sb.bound_seconds);
+  EXPECT_DOUBLE_EQ(vb.bound, sb.value_error_bound);
+  EXPECT_DOUBLE_EQ(vb.bound,
+                   static_cast<double>(vb.max_abs_delta) *
+                       vb.events_per_window);
+
+  const Finding* f = nullptr;
+  for (const Finding& g : result.optimized.findings) {
+    if (g.code == "staleness-value-error") {
+      f = &g;
+    }
+  }
+  ASSERT_NE(f, nullptr) << result.optimized.format(false);
+  EXPECT_EQ(f->severity, Severity::kNote);
+}
+
+TEST(ValueAnalysis, ZeroIdleRateMakesTheErrorUnboundedNotNan) {
+  // A clock so slow the packet slots eat every cycle: idle_rate <= 0. The
+  // bound must degrade to "unbounded" (stable == false), never divide by
+  // the idle rate.
+  analysis::HardwareModel starved = *tor_model();
+  starved.name = "starved-tor";
+  starved.clock_hz = 1.0;
+  const apps::RegisteredProgram* app = find_app("microburst-aggregated");
+  ASSERT_NE(app, nullptr);
+  const Report report = analysis::analyze_program(
+      app->name, app->factory, app_options(*app, &starved));
+  EXPECT_LE(report.mapping.idle_rate, 0.0);
+  ASSERT_EQ(report.values.value_errors.size(), 1u)
+      << report.values.format();
+  const analysis::ValueErrorBound& vb = report.values.value_errors[0];
+  EXPECT_FALSE(vb.stable);
+  EXPECT_EQ(vb.staleness_seconds, 0.0);
+  EXPECT_EQ(vb.bound, 0.0);
+  EXPECT_FALSE(std::isnan(vb.bound));
+  const Finding* f = find_code(report, "staleness-value-error");
+  ASSERT_NE(f, nullptr) << report.format(false);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_NE(f->message.find("unbounded"), std::string::npos) << f->message;
+}
+
+// ---- queue-occupancy-unbounded ----------------------------------------------
+
+TEST(ValueAnalysis, LeakyOccupancyIsFlaggedOnConstrainedTargets) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  const Report report =
+      analyze<LeakyOccupancyProgram>("leaky-occupancy", options);
+  const Finding* f = find_code(report, "queue-occupancy-unbounded");
+  ASSERT_NE(f, nullptr) << report.format(false);
+  EXPECT_EQ(f->severity, Severity::kWarning);
+  EXPECT_EQ(f->subject, "leaky_occ");
+  EXPECT_NE(f->message.find("never closed by a decrement"),
+            std::string::npos)
+      << f->message;
+
+  // Unconstrained, the same program is silent.
+  const Report plain = analyze<LeakyOccupancyProgram>("leaky-occupancy");
+  EXPECT_EQ(find_code(plain, "queue-occupancy-unbounded"), nullptr);
+}
+
+// ---- missing-rates ----------------------------------------------------------
+
+TEST(ValueAnalysis, UnratedControlWriterGetsTheAuditNote) {
+  const Report report =
+      analyze<UnratedControlWriterProgram>("unrated-control");
+  const Finding* f = find_code(report, "missing-rates");
+  ASSERT_NE(f, nullptr) << report.format(false);
+  EXPECT_EQ(f->severity, Severity::kNote);
+  EXPECT_EQ(f->subject, "on_control");
+  EXPECT_NE(f->message.find("ctl_cfg"), std::string::npos) << f->message;
+
+  // Declaring the rate satisfies the audit.
+  analysis::AnalyzerOptions options;
+  options.rates.set(analysis::Handler::kControl, 1000.0);
+  const Report rated =
+      analyze<UnratedControlWriterProgram>("unrated-control", options);
+  EXPECT_EQ(find_code(rated, "missing-rates"), nullptr)
+      << rated.format(false);
+}
+
+// ---- IR edge cases ----------------------------------------------------------
+
+TEST(ValueAnalysis, EmptyProgramYieldsEmptyDomain) {
+  struct NoopProgram : core::EventProgram {};
+  const Report report = analyze<NoopProgram>("noop");
+  EXPECT_TRUE(report.values.registers.empty());
+  EXPECT_TRUE(report.values.value_errors.empty());
+}
+
+TEST(ValueAnalysis, ReadOnlyRegisterStaysConstantZero) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  options.widths.set("ro_table", 8);  // even an 8-bit cell cannot overflow
+  const Report report = analyze<ReadOnlyProgram>("read-only", options);
+  const analysis::RegisterValueInfo* info = report.values.find("ro_table");
+  ASSERT_NE(info, nullptr);
+  EXPECT_FALSE(info->opaque);
+  EXPECT_FALSE(info->has_event_deltas);
+  EXPECT_EQ(info->congruence, 0u);
+  EXPECT_EQ(info->after_horizon.lo, 0.0);
+  EXPECT_EQ(info->after_horizon.hi, 0.0);
+  EXPECT_EQ(find_code(report, "register-overflow"), nullptr);
+  EXPECT_EQ(find_code(report, "queue-occupancy-unbounded"), nullptr);
+}
+
+TEST(ValueAnalysis, BlindWritesWidenToTopAndTaintDependents) {
+  analysis::AnalyzerOptions options;
+  options.model = tor_model();
+  options.widths.set("blind_src", 8);
+  options.widths.set("blind_dst", 8);
+  const Report report =
+      analyze<BlindWriteChainProgram>("blind-chain", options);
+  const analysis::RegisterValueInfo* src = report.values.find("blind_src");
+  const analysis::RegisterValueInfo* dst = report.values.find("blind_dst");
+  ASSERT_NE(src, nullptr);
+  ASSERT_NE(dst, nullptr);
+  EXPECT_TRUE(src->opaque);
+  EXPECT_TRUE(src->after_horizon.top);
+  // The RMW on dst observed clean deltas, but its input flows from a blind
+  // write — the dependency fixpoint must taint it too.
+  EXPECT_TRUE(dst->opaque);
+  EXPECT_TRUE(dst->after_horizon.top);
+  // Top never reaches the width check: no fabricated overflow.
+  EXPECT_EQ(find_code(report, "register-overflow"), nullptr)
+      << report.format(false);
+}
+
+// ---- SARIF catalogue drift --------------------------------------------------
+
+TEST(ValueAnalysis, SarifRuleCatalogueMatchesFindingCodeList) {
+  const std::vector<analysis::RuleInfo>& rules = analysis::finding_rules();
+  ASSERT_EQ(rules.size(), std::size(analysis::kFindingCodes));
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].id, analysis::kFindingCodes[i]) << "index " << i;
+  }
+}
+
+// ---- dynamic gate: observed deviation vs static bound -----------------------
+
+workload::ScenarioSpec value_storm(std::uint64_t seed) {
+  workload::ScenarioSpec spec;
+  spec.name = "value-error-storm";
+  spec.seed = seed;
+  spec.edges = 2;
+  spec.hosts_per_edge = 2;
+  spec.flows = 300;
+  spec.incast_degree = 2;
+  spec.burst_packets = 8;
+  return spec;
+}
+
+TEST(ValueAnalysis, ObservedValueErrorStaysUnderStaticBound) {
+  bool saw_aggregated_error = false;
+  for (const char* name :
+       {"microburst-shared", "microburst-aggregated", "cms-monitor"}) {
+    const apps::RegisteredProgram* app = workload::find_program(name);
+    ASSERT_NE(app, nullptr) << name;
+    for (std::uint64_t seed : {1, 2, 3}) {
+      for (std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+        workload::ReplayOptions opt;
+        opt.optimize = true;
+        opt.shards = shards;
+        const workload::ScenarioOutcome out =
+            workload::replay(value_storm(seed), *app, opt);
+        EXPECT_TRUE(out.optimized) << name;
+        if (out.value_error_bound > 0) {
+          EXPECT_LE(out.agg_value_error_max, out.value_error_bound)
+              << name << " seed " << seed << " shards " << shards;
+        }
+        saw_aggregated_error =
+            saw_aggregated_error || out.agg_value_error_max > 0;
+      }
+    }
+  }
+  // The gate must not pass vacuously: the microburst replays do defer
+  // deltas through the side arrays.
+  EXPECT_TRUE(saw_aggregated_error);
+}
+
+}  // namespace
+}  // namespace edp

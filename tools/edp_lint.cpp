@@ -17,12 +17,15 @@
 //                                   verified transforms (aggregation
 //                                   insertion, pipeline merging) and
 //                                   re-verify against the target
+//   edp_lint --fail-on=note         severity threshold for the nonzero
+//                                   exit (note|warning|error; default
+//                                   warning, the historical contract)
 //
 // Exit status — identical across every format (text, json, sarif) and
 // every target/optimize combination, enforced by
-// scripts/check_lint_exit_codes.sh: 0 when every linted program is clean
-// (notes allowed), 1 when any warning or error was found, 2 on usage
-// errors.
+// scripts/check_lint_exit_codes.sh: 0 when every linted program passes the
+// --fail-on threshold (default: notes allowed, warnings and errors fail),
+// 1 when any program reaches the threshold, 2 on usage errors.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -38,6 +41,7 @@ int main(int argc, char** argv) {
   bool list_targets = false;
   bool optimize = false;
   std::string format = "text";
+  edp::analysis::Severity fail_on = edp::analysis::Severity::kWarning;
   std::string target = "sim-unconstrained";
   std::vector<std::string> selected;
   for (int i = 1; i < argc; ++i) {
@@ -58,6 +62,21 @@ int main(int argc, char** argv) {
       target = argv[++i];
     } else if (arg.rfind("--target=", 0) == 0) {
       target = arg.substr(9);
+    } else if (arg.rfind("--fail-on=", 0) == 0) {
+      const std::string level = arg.substr(10);
+      if (level == "note") {
+        fail_on = edp::analysis::Severity::kNote;
+      } else if (level == "warning") {
+        fail_on = edp::analysis::Severity::kWarning;
+      } else if (level == "error") {
+        fail_on = edp::analysis::Severity::kError;
+      } else {
+        std::fprintf(stderr,
+                     "edp_lint: --fail-on must be note|warning|error, got "
+                     "'%s'\n",
+                     level.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
       if (format != "text" && format != "json" && format != "sarif") {
@@ -69,7 +88,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: edp_lint [-v] [--list] [--list-targets] [--optimize]\n"
           "                [--target <model>] [--format=text|json|sarif]\n"
-          "                [program...]\n"
+          "                [--fail-on=note|warning|error] [program...]\n"
           "Statically verifies event programs: register port budgets "
           "(paper par.4),\nhardware pipeline mapping (stage depth, port "
           "schedule, aggregation drain\nbudget), event-amplification "
@@ -135,6 +154,7 @@ int main(int argc, char** argv) {
     options.lint = entry.lint;
     options.model = model;
     options.rates = entry.rates;
+    options.widths = entry.widths;
     edp::analysis::Report report;
     std::string text;
     if (optimize) {
@@ -148,7 +168,7 @@ int main(int argc, char** argv) {
       text = report.format(verbose);
     }
     ++linted;
-    if (!report.clean()) {
+    if (report.has(fail_on)) {
       ++dirty;
     }
     if (format == "text") {
@@ -164,8 +184,8 @@ int main(int argc, char** argv) {
 
   if (format == "text") {
     std::printf(
-        "edp_lint: %d program(s) %s against %s, %d with warnings or "
-        "errors\n",
+        "edp_lint: %d program(s) %s against %s, %d at or above the "
+        "fail-on threshold\n",
         linted, optimize ? "optimized and re-verified" : "linted",
         target.c_str(), dirty);
   } else {

@@ -246,13 +246,16 @@ void print_outcome(const ScenarioOutcome& o) {
   if (o.optimized) {
     std::printf(
         "  %-18s optimized: transforms=%llu staleness=%llu/%llu cycles "
-        "(max/bound) drained=%llu backlog_max=%llu\n",
+        "(max/bound) drained=%llu backlog_max=%llu "
+        "value_error=%llu/%llu (max/bound)\n",
         "",
         static_cast<unsigned long long>(o.transforms_applied),
         static_cast<unsigned long long>(o.agg_staleness_max_cycles),
         static_cast<unsigned long long>(o.staleness_bound_cycles),
         static_cast<unsigned long long>(o.agg_drained),
-        static_cast<unsigned long long>(o.agg_backlog_max));
+        static_cast<unsigned long long>(o.agg_backlog_max),
+        static_cast<unsigned long long>(o.agg_value_error_max),
+        static_cast<unsigned long long>(o.value_error_bound));
   }
 }
 
